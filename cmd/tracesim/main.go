@@ -1,0 +1,114 @@
+// Command tracesim runs the trace-driven baseline: a Pixie-style annotated
+// workload feeding a Cache2000-style simulator, either on the fly or
+// through a trace file. It exists to reproduce the paper's comparisons and
+// to demonstrate what the baseline can and cannot see (single user task,
+// no kernel or servers) and what it can simulate that traps cannot (write
+// buffers).
+//
+// Examples:
+//
+//	tracesim -workload mpeg_play -size 4K                 # on-the-fly
+//	tracesim -workload xlisp -capture /tmp/x.trace        # write a trace
+//	tracesim -replay /tmp/x.trace -size 4K                # simulate from file
+//	tracesim -workload eqntott -size 8K -writebuffer 4    # store-buffer model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapeworm"
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/trace"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "mpeg_play", "workload to annotate")
+		scale   = flag.Float64("scale", 400, "workload scale divisor")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		sizeKB  = flag.Int("size", 4, "cache size in KB")
+		line    = flag.Int("line", 16, "line size in bytes")
+		assoc   = flag.Int("assoc", 1, "associativity")
+		dataToo = flag.Bool("data", false, "trace data references as well as instruction fetches")
+		capture = flag.String("capture", "", "write the trace to this file instead of simulating")
+		replay  = flag.String("replay", "", "simulate from this trace file instead of running a workload")
+		wbDepth = flag.Int("writebuffer", 0, "also simulate a store buffer of this depth (0 = off)")
+	)
+	flag.Parse()
+
+	cfg := cache2000.Config{
+		Cache: cache.Config{Size: *sizeKB << 10, LineSize: *line, Assoc: *assoc},
+	}
+	if !*dataToo {
+		cfg.Kinds = []mem.RefKind{mem.IFetch}
+	}
+	if *wbDepth > 0 {
+		cfg.WriteBuffer = &cache2000.WriteBufferConfig{Depth: *wbDepth, DrainCycles: 20}
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		check(err)
+		defer f.Close()
+		buf, err := trace.Read(f)
+		check(err)
+		sim, err := cache2000.New(cfg)
+		check(err)
+		sim.Run(buf)
+		report(sim, uint64(buf.Len()))
+		return
+	}
+
+	sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{Seed: *seed})
+	check(err)
+	task, err := sys.LoadWorkload(*wl, *scale, *seed, false)
+	check(err)
+
+	if *capture != "" {
+		buf, err := sys.CaptureTrace(task, !*dataToo)
+		check(err)
+		check(sys.Run(0))
+		f, err := os.Create(*capture)
+		check(err)
+		check(buf.Write(f))
+		check(f.Close())
+		fmt.Printf("captured %d references from %s to %s\n", buf.Len(), *wl, *capture)
+		return
+	}
+
+	sim, err := sys.AnnotatePixie(task, cfg)
+	check(err)
+	check(sys.Run(0))
+	report(sim, sim.Processed())
+	fmt.Printf("simulated seconds (dilated by tracing): %.3f\n", sys.Seconds())
+}
+
+func report(sim *cache2000.Simulator, processed uint64) {
+	fmt.Printf("addresses processed: %d\n", processed)
+	fmt.Printf("hits %d / misses %d (miss ratio %.4f)\n",
+		sim.Hits(), sim.Misses(), sim.MissRatio())
+	fmt.Printf("simulation cycles: %d (%.1f per address)\n",
+		sim.Cycles(), float64(sim.Cycles())/float64(max64(1, sim.Processed())))
+	if wb := sim.WriteBuffer(); wb != nil {
+		stores, stalls := wb.Stats()
+		fmt.Printf("write buffer: %d stores, %d stall cycles\n", stores, stalls)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracesim:", err)
+		os.Exit(1)
+	}
+}

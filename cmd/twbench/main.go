@@ -1,0 +1,84 @@
+// Command twbench regenerates the paper's evaluation: every table and
+// figure of Section 4, printed as aligned text tables.
+//
+// Usage:
+//
+//	twbench                         # run the full suite at scale 100
+//	twbench -run figure2,table6     # selected experiments
+//	twbench -scale 1000 -trials 4   # coarser, faster
+//	twbench -list                   # list experiment IDs
+//	twbench -o report.txt           # also write the report to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"tapeworm/internal/experiment"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.Float64("scale", 100, "workload scale divisor (100 = standard evaluation)")
+		trials  = flag.Int("trials", 16, "trials for variance tables")
+		seed    = flag.Uint64("seed", 1994, "master seed")
+		frames  = flag.Int("frames", 8192, "physical memory frames")
+		outPath = flag.String("o", "", "also write the report to this file")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Printf("%-9s %s\n", id, experiment.Describe(id))
+		}
+		return
+	}
+
+	opts := experiment.Options{
+		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "  %s\n", line) }
+	}
+
+	ids := experiment.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "Tapeworm II evaluation reproduction (scale 1/%.0f, %d trials, seed %d)\n\n",
+		*scale, *trials, *seed)
+	for _, id := range ids {
+		fn, err := experiment.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table, err := fn(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out, table.Render())
+		fmt.Fprintf(out, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,21 @@
+// Command twcodecount reproduces Table 11 for this repository: the line
+// count of the Tapeworm implementation split into machine-dependent kernel
+// code, machine-independent kernel code, and machine-independent user
+// code. Run it from anywhere inside the repository.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tapeworm/internal/experiment"
+)
+
+func main() {
+	table, err := experiment.Table11(experiment.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twcodecount:", err)
+		os.Exit(1)
+	}
+	fmt.Print(table.Render())
+}

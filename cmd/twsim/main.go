@@ -1,0 +1,228 @@
+// Command twsim runs one Tapeworm simulation: pick a workload, a machine,
+// a simulated cache or TLB, sampling, and which components to include,
+// then report misses, miss ratios and slowdown.
+//
+// Examples:
+//
+//	twsim -workload mpeg_play -size 16K -assoc 1 -line 16
+//	twsim -workload sdet -size 4K -kernel -servers
+//	twsim -workload ousterhout -mode tlb -tlb-entries 64
+//	twsim -workload espresso -size 1K -sample 1/8 -indexing virtual
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tapeworm"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "mpeg_play", "workload name (see -list)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		scale    = flag.Float64("scale", 400, "workload scale divisor")
+		seed     = flag.Uint64("seed", 1, "workload/kernel seed")
+		pageSeed = flag.Uint64("pageseed", 1, "frame allocator seed")
+		machine  = flag.String("machine", "decstation", "machine model: decstation, 486, wwt")
+		frames   = flag.Int("frames", 8192, "physical memory frames")
+
+		mode       = flag.String("mode", "icache", "simulation mode: icache, dcache, unified, tlb")
+		size       = flag.String("size", "16K", "cache size (e.g. 4K, 64K, 1M)")
+		line       = flag.Int("line", 16, "cache line size in bytes")
+		assoc      = flag.Int("assoc", 1, "associativity (0 = fully associative)")
+		indexing   = flag.String("indexing", "physical", "cache indexing: physical, virtual")
+		replace    = flag.String("replace", "lru", "replacement: lru, fifo, random")
+		sample     = flag.String("sample", "1/1", "set sampling fraction, e.g. 1/8")
+		tlbEntries = flag.Int("tlb-entries", 64, "TLB entries (tlb mode)")
+		handler    = flag.String("handler", "optimized", "handler model: optimized, c, hw")
+
+		simServers = flag.Bool("servers", false, "also simulate the X/BSD servers")
+		simKernel  = flag.Bool("kernel", false, "also simulate the OS kernel")
+		baseline   = flag.Bool("baseline", true, "also run uninstrumented for slowdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range tapeworm.Workloads(*scale) {
+			fmt.Printf("%-11s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	cfg, err := simConfig(*mode, *size, *line, *assoc, *indexing, *replace,
+		*sample, *tlbEntries, *handler)
+	check(err)
+
+	var mc tapeworm.MachineConfig
+	switch *machine {
+	case "decstation":
+		mc = tapeworm.DECstation(*frames)
+	case "486":
+		mc = tapeworm.Gateway486(*frames)
+	case "wwt":
+		mc = tapeworm.WWTNode(*frames)
+	default:
+		check(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	var normal tapeworm.Snapshot
+	if *baseline {
+		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+			Machine: mc, Seed: *seed, PageSeed: *pageSeed})
+		check(err)
+		_, err = sys.LoadWorkload(*wl, *scale, *seed, false)
+		check(err)
+		check(sys.Run(0))
+		normal = sys.Monitor()
+	}
+
+	sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+		Machine: mc, Seed: *seed, PageSeed: *pageSeed})
+	check(err)
+	tw, err := sys.AttachTapeworm(cfg)
+	check(err)
+	_, err = sys.LoadWorkload(*wl, *scale, *seed, true)
+	check(err)
+	if *simServers {
+		for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+			if t := sys.Kernel().Server(kind); t != nil {
+				check(tw.Attributes(t.ID, true, false))
+			}
+		}
+	}
+	if *simKernel {
+		check(tw.Attributes(mem.KernelTask, true, false))
+	}
+	check(sys.Run(0))
+
+	snap := sys.Monitor()
+	st := tw.Stats()
+	fmt.Printf("workload:   %s (scale 1/%.0f) on %s\n", *wl, *scale, mc.Name)
+	fmt.Printf("mechanism:  %s\n", tw.MechanismName())
+	fmt.Printf("instrs:     %d (%.3f simulated seconds)\n", snap.Instructions, sys.Seconds())
+	fmt.Printf("misses:     %d counted", st.Misses)
+	if tw.EstimatedMisses() != float64(st.Misses) {
+		fmt.Printf(", %.0f estimated (%s sampling)", tw.EstimatedMisses(), cfg.Sampling)
+	}
+	fmt.Println()
+	comp := tw.MissesByComponent()
+	fmt.Printf("            user %d / servers %d / kernel %d\n",
+		comp[kernel.CompUser], comp[kernel.CompServer], comp[kernel.CompKernel])
+	fmt.Printf("miss ratio: %.4f per instruction\n",
+		float64(st.Misses)/float64(snap.Instructions))
+	fmt.Printf("overhead:   %d handler cycles, %d setup cycles\n",
+		st.HandlerCycles, st.SetupCycles)
+	if *baseline {
+		fmt.Printf("slowdown:   %.2fx over uninstrumented run\n",
+			tapeworm.Slowdown(snap, normal))
+	}
+}
+
+func simConfig(mode, size string, line, assoc int, indexing, replace,
+	sample string, tlbEntries int, handler string) (tapeworm.SimConfig, error) {
+	var cfg tapeworm.SimConfig
+	switch mode {
+	case "icache":
+		cfg.Mode = tapeworm.ModeICache
+	case "dcache":
+		cfg.Mode = tapeworm.ModeDCache
+	case "unified":
+		cfg.Mode = tapeworm.ModeUnified
+	case "tlb":
+		cfg.Mode = tapeworm.ModeTLB
+	default:
+		return cfg, fmt.Errorf("unknown mode %q", mode)
+	}
+	switch handler {
+	case "optimized":
+		cfg.Handler = tapeworm.HandlerOptimized
+	case "c":
+		cfg.Handler = tapeworm.HandlerOriginalC
+	case "hw":
+		cfg.Handler = tapeworm.HandlerHardwareAssist
+	default:
+		return cfg, fmt.Errorf("unknown handler model %q", handler)
+	}
+
+	bytes, err := parseSize(size)
+	if err != nil {
+		return cfg, err
+	}
+	var repl = tapeworm.LRU
+	switch replace {
+	case "lru":
+	case "fifo":
+		repl = tapeworm.FIFO
+	case "random":
+		repl = tapeworm.Random
+	default:
+		return cfg, fmt.Errorf("unknown replacement %q", replace)
+	}
+	idx := tapeworm.PhysIndexed
+	switch indexing {
+	case "physical":
+	case "virtual":
+		idx = tapeworm.VirtIndexed
+	default:
+		return cfg, fmt.Errorf("unknown indexing %q", indexing)
+	}
+
+	if cfg.Mode == tapeworm.ModeTLB {
+		cfg.TLB = tapeworm.TLBConfig{Entries: tlbEntries, PageSize: 4096, Replace: repl}
+	} else {
+		cfg.Cache = tapeworm.CacheConfig{
+			Size: bytes, LineSize: line, Assoc: assoc, Indexing: idx, Replace: repl,
+		}
+	}
+
+	num, den, err := parseSample(sample)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Sampling = tapeworm.Sampling{Num: num, Den: den}
+	return cfg, nil
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func parseSample(s string) (num, den int, err error) {
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad sampling %q (want num/den)", s)
+	}
+	num, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad sampling %q", s)
+	}
+	den, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad sampling %q", s)
+	}
+	return num, den, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twsim:", err)
+		os.Exit(1)
+	}
+}

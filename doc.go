@@ -1,0 +1,24 @@
+// Package tapeworm is a reproduction of "Trap-driven Simulation with
+// Tapeworm II" (Uhlig, Nagle, Mudge & Sechrest, ASPLOS-VI, 1994): a
+// kernel-resident cache and TLB simulator driven by hardware traps instead
+// of address traces, together with everything it runs on — a simulated
+// DECstation-class machine with ECC-bearing memory, a Mach-like kernel
+// with BSD and X server tasks, the paper's eight workloads as synthetic
+// reference generators, and a Pixie+Cache2000-style trace-driven baseline.
+//
+// The package exposes a small façade over the internal packages:
+//
+//	sys, _ := tapeworm.NewSystem(tapeworm.SystemConfig{Seed: 1})
+//	tw, _ := sys.AttachTapeworm(tapeworm.SimConfig{
+//	    Mode:     tapeworm.ModeICache,
+//	    Cache:    tapeworm.CacheConfig{Size: 16 << 10, LineSize: 16, Assoc: 1},
+//	    Sampling: tapeworm.FullSampling(),
+//	})
+//	sys.LoadWorkload("mpeg_play", 100, 42, true)
+//	sys.Run()
+//	fmt.Println(tw.Misses())
+//
+// The cmd/twbench tool regenerates every table and figure of the paper's
+// evaluation; DESIGN.md maps each to the modules that implement it and
+// EXPERIMENTS.md records reproduced-versus-paper results.
+package tapeworm

@@ -1,0 +1,78 @@
+package tapeworm_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedSymbolsDocumented enforces the "doc comments on every public
+// item" deliverable: every exported top-level declaration in non-test
+// sources must carry a doc comment.
+func TestExportedSymbolsDocumented(t *testing.T) {
+	var missing []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		report := func(name string, pos token.Pos) {
+			missing = append(missing,
+				fset.Position(pos).String()+": "+name)
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					report(dd.Name.Name, dd.Pos())
+				}
+			case *ast.GenDecl:
+				if dd.Tok != token.TYPE && dd.Tok != token.VAR && dd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && dd.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(sp.Name.Name, sp.Pos())
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							// Grouped const/var blocks may document the
+							// block; individual members need a doc or an
+							// inline comment only when the block has none.
+							if n.IsExported() && dd.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+								report(n.Name, n.Pos())
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported symbols lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,122 @@
+package tapeworm_test
+
+import (
+	"fmt"
+
+	"tapeworm"
+)
+
+// The deterministic machine makes example output exact: same seed, same
+// misses, every run.
+
+// ExampleSystem shows the core loop: boot, attach a trap-driven I-cache
+// simulation, run a workload, read the misses.
+func ExampleSystem() {
+	sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	tw, err := sys.AttachTapeworm(tapeworm.SimConfig{
+		Mode: tapeworm.ModeICache,
+		Cache: tapeworm.CacheConfig{
+			Size: 8 << 10, LineSize: 16, Assoc: 1,
+			Indexing: tapeworm.VirtIndexed,
+		},
+		Sampling: tapeworm.FullSampling(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sys.LoadWorkload("espresso", 4000, 1, true); err != nil {
+		panic(err)
+	}
+	if err := sys.Run(0); err != nil {
+		panic(err)
+	}
+	fmt.Println("mechanism:", tw.MechanismName())
+	fmt.Println("misses:", tw.Misses())
+	// Output:
+	// mechanism: ECC check bits
+	// misses: 196
+}
+
+// ExampleSystem_spawnProgram drives the simulator with a custom workload:
+// any type with a Next() Event method is a Program.
+func ExampleSystem_spawnProgram() {
+	sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{Seed: 2})
+	if err != nil {
+		panic(err)
+	}
+	tw, err := sys.AttachTapeworm(tapeworm.SimConfig{
+		Mode: tapeworm.ModeICache,
+		Cache: tapeworm.CacheConfig{
+			Size: 1 << 10, LineSize: 16, Assoc: 1,
+			Indexing: tapeworm.VirtIndexed,
+		},
+		Sampling: tapeworm.FullSampling(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.SpawnProgram("loop", &fetchLoop{n: 10000, span: 4096}, true, false)
+	if err := sys.Run(0); err != nil {
+		panic(err)
+	}
+	// A 4 KB loop in a 1 KB direct-mapped cache thrashes: every line is
+	// evicted before its next cycle, so each of the 10,000 fetches that
+	// starts a new 16-byte line (one in four) misses.
+	fmt.Println("misses:", tw.Misses())
+	// Output:
+	// misses: 2500
+}
+
+// fetchLoop fetches sequentially over span bytes, n instructions total.
+type fetchLoop struct{ n, pc, span uint32 }
+
+// Next implements tapeworm.Program.
+func (p *fetchLoop) Next() tapeworm.Event {
+	if p.n == 0 {
+		return tapeworm.Event{Kind: tapeworm.EvExit}
+	}
+	p.n--
+	va := tapeworm.VAddr(0x0040_0000 + p.pc)
+	p.pc = (p.pc + 4) % p.span
+	return tapeworm.Event{Kind: tapeworm.EvRef,
+		Ref: tapeworm.Ref{VA: va, Kind: tapeworm.IFetch}}
+}
+
+// ExampleSampling shows free hardware set sampling: a 1/4 sample counts
+// about a quarter of the misses, and the estimator scales it back up.
+func ExampleSampling() {
+	run := func(s tapeworm.Sampling) (counted uint64, estimated float64) {
+		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{Seed: 3})
+		if err != nil {
+			panic(err)
+		}
+		tw, err := sys.AttachTapeworm(tapeworm.SimConfig{
+			Mode: tapeworm.ModeICache,
+			Cache: tapeworm.CacheConfig{
+				Size: 1 << 10, LineSize: 16, Assoc: 1,
+				Indexing: tapeworm.VirtIndexed,
+			},
+			Sampling: s,
+		})
+		if err != nil {
+			panic(err)
+		}
+		sys.SpawnProgram("loop", &fetchLoop{n: 50000, span: 8192}, true, false)
+		if err := sys.Run(0); err != nil {
+			panic(err)
+		}
+		return tw.Misses(), tw.EstimatedMisses()
+	}
+	fullCount, _ := run(tapeworm.FullSampling())
+	quarterCount, quarterEst := run(tapeworm.Sampling{Num: 1, Den: 4})
+	fmt.Println("full:", fullCount)
+	fmt.Println("1/4 counted:", quarterCount)
+	fmt.Println("1/4 estimate:", quarterEst)
+	// Output:
+	// full: 12500
+	// 1/4 counted: 3125
+	// 1/4 estimate: 12500
+}

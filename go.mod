@@ -1,0 +1,3 @@
+module tapeworm
+
+go 1.24

@@ -1,0 +1,246 @@
+// Package arch describes the privileged-operation capabilities of the
+// microprocessors surveyed in the paper's Table 12, and implements the
+// mechanism-selection logic of Section 3.2: given a target machine and a
+// desired trap granularity, choose the trapping primitive (ECC check bits,
+// page valid bits, or breakpoints) that a Tapeworm port would use.
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op identifies one of the privileged operations of Table 2/Table 12 that
+// are useful building blocks for a trap-driven memory simulator.
+type Op int
+
+const (
+	// OpECCTraps: trap to the OS kernel after detecting a memory-parity or
+	// ECC error; diagnostic reads/writes let software alter check bits.
+	OpECCTraps Op = iota
+	// OpInstrBreakpoint: trap when a breakpoint instruction is encountered.
+	OpInstrBreakpoint
+	// OpDataBreakpoint: trap when a specific data location is read/written.
+	OpDataBreakpoint
+	// OpInvalidPageTraps: trap on access to a page marked invalid.
+	OpInvalidPageTraps
+	// OpVariablePageSize: hardware support for multiple page sizes.
+	OpVariablePageSize
+	// OpInstrCounter: an on-chip counter of instructions executed.
+	OpInstrCounter
+
+	numOps
+)
+
+// String returns the row label used in Table 12.
+func (o Op) String() string {
+	switch o {
+	case OpECCTraps:
+		return "Memory Parity or ECC Traps"
+	case OpInstrBreakpoint:
+		return "Instruction Breakpoint"
+	case OpDataBreakpoint:
+		return "Data Breakpoint"
+	case OpInvalidPageTraps:
+		return "Invalid Page Traps"
+	case OpVariablePageSize:
+		return "Variable Page Size"
+	case OpInstrCounter:
+		return "Instruction Counters"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Ops returns all operations in Table 12 row order.
+func Ops() []Op {
+	ops := make([]Op, numOps)
+	for i := range ops {
+		ops[i] = Op(i)
+	}
+	return ops
+}
+
+// Support records whether a processor implements an operation. The paper's
+// table has three states: yes, no, and blank (insufficient data).
+type Support int
+
+const (
+	// Unknown means insufficient data was available (blank table entry).
+	Unknown Support = iota
+	// No means the operation is not available.
+	No
+	// Yes means at least one system with the processor implements it.
+	Yes
+)
+
+// String renders the Table 12 cell text.
+func (s Support) String() string {
+	switch s {
+	case Yes:
+		return "Yes"
+	case No:
+		return "No"
+	}
+	return ""
+}
+
+// Processor describes one microprocessor column of Table 12 plus the
+// system-level properties (Section 4.4) that constrain a Tapeworm port.
+type Processor struct {
+	Name string
+	Ops  map[Op]Support
+
+	// ECCCheckGranularity is the number of bytes covered by one ECC check
+	// event. On the DECstation 5000/200, ECC is checked on 4-word cache
+	// line refills (16 bytes), limiting simulated line sizes to multiples
+	// of this value. Zero when ECC traps are unsupported.
+	ECCCheckGranularity int
+
+	// AllocateOnWrite reports whether the cache allocates lines on write
+	// misses. The paper's DECstation uses no-allocate-on-write, which
+	// silently clears ECC traps without invoking the miss handler and
+	// defeats data-cache simulation (Section 4.4).
+	AllocateOnWrite bool
+
+	// PageSizes lists supported page sizes in bytes, smallest first.
+	PageSizes []int
+}
+
+// Has reports whether the processor supports op (Unknown counts as no).
+func (p *Processor) Has(op Op) bool { return p.Ops[op] == Yes }
+
+// Table12 returns the full processor matrix from the paper's Table 12.
+// A given entry may not hold for every implementation of a processor; an
+// affirmative means at least one surveyed system implements the feature.
+func Table12() []*Processor {
+	mk := func(name string, ecc, ibp, dbp, ipt, vps, ic Support) *Processor {
+		return &Processor{
+			Name: name,
+			Ops: map[Op]Support{
+				OpECCTraps:         ecc,
+				OpInstrBreakpoint:  ibp,
+				OpDataBreakpoint:   dbp,
+				OpInvalidPageTraps: ipt,
+				OpVariablePageSize: vps,
+				OpInstrCounter:     ic,
+			},
+		}
+	}
+	procs := []*Processor{
+		mk("MIPS R3000", Yes, Yes, No, Yes, No, No),
+		mk("MIPS R4000", Yes, Yes, No, Yes, Yes, No),
+		mk("SPARC", Yes, Yes, No, Yes, No, No),
+		mk("DEC Alpha", Yes, Yes, No, Yes, Yes, Yes),
+		mk("Tera", Yes, Yes, Yes, Yes, Unknown, Unknown),
+		mk("Intel i486", Unknown, Yes, No, Yes, No, No),
+		mk("Intel Pentium", Yes, Yes, No, Yes, Yes, Yes),
+		mk("AMD 29050", Unknown, Yes, No, Yes, Yes, No),
+		mk("HP PA-RISC", Unknown, Yes, No, Yes, Yes, Unknown),
+		mk("PowerPC", Unknown, Yes, No, Yes, Yes, No),
+	}
+	// System-level details for the ports this repository implements.
+	for _, p := range procs {
+		switch p.Name {
+		case "MIPS R3000":
+			p.ECCCheckGranularity = 16 // 4 words x 4 bytes
+			p.AllocateOnWrite = false
+			p.PageSizes = []int{4096}
+		case "MIPS R4000":
+			p.ECCCheckGranularity = 16
+			p.AllocateOnWrite = false
+			p.PageSizes = []int{4096, 16384, 65536, 262144, 1048576}
+		case "SPARC":
+			// The CM-5 nodes used by the Wisconsin Wind Tunnel allocate
+			// on write, which is what makes data-cache simulation possible
+			// there [Reinhardt93].
+			p.ECCCheckGranularity = 16
+			p.AllocateOnWrite = true
+			p.PageSizes = []int{4096}
+		case "Intel i486":
+			p.PageSizes = []int{4096}
+		case "DEC Alpha":
+			p.ECCCheckGranularity = 32
+			p.AllocateOnWrite = false
+			p.PageSizes = []int{8192, 65536, 524288, 4194304}
+		}
+		if p.PageSizes == nil {
+			p.PageSizes = []int{4096}
+		}
+	}
+	return procs
+}
+
+// ByName returns the Table 12 processor with the given name, or an error
+// listing the known names.
+func ByName(name string) (*Processor, error) {
+	procs := Table12()
+	for _, p := range procs {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(procs))
+	for i, p := range procs {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("arch: unknown processor %q (known: %v)", name, names)
+}
+
+// Mechanism identifies the trapping primitive selected for a simulation.
+type Mechanism int
+
+const (
+	// MechNone means no suitable mechanism exists on the processor.
+	MechNone Mechanism = iota
+	// MechECC sets traps by corrupting ECC/parity check bits; fine
+	// granularity (a cache line), suited to cache simulation.
+	MechECC
+	// MechPageValid sets traps by clearing page valid bits; page
+	// granularity, suited to TLB simulation.
+	MechPageValid
+	// MechBreakpoint plants breakpoint instructions; instruction
+	// granularity, usable for instruction-cache simulation in clusters.
+	MechBreakpoint
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MechECC:
+		return "ECC check bits"
+	case MechPageValid:
+		return "page valid bits"
+	case MechBreakpoint:
+		return "instruction breakpoints"
+	}
+	return "none"
+}
+
+// SelectMechanism chooses the trap primitive for a required trap
+// granularity of gran bytes, per Section 3.2: page valid bits for large
+// (page-size) granularities, ECC traps (or breakpoints as fallback) for
+// line-size granularities. An error explains why no mechanism fits.
+func SelectMechanism(p *Processor, gran int) (Mechanism, error) {
+	if gran <= 0 {
+		return MechNone, fmt.Errorf("arch: invalid trap granularity %d", gran)
+	}
+	if gran >= p.PageSizes[0] {
+		if p.Has(OpInvalidPageTraps) {
+			return MechPageValid, nil
+		}
+		return MechNone, fmt.Errorf("arch: %s lacks invalid-page traps", p.Name)
+	}
+	if p.Has(OpECCTraps) {
+		if p.ECCCheckGranularity > 0 && gran%p.ECCCheckGranularity != 0 {
+			return MechNone, fmt.Errorf(
+				"arch: %s checks ECC on %d-byte refills; granularity %d is not a multiple",
+				p.Name, p.ECCCheckGranularity, gran)
+		}
+		return MechECC, nil
+	}
+	if p.Has(OpInstrBreakpoint) {
+		return MechBreakpoint, nil
+	}
+	return MechNone, fmt.Errorf("arch: %s supports no fine-grained trap mechanism", p.Name)
+}

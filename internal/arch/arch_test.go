@@ -1,0 +1,167 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable12Shape(t *testing.T) {
+	procs := Table12()
+	if len(procs) != 10 {
+		t.Fatalf("Table 12 has %d processors, want 10", len(procs))
+	}
+	for _, p := range procs {
+		if len(p.Ops) != int(numOps) {
+			t.Errorf("%s: %d ops recorded, want %d", p.Name, len(p.Ops), numOps)
+		}
+		if len(p.PageSizes) == 0 {
+			t.Errorf("%s: no page sizes", p.Name)
+		}
+	}
+}
+
+// TestTable12PaperEntries spot-checks cells against the paper's table.
+func TestTable12PaperEntries(t *testing.T) {
+	cases := []struct {
+		proc string
+		op   Op
+		want Support
+	}{
+		{"MIPS R3000", OpECCTraps, Yes},
+		{"MIPS R3000", OpVariablePageSize, No},
+		{"MIPS R3000", OpInstrCounter, No},
+		{"MIPS R4000", OpVariablePageSize, Yes},
+		{"DEC Alpha", OpInstrCounter, Yes},
+		{"Tera", OpDataBreakpoint, Yes},
+		{"Intel i486", OpECCTraps, Unknown},
+		{"Intel i486", OpInvalidPageTraps, Yes},
+		{"Intel Pentium", OpECCTraps, Yes},
+		{"Intel Pentium", OpInstrCounter, Yes},
+		{"HP PA-RISC", OpDataBreakpoint, No},
+		{"PowerPC", OpVariablePageSize, Yes},
+	}
+	for _, c := range cases {
+		p, err := ByName(c.proc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Ops[c.op]; got != c.want {
+			t.Errorf("%s / %s: got %v want %v", c.proc, c.op, got, c.want)
+		}
+	}
+}
+
+func TestOnlyTeraHasDataBreakpoints(t *testing.T) {
+	// A striking row of Table 12: every surveyed processor except Tera
+	// lacks data breakpoints, which is why ECC tricks are needed at all.
+	for _, p := range Table12() {
+		want := No
+		if p.Name == "Tera" {
+			want = Yes
+		}
+		if p.Ops[OpDataBreakpoint] != want {
+			t.Errorf("%s data breakpoints = %v, want %v",
+				p.Name, p.Ops[OpDataBreakpoint], want)
+		}
+	}
+}
+
+func TestEveryProcessorHasInvalidPageTraps(t *testing.T) {
+	// TLB simulation is portable everywhere: the Invalid Page Traps row of
+	// Table 12 is all Yes.
+	for _, p := range Table12() {
+		if !p.Has(OpInvalidPageTraps) {
+			t.Errorf("%s lacks invalid-page traps", p.Name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("VAX")
+	if err == nil {
+		t.Fatal("expected error for unknown processor")
+	}
+	if !strings.Contains(err.Error(), "VAX") {
+		t.Errorf("error should name the unknown processor: %v", err)
+	}
+}
+
+func TestSelectMechanismPageGranularity(t *testing.T) {
+	// TLB simulation (page granularity) should use page valid bits on
+	// every port, including the i486 where it is the only option.
+	for _, name := range []string{"MIPS R3000", "Intel i486", "DEC Alpha"} {
+		p, _ := ByName(name)
+		m, err := SelectMechanism(p, p.PageSizes[0])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m != MechPageValid {
+			t.Errorf("%s page-granularity mechanism = %v, want page valid bits", name, m)
+		}
+	}
+}
+
+func TestSelectMechanismLineGranularity(t *testing.T) {
+	r3000, _ := ByName("MIPS R3000")
+	m, err := SelectMechanism(r3000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MechECC {
+		t.Errorf("R3000 16-byte mechanism = %v, want ECC", m)
+	}
+	// The DECstation checks ECC on 4-word refills, so simulated line sizes
+	// must be multiples of 16 bytes (Section 4.4).
+	if _, err := SelectMechanism(r3000, 8); err == nil {
+		t.Error("8-byte lines should be rejected on the R3000 port")
+	}
+	if _, err := SelectMechanism(r3000, 32); err != nil {
+		t.Errorf("32-byte lines should be accepted: %v", err)
+	}
+}
+
+func TestSelectMechanismI486FallsBackToBreakpoints(t *testing.T) {
+	i486, _ := ByName("Intel i486")
+	m, err := SelectMechanism(i486, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MechBreakpoint {
+		t.Errorf("i486 line-granularity mechanism = %v, want breakpoints", m)
+	}
+}
+
+func TestSelectMechanismRejectsBadGranularity(t *testing.T) {
+	p, _ := ByName("MIPS R3000")
+	if _, err := SelectMechanism(p, 0); err == nil {
+		t.Error("granularity 0 should be rejected")
+	}
+	if _, err := SelectMechanism(p, -16); err == nil {
+		t.Error("negative granularity should be rejected")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if OpECCTraps.String() != "Memory Parity or ECC Traps" {
+		t.Error("op label mismatch with Table 12 row")
+	}
+	if Unknown.String() != "" {
+		t.Error("unknown support should render as a blank cell")
+	}
+	if MechECC.String() == "" || MechNone.String() == "" {
+		t.Error("mechanisms must have names")
+	}
+}
+
+func TestSPARCAllocateOnWrite(t *testing.T) {
+	// The WWT comparison (Section 2/4.4): allocate-on-write SPARC systems
+	// permit data-cache simulation; the no-allocate R3000 does not.
+	sparc, _ := ByName("SPARC")
+	r3000, _ := ByName("MIPS R3000")
+	if !sparc.AllocateOnWrite {
+		t.Error("SPARC should allocate on write (CM-5/WWT)")
+	}
+	if r3000.AllocateOnWrite {
+		t.Error("R3000 DECstation is no-allocate-on-write")
+	}
+}

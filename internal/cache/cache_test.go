@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+)
+
+func dmCache(size, lineSize int) *Cache {
+	return MustNew(Config{Size: size, LineSize: lineSize, Assoc: 1}, nil)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Size: 4096, LineSize: 16, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bads := []Config{
+		{Size: 0, LineSize: 16, Assoc: 1},
+		{Size: 3000, LineSize: 16, Assoc: 1},
+		{Size: 4096, LineSize: 0, Assoc: 1},
+		{Size: 4096, LineSize: 24, Assoc: 1},
+		{Size: 16, LineSize: 32, Assoc: 1},
+		{Size: 4096, LineSize: 16, Assoc: -1},
+		{Size: 4096, LineSize: 16, Assoc: 1000},
+		{Size: 4096, LineSize: 16, Assoc: 3}, // 256 lines not divisible by 3
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := Config{Size: 8192, LineSize: 16, Assoc: 2}
+	if c.Lines() != 512 || c.Ways() != 2 || c.Sets() != 256 {
+		t.Fatalf("lines/ways/sets = %d/%d/%d", c.Lines(), c.Ways(), c.Sets())
+	}
+	fa := Config{Size: 1024, LineSize: 16, Assoc: 0}
+	if fa.Ways() != 64 || fa.Sets() != 1 {
+		t.Fatalf("fully associative geometry wrong: ways=%d sets=%d", fa.Ways(), fa.Sets())
+	}
+}
+
+func TestRandomNeedsSource(t *testing.T) {
+	_, err := New(Config{Size: 1024, LineSize: 16, Assoc: 1, Replace: Random}, nil)
+	if err == nil {
+		t.Fatal("Random replacement without source should fail")
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := dmCache(1024, 16)
+	if hit, _, _ := c.Access(1, 0x100); hit {
+		t.Fatal("first access should miss")
+	}
+	if hit, _, _ := c.Access(1, 0x10c); !hit {
+		t.Fatal("same-line access should hit")
+	}
+	if hit, _, _ := c.Access(1, 0x110); hit {
+		t.Fatal("next line should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := dmCache(1024, 16) // 64 sets
+	a, b := uint32(0x0000), uint32(0x0400)
+	if c.SetIndex(a) != c.SetIndex(b) {
+		t.Fatal("test addresses should conflict")
+	}
+	c.Access(1, a)
+	_, displaced, evicted := c.Access(1, b)
+	if !evicted || displaced.Addr != a {
+		t.Fatalf("expected eviction of %#x, got %+v evicted=%v", a, displaced, evicted)
+	}
+	if hit, _, _ := c.Access(1, a); hit {
+		t.Fatal("displaced line should miss")
+	}
+}
+
+func TestTwoWayAvoidsConflict(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 2}, nil)
+	a, b := uint32(0x0000), uint32(0x0400)
+	c.Access(1, a)
+	c.Access(1, b)
+	if hit, _, _ := c.Access(1, a); !hit {
+		t.Fatal("2-way cache should retain both conflicting lines")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way set: fill with A, B; touch A; insert C -> B must be evicted.
+	c := MustNew(Config{Size: 64, LineSize: 16, Assoc: 2}, nil) // 2 sets
+	a, b1, d := uint32(0x00), uint32(0x40), uint32(0x80)        // all set 0
+	if c.SetIndex(a) != c.SetIndex(b1) || c.SetIndex(a) != c.SetIndex(d) {
+		t.Fatal("addresses should share a set")
+	}
+	c.Access(1, a)
+	c.Access(1, b1)
+	c.Access(1, a) // A most recent
+	_, victim, evicted := c.Access(1, d)
+	if !evicted || victim.Addr != b1 {
+		t.Fatalf("LRU should evict B (%#x), got %+v", b1, victim)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := MustNew(Config{Size: 64, LineSize: 16, Assoc: 2, Replace: FIFO}, nil)
+	a, b1, d := uint32(0x00), uint32(0x40), uint32(0x80)
+	c.Access(1, a)
+	c.Access(1, b1)
+	c.Access(1, a) // touching A must NOT save it under FIFO
+	_, victim, evicted := c.Access(1, d)
+	if !evicted || victim.Addr != a {
+		t.Fatalf("FIFO should evict A (%#x), got %+v", a, victim)
+	}
+}
+
+func TestRandomReplacementStaysInSet(t *testing.T) {
+	r := rng.New(1)
+	c := MustNew(Config{Size: 128, LineSize: 16, Assoc: 4, Replace: Random}, r)
+	// Fill one set (set 0 of 2) with 4 lines, then insert more.
+	addrs := []uint32{0x00, 0x20, 0x40, 0x60, 0x80, 0xa0}
+	for _, a := range addrs {
+		_, victim, evicted := c.Access(1, a)
+		if evicted && c.SetIndex(victim.Addr) != c.SetIndex(a) {
+			t.Fatalf("victim %#x from wrong set", victim.Addr)
+		}
+	}
+	if c.Len() > 8 {
+		t.Fatalf("occupancy %d exceeds capacity", c.Len())
+	}
+}
+
+func TestVirtualIndexingTagsByTask(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 1, Indexing: VirtIndexed}, nil)
+	c.Access(1, 0x100)
+	if hit, _, _ := c.Access(2, 0x100); hit {
+		t.Fatal("different tasks must not share virtually-indexed lines")
+	}
+}
+
+func TestPhysicalIndexingIgnoresTask(t *testing.T) {
+	c := dmCache(1024, 16) // physical by default
+	c.Access(1, 0x100)
+	if hit, _, _ := c.Access(2, 0x100); !hit {
+		t.Fatal("physically-indexed lines are shared across tasks")
+	}
+}
+
+func TestInsertIsTwReplace(t *testing.T) {
+	// Insert must behave like Access-on-known-miss: same tag-store state.
+	c1 := dmCache(256, 16)
+	c2 := dmCache(256, 16)
+	addrs := []uint32{0x00, 0x10, 0x100, 0x00, 0x110, 0x10}
+	for _, a := range addrs {
+		hit, d1, e1 := c1.Access(1, a)
+		if !hit {
+			d2, e2 := c2.Insert(1, a)
+			if d1 != d2 || e1 != e2 {
+				t.Fatalf("Insert diverged from Access at %#x: %+v/%v vs %+v/%v",
+					a, d1, e1, d2, e2)
+			}
+		}
+	}
+	k1, k2 := c1.Keys(), c2.Keys()
+	if len(k1) != len(k2) {
+		t.Fatalf("contents diverged: %d vs %d lines", len(k1), len(k2))
+	}
+}
+
+func TestInsertRefreshesResidentLine(t *testing.T) {
+	c := MustNew(Config{Size: 64, LineSize: 16, Assoc: 2}, nil)
+	c.Insert(1, 0x00)
+	c.Insert(1, 0x40)
+	c.Insert(1, 0x00) // refresh A
+	victim, _ := c.Insert(1, 0x80)
+	if victim.Addr != 0x40 {
+		t.Fatalf("refresh by Insert ignored; victim %#x", victim.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := dmCache(1024, 16)
+	c.Access(1, 0x200)
+	if !c.Invalidate(1, 0x20c) { // same line
+		t.Fatal("Invalidate missed resident line")
+	}
+	if c.Invalidate(1, 0x200) {
+		t.Fatal("double Invalidate should report absence")
+	}
+	if hit, _, _ := c.Access(1, 0x200); hit {
+		t.Fatal("invalidated line still hits")
+	}
+}
+
+func TestInvalidateRangeFlushesPage(t *testing.T) {
+	c := dmCache(8192, 16)
+	for a := uint32(0x1000); a < 0x2000; a += 16 {
+		c.Access(1, a)
+	}
+	before := c.Len()
+	removed := c.InvalidateRange(1, 0x1000, 4096)
+	if len(removed) != 256 {
+		t.Fatalf("removed %d lines, want 256", len(removed))
+	}
+	if c.Len() != before-256 {
+		t.Fatalf("occupancy %d after flush", c.Len())
+	}
+}
+
+func TestInvalidateTask(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 2, Indexing: VirtIndexed}, nil)
+	c.Access(1, 0x100)
+	c.Access(1, 0x200)
+	c.Access(2, 0x300)
+	removed := c.InvalidateTask(1)
+	if len(removed) != 2 {
+		t.Fatalf("removed %d lines for task 1, want 2", len(removed))
+	}
+	if !c.Probe(2, 0x300) {
+		t.Fatal("task 2 lines must survive task 1 flush")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := dmCache(1024, 16)
+	for a := uint32(0); a < 512; a += 16 {
+		c.Access(1, a)
+	}
+	c.Flush()
+	if c.Len() != 0 || len(c.Keys()) != 0 {
+		t.Fatal("flush left lines resident")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := MustNew(Config{Size: 64, LineSize: 16, Assoc: 2}, nil)
+	c.Access(1, 0x00)
+	c.Access(1, 0x40)
+	c.Probe(1, 0x00) // must NOT refresh LRU
+	_, victim, _ := c.Access(1, 0x80)
+	if victim.Addr != 0x00 {
+		t.Fatalf("Probe refreshed LRU state; victim %#x", victim.Addr)
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 3 {
+		t.Fatalf("Probe counted in stats: %d/%d", hits, misses)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	c := Config{Size: 16384, LineSize: 16, Assoc: 1}
+	if got := c.String(); got != "16K/16B/1-way physical lru" {
+		t.Errorf("String() = %q", got)
+	}
+	c2 := Config{Size: 1 << 20, LineSize: 32, Assoc: 0, Indexing: VirtIndexed, Replace: FIFO}
+	if got := c2.String(); got != "1M/32B/32768-way virtual fifo" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// lruModel is a straightforward reference implementation: a slice ordered
+// by recency, per set, used to cross-check the tag store under random
+// workloads (property-based differential test).
+type lruModel struct {
+	ways int
+	sets map[int][]Key
+	cfg  Config
+}
+
+func (m *lruModel) access(c *Cache, task mem.TaskID, addr uint32) (hit bool, victim Key, evicted bool) {
+	si := c.SetIndex(addr)
+	k := Key{Addr: addr &^ uint32(m.cfg.LineSize-1)}
+	if m.cfg.Indexing == VirtIndexed {
+		k.Task = task
+	}
+	set := m.sets[si]
+	for i, e := range set {
+		if e == k {
+			set = append(append(append([]Key{}, set[:i]...), set[i+1:]...), k)
+			m.sets[si] = set
+			return true, Key{}, false
+		}
+	}
+	if len(set) == m.ways {
+		victim, evicted = set[0], true
+		set = set[1:]
+	}
+	m.sets[si] = append(set, k)
+	return false, victim, evicted
+}
+
+func TestLRUAgainstReferenceModel(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		cfg := Config{Size: 512, LineSize: 16, Assoc: 4}
+		c := MustNew(cfg, nil)
+		m := &lruModel{ways: 4, sets: map[int][]Key{}, cfg: cfg}
+		r := rng.New(seed)
+		for i := 0; i < int(n%2000)+50; i++ {
+			addr := uint32(r.Intn(4096)) &^ 3
+			h1, v1, e1 := c.Access(1, addr)
+			h2, v2, e2 := m.access(c, 1, addr)
+			if h1 != h2 || e1 != e2 || (e1 && v1 != v2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := MustNew(Config{Size: 1024, LineSize: 32, Assoc: 2}, nil)
+		for i := 0; i < 3000; i++ {
+			c.Access(mem.TaskID(r.Intn(3)), uint32(r.Intn(1<<16)))
+			if c.Len() > c.Config().Lines() {
+				return false
+			}
+		}
+		return c.Len() == len(c.Keys())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

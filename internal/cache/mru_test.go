@@ -1,0 +1,59 @@
+package cache
+
+import "testing"
+
+// The MRU fast path in Access must be invisible: identical results to a
+// cache without it. These tests target the hazards of caching a line
+// pointer (invalidation, overwrite, task-tag changes).
+
+func TestMRUInvalidationDetected(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 1}, nil)
+	c.Access(1, 0x100)
+	c.Access(1, 0x100) // MRU primed
+	c.Invalidate(1, 0x100)
+	if hit, _, _ := c.Access(1, 0x100); hit {
+		t.Fatal("stale MRU pointer produced a hit after invalidation")
+	}
+}
+
+func TestMRUOverwriteDetected(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 1}, nil)
+	c.Access(1, 0x100)
+	c.Access(1, 0x100)       // MRU -> line for 0x100
+	c.Access(1, 0x100+0x400) // conflicting address overwrites that way
+	if hit, _, _ := c.Access(1, 0x100); hit {
+		t.Fatal("stale MRU pointer hit after its line was overwritten")
+	}
+}
+
+func TestMRUFlushDetected(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 1}, nil)
+	c.Access(1, 0x200)
+	c.Access(1, 0x200)
+	c.Flush()
+	if hit, _, _ := c.Access(1, 0x200); hit {
+		t.Fatal("stale MRU pointer hit after flush")
+	}
+}
+
+func TestMRUTaskTagRespected(t *testing.T) {
+	c := MustNew(Config{Size: 1024, LineSize: 16, Assoc: 1, Indexing: VirtIndexed}, nil)
+	c.Access(1, 0x300)
+	c.Access(1, 0x300)
+	if hit, _, _ := c.Access(2, 0x300); hit {
+		t.Fatal("MRU fast path ignored the task tag")
+	}
+}
+
+func TestMRUUpdatesLRUStamps(t *testing.T) {
+	// Repeated MRU hits must refresh recency, or LRU would rot into FIFO.
+	c := MustNew(Config{Size: 64, LineSize: 16, Assoc: 2}, nil)
+	c.Access(1, 0x00)
+	c.Access(1, 0x40)
+	c.Access(1, 0x00)
+	c.Access(1, 0x00) // MRU hits; A must remain most-recent
+	_, victim, _ := c.Access(1, 0x80)
+	if victim.Addr != 0x40 {
+		t.Fatalf("LRU ordering lost through MRU path: victim %#x", victim.Addr)
+	}
+}

@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"fmt"
+
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+)
+
+// TLBConfig describes a simulated translation lookaside buffer. The first
+// generation of Tapeworm was exactly this simulator, intercepting the
+// R2000's software-managed TLB miss handlers [Nagle93, Uhlig94a]; Tapeworm
+// II retains the capability with page-valid-bit traps.
+type TLBConfig struct {
+	Name     string
+	Entries  int         // total entries
+	Assoc    int         // ways; 0 = fully associative (the R3000 TLB is)
+	PageSize int         // bytes mapped per entry
+	Replace  Replacement // R3000 uses random via the hardware index register
+	Reserved int         // low entries wired for the kernel (R3000: 8)
+}
+
+// Validate checks structural constraints.
+func (c TLBConfig) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("tlb: entry count %d must be a positive power of two", c.Entries)
+	}
+	if c.PageSize <= 0 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("tlb: page size %d must be a positive power of two", c.PageSize)
+	}
+	if c.Assoc < 0 || c.Assoc > c.Entries {
+		return fmt.Errorf("tlb: associativity %d invalid for %d entries", c.Assoc, c.Entries)
+	}
+	if c.Assoc != 0 && c.Entries%c.Assoc != 0 {
+		return fmt.Errorf("tlb: %d entries not divisible by associativity %d", c.Entries, c.Assoc)
+	}
+	if c.Reserved < 0 || c.Reserved >= c.Entries {
+		return fmt.Errorf("tlb: reserved count %d out of range", c.Reserved)
+	}
+	return nil
+}
+
+// R3000TLB returns the configuration of the MIPS R3000's TLB: 64 entries,
+// fully associative, 4 KB pages, random replacement among the unwired
+// entries, 8 entries wired for the kernel.
+func R3000TLB() TLBConfig {
+	return TLBConfig{
+		Name: "R3000", Entries: 64, Assoc: 0, PageSize: 4096,
+		Replace: Random, Reserved: 8,
+	}
+}
+
+// TLB is a simulated translation lookaside buffer. Mechanically it is a
+// cache whose "line size" is the page size and whose keys are (task,
+// virtual page number); it is separate from Cache because TLBs have
+// wired/reserved entries and are consulted by virtual address only.
+type TLB struct {
+	cfg   TLBConfig
+	inner *Cache
+	wired map[Key]bool // pages pinned in reserved entries
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB builds a TLB from cfg.
+func NewTLB(cfg TLBConfig, rnd *rng.Source) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner, err := New(Config{
+		Name:     cfg.Name,
+		Size:     cfg.Entries * cfg.PageSize,
+		LineSize: cfg.PageSize,
+		Assoc:    cfg.Assoc,
+		Indexing: VirtIndexed,
+		Replace:  cfg.Replace,
+	}, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &TLB{cfg: cfg, inner: inner, wired: make(map[Key]bool)}, nil
+}
+
+// MustNewTLB is NewTLB but panics on configuration error.
+func MustNewTLB(cfg TLBConfig, rnd *rng.Source) *TLB {
+	t, err := NewTLB(cfg, rnd)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+func (t *TLB) pageAddr(va mem.VAddr) uint32 {
+	return uint32(va) &^ uint32(t.cfg.PageSize-1)
+}
+
+// Probe reports whether a translation for (task, va) is resident.
+func (t *TLB) Probe(task mem.TaskID, va mem.VAddr) bool {
+	return t.inner.Probe(task, t.pageAddr(va))
+}
+
+// Access simulates one translation. On a miss the mapping is inserted and
+// any displaced mapping returned; wired mappings are never displaced (they
+// are re-inserted immediately, evicting the next victim).
+func (t *TLB) Access(task mem.TaskID, va mem.VAddr) (hit bool, displaced Key, evicted bool) {
+	hit, displaced, evicted = t.inner.Access(task, t.pageAddr(va))
+	if hit {
+		t.hits++
+		return hit, Key{}, false
+	}
+	t.misses++
+	for evicted && t.wired[displaced] {
+		// The victim was a wired entry; put it back and evict another.
+		displaced, evicted = t.inner.Insert(displaced.Task, displaced.Addr)
+	}
+	return hit, displaced, evicted
+}
+
+// Insert is the tw_replace path: the miss is already known (a page-valid
+// trap fired), so insert without searching. Returns the displaced mapping.
+func (t *TLB) Insert(task mem.TaskID, va mem.VAddr) (displaced Key, evicted bool) {
+	t.misses++
+	displaced, evicted = t.inner.Insert(task, t.pageAddr(va))
+	for evicted && t.wired[displaced] {
+		displaced, evicted = t.inner.Insert(displaced.Task, displaced.Addr)
+	}
+	return displaced, evicted
+}
+
+// Wire pins the translation for (task, va), inserting it if necessary.
+// Wired translations model the R3000's reserved kernel entries. Wiring
+// more pages than Reserved allows is an error.
+func (t *TLB) Wire(task mem.TaskID, va mem.VAddr) error {
+	k := Key{Task: task, Addr: t.pageAddr(va)}
+	if t.wired[k] {
+		return nil
+	}
+	if len(t.wired) >= t.cfg.Reserved {
+		return fmt.Errorf("tlb: all %d reserved entries wired", t.cfg.Reserved)
+	}
+	t.inner.Insert(task, t.pageAddr(va))
+	t.wired[k] = true
+	return nil
+}
+
+// InvalidateTask drops all translations for task (e.g., at task exit).
+func (t *TLB) InvalidateTask(task mem.TaskID) []Key {
+	removed := t.inner.InvalidateTask(task)
+	for _, k := range removed {
+		delete(t.wired, k)
+	}
+	return removed
+}
+
+// InvalidatePage drops the translation of the page at va for task.
+func (t *TLB) InvalidatePage(task mem.TaskID, va mem.VAddr) bool {
+	k := Key{Task: task, Addr: t.pageAddr(va)}
+	delete(t.wired, k)
+	return t.inner.Invalidate(task, t.pageAddr(va))
+}
+
+// Flush empties the TLB (e.g., on a full context-switch flush policy).
+func (t *TLB) Flush() {
+	t.inner.Flush()
+	t.wired = make(map[Key]bool)
+}
+
+// Len returns the number of resident translations.
+func (t *TLB) Len() int { return t.inner.Len() }
+
+// Stats returns cumulative hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// ResetStats zeroes the counters without touching contents.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// Keys lists resident translations for invariant checks.
+func (t *TLB) Keys() []Key { return t.inner.Keys() }
+
+// SetIndex returns the TLB set a virtual address maps to; set-sampling
+// layers use it to decide sample membership without touching the store.
+func (t *TLB) SetIndex(va mem.VAddr) int { return t.inner.SetIndex(t.pageAddr(va)) }
+
+// SetCount returns the number of sets (1 for a fully-associative TLB).
+func (t *TLB) SetCount() int { return t.inner.NumSets() }

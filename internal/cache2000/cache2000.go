@@ -1,0 +1,217 @@
+// Package cache2000 models the Cache2000 memory simulator [MIPS88], the
+// trace-driven baseline of the paper's comparison. Its core loop is the
+// left side of Figure 1: for every address in the trace — hit or miss —
+// search a software cache model, and replace on a miss. The per-address
+// processing cost is what trap-driven simulation avoids paying for hits;
+// with Tapeworm's 246-cycle handler, the break-even is about 4 hits per
+// miss (Table 5).
+//
+// Unlike Tapeworm, a trace-driven simulator is easily extended beyond
+// caches; the WriteBuffer model here demonstrates the flexibility gap of
+// Section 4.4 (write buffers cannot be simulated by traps at all).
+package cache2000
+
+import (
+	"fmt"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/trace"
+)
+
+// Per-address processing costs in cycles. A hit is a search; a miss also
+// runs the replacement policy and allocates. Together with Pixie's 15-
+// cycle generation cost, a hit costs 62 cycles per address, giving the
+// paper's ~4:1 hits-per-miss break-even against the 246-cycle trap.
+const (
+	HitCycles  = 47
+	MissCycles = 190
+)
+
+// Config selects what the simulator models per trace entry.
+type Config struct {
+	Cache cache.Config
+	// Kinds restricts processing to matching reference kinds; nil means
+	// all. I-cache studies pass {IFetch}.
+	Kinds []mem.RefKind
+	// Seed drives Random replacement.
+	Seed uint64
+	// WriteBuffer, when non-nil, also simulates a store buffer.
+	WriteBuffer *WriteBufferConfig
+}
+
+// Simulator is a trace-driven cache simulator.
+type Simulator struct {
+	cfg  Config
+	c    *cache.Cache
+	wb   *WriteBuffer
+	want [3]bool
+
+	hits, misses uint64
+	cycles       uint64 // simulation processing cycles consumed
+
+	// mach, when set, receives processing cycles as they accrue
+	// (on-the-fly mode); otherwise cycles accumulate locally (batch mode,
+	// where the simulation runs after the workload completes).
+	m *mach.Machine
+}
+
+// New builds a Simulator; the returned simulator runs in batch mode until
+// BindMachine attaches it to a machine for on-the-fly accounting.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, c: cache.MustNew(cfg.Cache, rng.New(cfg.Seed).Split("c2k"))}
+	if cfg.Kinds == nil {
+		s.want = [3]bool{true, true, true}
+	} else {
+		for _, k := range cfg.Kinds {
+			s.want[k] = true
+		}
+	}
+	if cfg.WriteBuffer != nil {
+		wb, err := NewWriteBuffer(*cfg.WriteBuffer)
+		if err != nil {
+			return nil, err
+		}
+		s.wb = wb
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BindMachine switches the simulator to on-the-fly mode: processing
+// cycles are charged to m's clock as overhead, dilating time exactly as
+// running Pixie+Cache2000 on the host would.
+func (s *Simulator) BindMachine(m *mach.Machine) { s.m = m }
+
+// Consume implements pixie.Consumer.
+func (s *Simulator) Consume(e trace.Entry) { s.Process(e) }
+
+// Process simulates one trace entry.
+func (s *Simulator) Process(e trace.Entry) {
+	if !s.want[e.Kind] {
+		return
+	}
+	var cost uint64
+	hit, _, _ := s.c.Access(0, uint32(e.VA))
+	if hit {
+		s.hits++
+		cost = HitCycles
+	} else {
+		s.misses++
+		cost = MissCycles
+	}
+	if s.wb != nil && e.Kind == mem.Store {
+		cost += s.wb.Store()
+	} else if s.wb != nil {
+		s.wb.Advance(1)
+	}
+	s.cycles += cost
+	if s.m != nil {
+		s.m.ChargeOverhead(cost)
+	}
+}
+
+// Run processes an entire buffered trace (batch mode).
+func (s *Simulator) Run(b *trace.Buffer) {
+	for _, e := range b.Entries() {
+		s.Process(e)
+	}
+}
+
+// Hits returns the hit count.
+func (s *Simulator) Hits() uint64 { return s.hits }
+
+// Misses returns the miss count.
+func (s *Simulator) Misses() uint64 { return s.misses }
+
+// Processed returns the number of addresses simulated.
+func (s *Simulator) Processed() uint64 { return s.hits + s.misses }
+
+// Cycles returns total processing cycles consumed.
+func (s *Simulator) Cycles() uint64 { return s.cycles }
+
+// MissRatio returns misses over processed addresses.
+func (s *Simulator) MissRatio() float64 {
+	if p := s.Processed(); p > 0 {
+		return float64(s.misses) / float64(p)
+	}
+	return 0
+}
+
+// WriteBuffer reports the write-buffer model, if configured.
+func (s *Simulator) WriteBuffer() *WriteBuffer { return s.wb }
+
+// WriteBufferConfig sizes the store buffer model.
+type WriteBufferConfig struct {
+	Depth       int // entries
+	DrainCycles int // cycles to retire one entry to memory
+}
+
+// WriteBuffer simulates a FIFO store buffer: stores enter if a slot is
+// free, otherwise the processor stalls until one drains. Queues that hold
+// their contents only briefly have no analogue in trap-driven simulation
+// — "write buffers ... cannot be simulated with the Tapeworm algorithm"
+// (Section 4.4) — so this model exists only on the trace-driven side.
+type WriteBuffer struct {
+	cfg      WriteBufferConfig
+	occupied int
+	credit   int // cycles of drain progress banked
+
+	stores uint64
+	stalls uint64 // cycles stalled waiting for a slot
+}
+
+// NewWriteBuffer builds the model.
+func NewWriteBuffer(cfg WriteBufferConfig) (*WriteBuffer, error) {
+	if cfg.Depth < 1 || cfg.DrainCycles < 1 {
+		return nil, fmt.Errorf("cache2000: write buffer depth/drain must be >= 1")
+	}
+	return &WriteBuffer{cfg: cfg}, nil
+}
+
+// Advance models n cycles of drain progress while the processor does
+// other work.
+func (w *WriteBuffer) Advance(n int) {
+	w.credit += n
+	for w.occupied > 0 && w.credit >= w.cfg.DrainCycles {
+		w.credit -= w.cfg.DrainCycles
+		w.occupied--
+	}
+	if w.occupied == 0 {
+		w.credit = 0
+	}
+}
+
+// Store enqueues one store, returning stall cycles incurred (zero when a
+// slot was free).
+func (w *WriteBuffer) Store() uint64 {
+	w.stores++
+	var stall uint64
+	if w.occupied == w.cfg.Depth {
+		wait := w.cfg.DrainCycles - w.credit
+		if wait < 0 {
+			wait = 0
+		}
+		stall = uint64(wait)
+		w.stalls += stall
+		w.Advance(wait)
+	}
+	w.occupied++
+	return stall
+}
+
+// Stats returns stores issued and total stall cycles.
+func (w *WriteBuffer) Stats() (stores, stallCycles uint64) { return w.stores, w.stalls }

@@ -1,0 +1,170 @@
+package cache2000
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/trace"
+)
+
+func cfg4K() Config {
+	return Config{Cache: cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1}}
+}
+
+func TestNewValidatesCache(t *testing.T) {
+	bad := Config{Cache: cache.Config{Size: 3000, LineSize: 16, Assoc: 1}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("bad cache config accepted")
+	}
+	bad = cfg4K()
+	bad.WriteBuffer = &WriteBufferConfig{Depth: 0, DrainCycles: 10}
+	if _, err := New(bad); err == nil {
+		t.Fatal("bad write buffer accepted")
+	}
+}
+
+func TestFigure1Loop(t *testing.T) {
+	// The canonical trace-driven loop: search every address; hit or miss.
+	s := MustNew(cfg4K())
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.IFetch})
+	s.Process(trace.Entry{VA: 0x104, Kind: mem.IFetch})
+	s.Process(trace.Entry{VA: 0x100 + 4096, Kind: mem.IFetch}) // conflicts
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.IFetch})        // missed again
+	if s.Hits() != 1 || s.Misses() != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 1/3", s.Hits(), s.Misses())
+	}
+	if s.Processed() != 4 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+	if got := s.MissRatio(); got != 0.75 {
+		t.Fatalf("miss ratio = %v", got)
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	c := cfg4K()
+	c.Kinds = []mem.RefKind{mem.IFetch}
+	s := MustNew(c)
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.Load})
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.Store})
+	if s.Processed() != 0 {
+		t.Fatal("data references processed by an I-only simulation")
+	}
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.IFetch})
+	if s.Processed() != 1 {
+		t.Fatal("instruction fetch not processed")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	s := MustNew(cfg4K())
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.IFetch}) // miss
+	s.Process(trace.Entry{VA: 0x100, Kind: mem.IFetch}) // hit
+	want := uint64(MissCycles + HitCycles)
+	if s.Cycles() != want {
+		t.Fatalf("cycles = %d, want %d", s.Cycles(), want)
+	}
+}
+
+func TestRunWholeTrace(t *testing.T) {
+	var buf trace.Buffer
+	for i := 0; i < 1000; i++ {
+		buf.Append(trace.Entry{VA: mem.VAddr((i % 64) * 16), Kind: mem.IFetch})
+	}
+	s := MustNew(cfg4K())
+	s.Run(&buf)
+	if s.Processed() != 1000 {
+		t.Fatalf("processed %d", s.Processed())
+	}
+	// 64 lines fit in 4K: only compulsory misses.
+	if s.Misses() != 64 {
+		t.Fatalf("misses = %d, want 64 compulsory", s.Misses())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// "Trace-driven simulations exhibit no variance if the simulation for
+	// a given memory configuration is repeated" (Section 4.2).
+	var buf trace.Buffer
+	r := rng.New(99)
+	for i := 0; i < 5000; i++ {
+		buf.Append(trace.Entry{VA: mem.VAddr(r.Intn(1 << 16)), Kind: mem.IFetch})
+	}
+	a, b := MustNew(cfg4K()), MustNew(cfg4K())
+	a.Run(&buf)
+	b.Run(&buf)
+	if a.Misses() != b.Misses() || a.Hits() != b.Hits() {
+		t.Fatal("replaying the same trace gave different results")
+	}
+}
+
+func TestWriteBufferBasics(t *testing.T) {
+	wb, err := NewWriteBuffer(WriteBufferConfig{Depth: 2, DrainCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stall := wb.Store(); stall != 0 {
+		t.Fatalf("first store stalled %d cycles", stall)
+	}
+	if stall := wb.Store(); stall != 0 {
+		t.Fatalf("second store stalled %d cycles", stall)
+	}
+	// Buffer full: the third store must wait for one drain.
+	if stall := wb.Store(); stall == 0 {
+		t.Fatal("store into a full buffer did not stall")
+	}
+	stores, stalls := wb.Stats()
+	if stores != 3 || stalls == 0 {
+		t.Fatalf("stats = %d stores, %d stalls", stores, stalls)
+	}
+}
+
+func TestWriteBufferDrainAvoidsStalls(t *testing.T) {
+	wb, _ := NewWriteBuffer(WriteBufferConfig{Depth: 2, DrainCycles: 5})
+	for i := 0; i < 10; i++ {
+		wb.Store()
+		wb.Advance(20) // plenty of drain time between stores
+	}
+	if _, stalls := wb.Stats(); stalls != 0 {
+		t.Fatalf("well-spaced stores stalled %d cycles", stalls)
+	}
+}
+
+func TestWriteBufferOccupancyInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		wb, _ := NewWriteBuffer(WriteBufferConfig{Depth: 4, DrainCycles: 7})
+		for i := 0; i < 2000; i++ {
+			if r.Bool(0.4) {
+				wb.Store()
+			} else {
+				wb.Advance(r.Intn(20))
+			}
+			if wb.occupied < 0 || wb.occupied > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBufferInSimulator(t *testing.T) {
+	c := cfg4K()
+	c.WriteBuffer = &WriteBufferConfig{Depth: 1, DrainCycles: 50}
+	s := MustNew(c)
+	for i := 0; i < 10; i++ {
+		s.Process(trace.Entry{VA: mem.VAddr(i * 4096), Kind: mem.Store})
+	}
+	if s.WriteBuffer() == nil {
+		t.Fatal("write buffer missing")
+	}
+	if _, stalls := s.WriteBuffer().Stats(); stalls == 0 {
+		t.Fatal("back-to-back stores through a depth-1 buffer never stalled")
+	}
+}

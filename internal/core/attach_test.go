@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+)
+
+func TestAttachValidation(t *testing.T) {
+	mk := func() *kernel.Kernel { return bootDEC(t, 1, 1) }
+
+	// Bad cache geometry.
+	if _, err := Attach(mk(), Config{Mode: ModeICache,
+		Cache: cache.Config{Size: 3000, LineSize: 16, Assoc: 1}}); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+	// Line size beyond the page.
+	if _, err := Attach(mk(), Config{Mode: ModeICache,
+		Cache: cache.Config{Size: 64 << 10, LineSize: 8192, Assoc: 1}}); err == nil {
+		t.Error("line > page accepted")
+	}
+	// Line size the R3000's ECC granularity cannot express.
+	_, err := Attach(mk(), Config{Mode: ModeICache,
+		Cache: cache.Config{Size: 4 << 10, LineSize: 8, Assoc: 1}})
+	if err == nil || !strings.Contains(err.Error(), "refill") {
+		t.Errorf("8-byte lines on R3000: %v", err)
+	}
+	// Bad sampling.
+	if _, err := Attach(mk(), Config{Mode: ModeICache,
+		Cache:    cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
+		Sampling: Sampling{Num: 5, Den: 3}}); err == nil {
+		t.Error("bad sampling accepted")
+	}
+	// Bad TLB geometry.
+	if _, err := Attach(mk(), Config{Mode: ModeTLB,
+		TLB: cache.TLBConfig{Entries: 63, PageSize: 4096}}); err == nil {
+		t.Error("bad TLB geometry accepted")
+	}
+	// Unknown mode.
+	if _, err := Attach(mk(), Config{Mode: Mode(99)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestVariablePageSizeGate(t *testing.T) {
+	// Simulating 16K pages requires variable-page-size host support;
+	// the R3000 lacks it (Table 12), the R4000 would have it.
+	k := bootDEC(t, 1, 1)
+	_, err := Attach(k, Config{Mode: ModeTLB,
+		TLB: cache.TLBConfig{Entries: 64, PageSize: 16384}})
+	if err == nil || !strings.Contains(err.Error(), "variable page size") {
+		t.Fatalf("16K pages on R3000: %v", err)
+	}
+	// Page sizes below the host page are inexpressible with valid bits.
+	_, err = Attach(k, Config{Mode: ModeTLB,
+		TLB: cache.TLBConfig{Entries: 64, PageSize: 1024}})
+	if err == nil {
+		t.Fatal("sub-page TLB granularity accepted")
+	}
+}
+
+func TestKernelAttributesInTLBModeRejected(t *testing.T) {
+	k := bootDEC(t, 1, 1)
+	tw := MustAttach(k, Config{Mode: ModeTLB,
+		TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096},
+		Sampling: FullSampling()})
+	if err := tw.Attributes(mem.KernelTask, true, false); err == nil {
+		t.Fatal("kernel TLB simulation should be rejected (kseg0 is not TLB-mapped)")
+	}
+}
+
+func TestAttributesUnknownTask(t *testing.T) {
+	k := bootDEC(t, 1, 1)
+	tw := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	if err := tw.Attributes(12345, true, false); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	k := bootDEC(t, 1, 1)
+	tw := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	if tw.MechanismName() != "ECC check bits" {
+		t.Fatalf("DECstation mechanism = %q", tw.MechanismName())
+	}
+	k2 := bootDEC(t, 1, 1)
+	tlb := MustAttach(k2, Config{Mode: ModeTLB,
+		TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096},
+		Sampling: FullSampling()})
+	if tlb.MechanismName() != "page valid bits" {
+		t.Fatalf("TLB mechanism = %q", tlb.MechanismName())
+	}
+}
+
+func TestSharedPageRefcounting(t *testing.T) {
+	// A forked child sharing text must not reset traps: lines cached by
+	// the parent stay cached (the child benefits from shared entries),
+	// and the page is flushed only when the last mapping goes.
+	k := bootDEC(t, 2, 2)
+	tw := MustAttach(k, dmICache(64, cache.PhysIndexed))
+	spawnWorkload(t, k, "ousterhout", 9, true) // ChildShareText fork tree
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := tw.Stats()
+	if st.Registrations <= st.Removals-1 || st.Removals == 0 {
+		t.Fatalf("registrations %d / removals %d", st.Registrations, st.Removals)
+	}
+	if st.PagesTracked != 0 {
+		t.Fatalf("%d pages still tracked after teardown", st.PagesTracked)
+	}
+	if st.LostDisplaced > st.Misses/100 {
+		t.Fatalf("%d lost displacements out of %d misses", st.LostDisplaced, st.Misses)
+	}
+}
+
+func TestEstimatedMissesScaling(t *testing.T) {
+	k := bootDEC(t, 3, 3)
+	cfg := dmICache(4, cache.VirtIndexed)
+	cfg.Sampling = Sampling{Num: 1, Den: 4}
+	tw := MustAttach(k, cfg)
+	spawnWorkload(t, k, "espresso", 13, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tw.EstimatedMisses(), 4*float64(tw.Misses()); got != want {
+		t.Fatalf("estimate %v, want %v", got, want)
+	}
+}
+
+func TestUnifiedModeOnWWT(t *testing.T) {
+	cfg := kernel.DefaultConfig(mach.WWTNode(4096), 17)
+	k := kernel.MustBoot(cfg)
+	tw := MustAttach(k, Config{
+		Mode: ModeUnified,
+		Cache: cache.Config{Size: 16 << 10, LineSize: 32, Assoc: 2,
+			Indexing: cache.PhysIndexed},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k, "espresso", 19, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Misses() == 0 {
+		t.Fatal("unified simulation recorded no misses")
+	}
+	// Unified mode must see more misses than an I-only simulation of the
+	// same geometry (data lines compete and miss too).
+	k2 := kernel.MustBoot(kernel.DefaultConfig(mach.WWTNode(4096), 17))
+	twI := MustAttach(k2, Config{
+		Mode: ModeICache,
+		Cache: cache.Config{Size: 16 << 10, LineSize: 32, Assoc: 2,
+			Indexing: cache.PhysIndexed},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k2, "espresso", 19, true)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Misses() <= twI.Misses() {
+		t.Fatalf("unified misses %d not above I-only %d", tw.Misses(), twI.Misses())
+	}
+}
+
+func TestDoubleAttachSecondWins(t *testing.T) {
+	// Attaching twice replaces the kernel's hooks; the first simulator
+	// stops receiving traps. (Documented behaviour of SetHooks.)
+	k := bootDEC(t, 5, 5)
+	first := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	second := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	spawnWorkload(t, k, "espresso", 23, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if first.Misses() != 0 {
+		t.Fatalf("replaced simulator still counted %d misses", first.Misses())
+	}
+	if second.Misses() == 0 {
+		t.Fatal("active simulator counted nothing")
+	}
+}

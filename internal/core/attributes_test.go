@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+)
+
+// TestAttributeClearedMidRunDoesNotLeak: tw_attributes may clear a task's
+// simulate bit after its pages were registered (Table 1 allows any
+// transition). The VM system still reports the unmappings at exit, so the
+// simulator must not leak per-frame state — a stale entry would make the
+// frame's next owner register as "shared" and never arm traps.
+func TestAttributeClearedMidRunDoesNotLeak(t *testing.T) {
+	k := bootDEC(t, 3, 3)
+	tw := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	task := spawnWorkload(t, k, "espresso", 5, true)
+	if err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Stats().PagesTracked == 0 {
+		t.Fatal("no pages registered during warmup")
+	}
+	// The workload is de-registered mid-run.
+	if err := tw.Attributes(task.ID, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n := tw.Stats().PagesTracked; n != 0 {
+		t.Fatalf("%d pages leaked after attribute flip and exit", n)
+	}
+}
+
+// TestUnknownServiceIsAnErrorNotAPanic: a custom Program emitting a bogus
+// syscall must surface as a kernel error, like any other malformed event.
+func TestUnknownServiceIsAnErrorNotAPanic(t *testing.T) {
+	k := bootDEC(t, 7, 7)
+	MustAttach(k, dmICache(4, cache.PhysIndexed))
+	k.Spawn("bogus", &badSyscallProgram{}, true, false)
+	err := k.Run(0)
+	if err == nil {
+		t.Fatal("unknown service accepted")
+	}
+}
+
+type badSyscallProgram struct{ step int }
+
+func (p *badSyscallProgram) Next() kernel.Event {
+	p.step++
+	if p.step == 1 {
+		return kernel.Event{Kind: kernel.EvRef,
+			Ref: mem.Ref{VA: kernel.TextBase, Kind: mem.IFetch}}
+	}
+	return kernel.Event{Kind: kernel.EvSyscall, Service: kernel.ServiceID(99)}
+}

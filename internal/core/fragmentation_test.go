@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/workload"
+)
+
+// TestFragmentationIncreasesTLBMisses reproduces the Section 4.2
+// observation in miniature: on a long-running system whose servers
+// fragment their heaps, repeated runs of the same workload show a creeping
+// TLB miss rate. With fragmentation off, the rate stays flat.
+func TestFragmentationIncreasesTLBMisses(t *testing.T) {
+	perIteration := func(fragBytes int) []float64 {
+		kcfg := kernel.DefaultConfig(mach.DECstation5000_200(8192), 41)
+		kcfg.ServerFragBytesPerReq = fragBytes
+		k := kernel.MustBoot(kcfg)
+		tw := MustAttach(k, Config{
+			Mode:     ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling(),
+		})
+		for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+			if st := k.Server(kind); st != nil {
+				if err := tw.Attributes(st.ID, true, false); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		spec, err := workload.ByName("ousterhout", 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rates []float64
+		var prevM, prevI uint64
+		for i := 0; i < 4; i++ {
+			prog, err := workload.New(spec, 41+uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			k.Spawn(spec.Name, prog, true, true)
+			if err := k.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			m, in := tw.Misses()-prevM, k.Machine().Instructions()-prevI
+			prevM, prevI = tw.Misses(), k.Machine().Instructions()
+			rates = append(rates, float64(m)/float64(in))
+		}
+		return rates
+	}
+
+	frag := perIteration(256)
+	if frag[len(frag)-1] <= frag[0]*1.1 {
+		t.Errorf("fragmented system TLB rate did not creep up: %v", frag)
+	}
+
+	flat := perIteration(0)
+	if flat[len(flat)-1] > flat[0]*1.25 {
+		t.Errorf("fresh system TLB rate should stay roughly flat: %v", flat)
+	}
+}

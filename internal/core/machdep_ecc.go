@@ -1,0 +1,55 @@
+package core
+
+// This file is part of Tapeworm's machine-dependent layer (Table 11): the
+// ECC check-bit trap mechanism of the DECstation 5000/200 port. tw_set_trap
+// and tw_clear_trap are implemented by driving the memory-controller
+// ASIC's diagnostic interface, flipping the dedicated Tapeworm check bit of
+// each word; setting a trap must also flush the host cache line, or a
+// resident line would never refill and the trap would never fire.
+
+import (
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+)
+
+// trapMech abstracts how memory traps are planted — the machine-dependent
+// kernel interface of Table 1's tw_set_trap/tw_clear_trap.
+type trapMech interface {
+	// SetTrap arms [pa, pa+size) so that any use traps to the kernel.
+	SetTrap(pa mem.PAddr, size int)
+	// ClearTrap disarms [pa, pa+size).
+	ClearTrap(pa mem.PAddr, size int)
+	// SetupCycles is the overhead of arming/disarming n words.
+	SetupCycles(words int) uint64
+	// Name identifies the mechanism for reports.
+	Name() string
+}
+
+// eccMech plants traps by corrupting ECC check bits.
+type eccMech struct {
+	m *mach.Machine
+}
+
+func newECCMech(m *mach.Machine) *eccMech { return &eccMech{m: m} }
+
+// SetTrap corrupts the Tapeworm check bit of every word in the range and
+// flushes the host cache lines so the next use refills and checks ECC.
+func (e *eccMech) SetTrap(pa mem.PAddr, size int) {
+	e.m.Controller().SetTrap(pa, size)
+	e.m.FlushHostLine(pa, size)
+}
+
+// ClearTrap restores correct check bits across the range.
+func (e *eccMech) ClearTrap(pa mem.PAddr, size int) {
+	e.m.Controller().ClearTrap(pa, size)
+}
+
+// SetupCycles prices the diagnostic-register dance for n words.
+func (e *eccMech) SetupCycles(words int) uint64 {
+	// A fixed register dance plus per-word flips through the diagnostic
+	// interface of the memory ASIC.
+	return 10 + uint64(words)*registerWordCycles
+}
+
+// Name identifies the mechanism for reports.
+func (e *eccMech) Name() string { return "ECC check bits" }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+)
+
+func boot240(t *testing.T, seed uint64) *kernel.Kernel {
+	t.Helper()
+	cfg := kernel.DefaultConfig(mach.DECstation5000_240(4096), seed)
+	return kernel.MustBoot(cfg)
+}
+
+// TestSuperpageTLBOn240 exercises variable page sizes: the R4000-based
+// 5000/240 accepts 16K simulated pages (the R3000 rejects them —
+// TestVariablePageSizeGate), and larger pages extend TLB reach, missing
+// less for the same entry count [Talluri94].
+func TestSuperpageTLBOn240(t *testing.T) {
+	runWith := func(pageSize int) uint64 {
+		k := boot240(t, 61)
+		tw := MustAttach(k, Config{
+			Mode:     ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 8, PageSize: pageSize, Replace: cache.LRU},
+			Sampling: FullSampling(),
+		})
+		spawnWorkload(t, k, "mpeg_play", 67, true)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return tw.Misses()
+	}
+	base := runWith(4096)
+	superpage := runWith(16384)
+	if base == 0 || superpage == 0 {
+		t.Fatalf("misses: base %d, superpage %d", base, superpage)
+	}
+	if superpage >= base {
+		t.Fatalf("16K pages (%d misses) should beat 4K pages (%d) at equal entries",
+			superpage, base)
+	}
+}
+
+// TestDMAWorkaroundOnPredictableHost verifies the 5000/200-style bracket:
+// read/write syscalls on a machine with predictable DMA never destroy
+// traps — the kernel removes and re-registers the buffer page around each
+// transfer.
+func TestDMAWorkaroundOnPredictableHost(t *testing.T) {
+	cfg := kernel.DefaultConfig(mach.WWTNode(4096), 71) // predictable + allocate-on-write
+	k := kernel.MustBoot(cfg)
+	MustAttach(k, Config{
+		Mode: ModeUnified,
+		Cache: cache.Config{Size: 8 << 10, LineSize: 32, Assoc: 1,
+			Indexing: cache.PhysIndexed},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k, "espresso", 73, true) // espresso's mix includes reads
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	c := k.Machine().Counters()
+	if c.DMAClears != 0 || c.DMAFaults != 0 {
+		t.Fatalf("predictable-DMA host lost traps to DMA: clears=%d faults=%d",
+			c.DMAClears, c.DMAFaults)
+	}
+}
+
+// dmaVictim is a pure-load program that keeps its I/O buffer page's lines
+// *out* of a small simulated cache when read syscalls arrive: it loads the
+// buffer, evicts it with a conflicting range, and then issues a read. Each
+// read's DMA then lands on trapped words.
+type dmaVictim struct {
+	rounds int
+	step   int
+}
+
+func (p *dmaVictim) Next() kernel.Event {
+	const lines = 32
+	if p.rounds == 0 {
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	s := p.step
+	p.step++
+	switch {
+	case s < lines: // touch the buffer page
+		return loadAt(uint32(s) * 16)
+	case s < 2*lines: // evict it (same sets, 8K away, virtual indexing)
+		return loadAt(8<<10 + uint32(s-lines)*16)
+	default:
+		p.step = 0
+		p.rounds--
+		return kernel.Event{Kind: kernel.EvSyscall, Service: kernel.SvcRead}
+	}
+}
+
+func loadAt(off uint32) kernel.Event {
+	return kernel.Event{Kind: kernel.EvRef,
+		Ref: mem.Ref{VA: kernel.DataBase + mem.VAddr(off), Kind: mem.Load}}
+}
+
+// TestDMAHazardOn240 reproduces what "hindered" the 5000/240 port
+// (Section 4.3): its DMA engine rewrites ECC on writes, so cache
+// simulations silently lose traps on I/O buffers, while the predictable
+// 5000/200-style machines bracket the transfer and lose nothing.
+func TestDMAHazardOn240(t *testing.T) {
+	geom := cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+		Indexing: cache.VirtIndexed}
+
+	k := boot240(t, 79)
+	tw := MustAttach(k, Config{
+		Mode: ModeDCache, Cache: geom,
+		Sampling:         FullSampling(),
+		AllowWriteClears: true, // the R4000 DECstation is also no-allocate
+	})
+	k.Spawn("victim", &dmaVictim{rounds: 50}, true, false)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	c := k.Machine().Counters()
+	if c.DMAClears == 0 {
+		t.Fatal("no DMA trap destruction observed on the 5000/240")
+	}
+	drops := c.MaskedDrops + c.SilentClears + c.DMAClears + c.DMAFaults +
+		tw.Stats().CrossKindClears
+	if err := tw.CheckInvariant(drops); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same program on a predictable-DMA, allocate-on-write host loses
+	// nothing: the kernel brackets each transfer with
+	// tw_remove_page/tw_register_page.
+	k2 := kernel.MustBoot(kernel.DefaultConfig(mach.WWTNode(4096), 79))
+	geom2 := geom
+	geom2.LineSize = 32
+	MustAttach(k2, Config{Mode: ModeDCache, Cache: geom2, Sampling: FullSampling()})
+	k2.Spawn("victim", &dmaVictim{rounds: 50}, true, false)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c2 := k2.Machine().Counters(); c2.DMAClears != 0 || c2.DMAFaults != 0 {
+		t.Fatalf("bracketed DMA still lost traps: %+v", c2)
+	}
+}
+
+// TestTLBModeImmuneToDMA explains why TLB porting survived the 5000/240:
+// page-valid-bit traps live in page-table entries, not in memory check
+// bits, so DMA cannot destroy them.
+func TestTLBModeImmuneToDMA(t *testing.T) {
+	k := boot240(t, 83)
+	tw := MustAttach(k, Config{
+		Mode:     ModeTLB,
+		TLB:      cache.TLBConfig{Entries: 16, PageSize: 4096, Replace: cache.LRU},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k, "espresso", 73, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Misses() == 0 {
+		t.Fatal("no TLB misses")
+	}
+	if err := tw.CheckInvariant(0); err != nil {
+		t.Fatalf("DMA disturbed page-valid traps: %v", err)
+	}
+}
+
+// TestICacheOn240WithECC confirms cache simulation is mechanically
+// possible on the R4000 machine (ECC granularity 16 bytes), DMA hazards
+// aside.
+func TestICacheOn240WithECC(t *testing.T) {
+	k := boot240(t, 89)
+	tw := MustAttach(k, dmICache(4, cache.PhysIndexed))
+	if tw.MechanismName() != "ECC check bits" {
+		t.Fatalf("mechanism = %q", tw.MechanismName())
+	}
+	spawnWorkload(t, k, "espresso", 91, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Misses() == 0 {
+		t.Fatal("no misses")
+	}
+}
+
+// TestDMAMachinePrimitives checks the machine-level DMA semantics
+// directly.
+func TestDMAMachinePrimitives(t *testing.T) {
+	k := boot240(t, 97)
+	m := k.Machine()
+	ctl := m.Controller()
+
+	ctl.SetTrap(0x40000, 64)
+	m.DMAWrite(0x40000, 64)
+	if m.Phys().Trapped(0x40000, 64) {
+		t.Fatal("DMA write left traps standing")
+	}
+	if m.Counters().DMAClears != 16 {
+		t.Fatalf("DMAClears = %d, want 16 words", m.Counters().DMAClears)
+	}
+
+	ctl.SetTrap(0x50000, 16)
+	m.DMARead(0x50000, 16)
+	if m.Counters().DMAFaults != 4 {
+		t.Fatalf("DMAFaults = %d, want 4 words", m.Counters().DMAFaults)
+	}
+	if m.Phys().Trapped(0x50000, 16) {
+		t.Fatal("faulted DMA read must clear the trap to make progress")
+	}
+
+	// True errors are never masked by DMA writes (only the Tapeworm bit
+	// is recomputed per-word by this model's clear).
+	m.Phys().InjectError(0x60000, 20)
+	m.DMARead(0x60000, 16)
+	if m.Phys().Classify(0x60000) == mem.SynOK {
+		t.Fatal("DMA read destroyed a true error record")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// Sampling selects a subset of cache sets to simulate. Tapeworm implements
+// set sampling *in hardware, for free*: tw_register_page simply skips
+// setting traps on memory locations that map outside the sample, so
+// unsampled locations never trap and are filtered with no overhead
+// (Section 3.2). Slowdowns decrease in direct proportion to the sampled
+// fraction; measurement variance increases (Table 8).
+type Sampling struct {
+	// Num of every Den consecutive sets are sampled; Den must be a power
+	// of two no larger than the set count. Num == Den (or the zero value)
+	// disables sampling.
+	Num, Den int
+	// Offset rotates which sets fall in the sample. "Different samples
+	// can be obtained simply by changing the pattern of traps on
+	// registered Tapeworm pages" — vary Offset between trials to measure
+	// sampling variance.
+	Offset int
+}
+
+// FullSampling returns the no-sampling configuration.
+func FullSampling() Sampling { return Sampling{Num: 1, Den: 1} }
+
+// Fraction returns the sampled fraction of sets.
+func (s Sampling) Fraction() float64 {
+	if s.disabled() {
+		return 1
+	}
+	return float64(s.Num) / float64(s.Den)
+}
+
+func (s Sampling) disabled() bool {
+	return s.Den == 0 || s.Num >= s.Den
+}
+
+// Validate checks the sampling parameters against a set count.
+func (s Sampling) Validate(numSets int) error {
+	if s.Den == 0 && s.Num == 0 {
+		return nil // zero value: no sampling
+	}
+	if s.Num < 1 || s.Den < 1 || s.Num > s.Den {
+		return fmt.Errorf("core: sampling %d/%d invalid", s.Num, s.Den)
+	}
+	if s.Num == s.Den {
+		return nil // full sampling
+	}
+	if s.Den&(s.Den-1) != 0 {
+		return fmt.Errorf("core: sampling denominator %d must be a power of two", s.Den)
+	}
+	if s.Den > numSets {
+		return fmt.Errorf("core: sampling denominator %d exceeds %d sets", s.Den, numSets)
+	}
+	return nil
+}
+
+// Sampled reports whether set index lies in the sample.
+func (s Sampling) Sampled(set int) bool {
+	if s.disabled() {
+		return true
+	}
+	return (set+s.Offset)&(s.Den-1) < s.Num
+}
+
+// String renders the sampling as the paper does ("1/8" etc.).
+func (s Sampling) String() string {
+	if s.disabled() {
+		return "1/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Num, s.Den)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/pixie"
+	"tapeworm/internal/trace"
+)
+
+// TestSamplingEquivalentToTraceFilter cross-validates the two set-sampling
+// implementations the paper contrasts (Section 3.2): Tapeworm's free
+// hardware filtering (traps armed only on sampled sets) must count exactly
+// the misses that trace-driven sampling finds by software-filtering the
+// full trace down to sampled-set addresses — because cache sets are
+// independent, both see the same per-set reference streams.
+func TestSamplingEquivalentToTraceFilter(t *testing.T) {
+	geom := cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1,
+		Indexing: cache.VirtIndexed}
+	s := Sampling{Num: 1, Den: 4, Offset: 1}
+
+	// Trap-driven run with hardware-pattern sampling.
+	k1 := bootDEC(t, 7, 7)
+	tw := MustAttach(k1, Config{Mode: ModeICache, Cache: geom, Sampling: s})
+	spawnWorkload(t, k1, "xlisp", 55, true)
+	if err := k1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trace-driven run: capture the full instruction trace, filter it to
+	// the same sample in software (paying the preprocessing cost), then
+	// simulate the filtered trace.
+	k2 := bootDEC(t, 7, 7)
+	var buf trace.Buffer
+	ann := pixie.NewCapture(k2.Machine(), &buf)
+	ann.IOnly = true
+	task := spawnWorkload(t, k2, "xlisp", 55, false)
+	ann.Annotate(k2, task.ID)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	probe := cache.MustNew(geom, nil) // geometry donor for set indexing
+	filtered, preprocessCycles := trace.FilterSample(&buf,
+		probe.SetIndex, s.Sampled)
+	c2k := cache2000.MustNew(cache2000.Config{
+		Cache: geom, Kinds: []mem.RefKind{mem.IFetch},
+	})
+	c2k.Run(filtered)
+
+	if tw.Misses() != c2k.Misses() {
+		t.Fatalf("trap-pattern sampling counted %d misses; trace-filter sampling %d",
+			tw.Misses(), c2k.Misses())
+	}
+	// The contrast the paper draws: the trace side paid to examine every
+	// address; the trap side paid nothing for the filtering.
+	if preprocessCycles < uint64(buf.Len()) {
+		t.Fatalf("preprocessing cost %d below one cycle per trace entry (%d)",
+			preprocessCycles, buf.Len())
+	}
+	if filtered.Len() >= buf.Len() {
+		t.Fatal("filter removed nothing")
+	}
+}

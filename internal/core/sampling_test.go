@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tapeworm/internal/cache"
+)
+
+func TestSamplingDefaults(t *testing.T) {
+	var zero Sampling
+	if !zero.Sampled(0) || !zero.Sampled(123) {
+		t.Fatal("zero-value sampling should sample everything")
+	}
+	if zero.Fraction() != 1 {
+		t.Fatalf("zero-value fraction = %v", zero.Fraction())
+	}
+	if FullSampling().String() != "1/1" {
+		t.Fatalf("full sampling renders as %q", FullSampling().String())
+	}
+}
+
+func TestSamplingFraction(t *testing.T) {
+	s := Sampling{Num: 1, Den: 8}
+	if s.Fraction() != 0.125 {
+		t.Fatalf("fraction = %v", s.Fraction())
+	}
+	if s.String() != "1/8" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s = Sampling{Num: 3, Den: 4}
+	if s.Fraction() != 0.75 {
+		t.Fatalf("fraction = %v", s.Fraction())
+	}
+}
+
+func TestSamplingValidate(t *testing.T) {
+	if err := (Sampling{Num: 1, Den: 8}).Validate(64); err != nil {
+		t.Fatalf("1/8 of 64 sets rejected: %v", err)
+	}
+	if err := FullSampling().Validate(4); err != nil {
+		t.Fatalf("full sampling rejected: %v", err)
+	}
+	bads := []Sampling{
+		{Num: 0, Den: 8},
+		{Num: -1, Den: 8},
+		{Num: 1, Den: 3}, // not a power of two
+		{Num: 1, Den: 128},
+	}
+	for i, s := range bads {
+		if err := s.Validate(64); err == nil {
+			t.Errorf("bad sampling %d accepted: %v", i, s)
+		}
+	}
+}
+
+func TestSampledFractionExact(t *testing.T) {
+	f := func(denPow uint8, numRaw uint8, offset uint8) bool {
+		den := 1 << (denPow%5 + 1) // 2..32
+		num := int(numRaw)%den + 1
+		s := Sampling{Num: num, Den: den, Offset: int(offset)}
+		const sets = 256
+		count := 0
+		for set := 0; set < sets; set++ {
+			if s.Sampled(set) {
+				count++
+			}
+		}
+		return count == sets*num/den
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetRotatesPattern(t *testing.T) {
+	a := Sampling{Num: 1, Den: 8, Offset: 0}
+	b := Sampling{Num: 1, Den: 8, Offset: 3}
+	var differs bool
+	for set := 0; set < 8; set++ {
+		if a.Sampled(set) != b.Sampled(set) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("offset did not change the sample pattern")
+	}
+	// Complete offset coverage samples every set exactly Num times.
+	for set := 0; set < 64; set++ {
+		n := 0
+		for off := 0; off < 8; off++ {
+			if (Sampling{Num: 1, Den: 8, Offset: off}).Sampled(set) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("set %d sampled %d times across all offsets", set, n)
+		}
+	}
+}
+
+func TestHandlerCostModel(t *testing.T) {
+	base := cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1}
+	opt := HandlerCycles(HandlerOptimized, base)
+	if opt != 246 {
+		t.Fatalf("optimized DM/4-word handler = %d cycles, want Table 5's 246", opt)
+	}
+	// Associativity slightly increases tw_replace time.
+	twoWay := base
+	twoWay.Assoc = 2
+	if HandlerCycles(HandlerOptimized, twoWay) <= opt {
+		t.Fatal("2-way handler not costlier than direct-mapped")
+	}
+	// Longer lines increase tw_set_trap/tw_clear_trap time.
+	longLine := base
+	longLine.LineSize = 64
+	if HandlerCycles(HandlerOptimized, longLine) <= opt {
+		t.Fatal("64B-line handler not costlier than 16B")
+	}
+	// The original C handler is ~8x slower; hardware assist ~5x faster.
+	c := HandlerCycles(HandlerOriginalC, base)
+	hw := HandlerCycles(HandlerHardwareAssist, base)
+	if c < 6*opt || c > 10*opt {
+		t.Fatalf("C handler %d cycles vs optimized %d: ratio off", c, opt)
+	}
+	if hw >= opt/4 {
+		t.Fatalf("hardware-assist handler %d not ~5x faster than %d", hw, opt)
+	}
+	// Hardware assist is line-size independent (single-operation traps).
+	if HandlerCycles(HandlerHardwareAssist, longLine) != hw {
+		t.Fatal("hardware-assist cost should not grow with line size")
+	}
+}
+
+func TestTable5Breakdown(t *testing.T) {
+	b := Table5Breakdown()
+	if b.Instructions() != 137 {
+		t.Fatalf("handler instructions = %d, want 137", b.Instructions())
+	}
+	if b.CyclesPerMiss != 246 {
+		t.Fatalf("cycles per miss = %d", b.CyclesPerMiss)
+	}
+	if b.KernelTrapReturn != 53 || b.TwSetTrap != 35 || b.TwClearTrap != 6 {
+		t.Fatal("component values differ from Table 5")
+	}
+}
+
+func TestModeAndHandlerStrings(t *testing.T) {
+	if ModeICache.String() != "icache" || ModeTLB.String() != "tlb" {
+		t.Fatal("mode names wrong")
+	}
+	if HandlerOptimized.String() != "optimized-assembly" ||
+		HandlerOriginalC.String() != "original-C" ||
+		HandlerHardwareAssist.String() != "hardware-assist" {
+		t.Fatal("handler names wrong")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+)
+
+func l1l2Config(l1KB, l2KB int) Config {
+	l2 := cache.Config{Size: l2KB << 10, LineSize: 16, Assoc: 2,
+		Indexing: cache.VirtIndexed}
+	return Config{
+		Mode: ModeICache,
+		Cache: cache.Config{Size: l1KB << 10, LineSize: 16, Assoc: 1,
+			Indexing: cache.VirtIndexed},
+		L2:       &l2,
+		Sampling: FullSampling(),
+	}
+}
+
+func TestTwoLevelValidation(t *testing.T) {
+	k := bootDEC(t, 1, 1)
+	cfg := l1l2Config(4, 32)
+	bad := *cfg.L2
+	bad.Size = 3000
+	cfg.L2 = &bad
+	if _, err := Attach(k, cfg); err == nil {
+		t.Fatal("invalid L2 geometry accepted")
+	}
+	// L2 smaller than L1 violates inclusion.
+	cfg = l1l2Config(32, 4)
+	if _, err := Attach(bootDEC(t, 1, 1), cfg); err == nil {
+		t.Fatal("L2 smaller than L1 accepted")
+	}
+}
+
+func TestTwoLevelCountsOverallMisses(t *testing.T) {
+	k := bootDEC(t, 3, 3)
+	tw := MustAttach(k, l1l2Config(2, 32))
+	spawnWorkload(t, k, "mpeg_play", 7, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	twoLevel := tw.Misses()
+	if twoLevel == 0 {
+		t.Fatal("no overall misses")
+	}
+
+	// A small single-level cache of the L1 geometry must miss far more:
+	// the hierarchy's L2 absorbs the L1's conflict misses invisibly.
+	k2 := bootDEC(t, 3, 3)
+	small := MustAttach(k2, Config{
+		Mode: ModeICache,
+		Cache: cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1,
+			Indexing: cache.VirtIndexed},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k2, "mpeg_play", 7, true)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if twoLevel >= small.Misses() {
+		t.Fatalf("two-level misses %d not below L1-only misses %d",
+			twoLevel, small.Misses())
+	}
+}
+
+// TestTwoLevelDegeneratesToL2 pins down an inherent property of
+// trap-driven multi-level simulation: because hits (including L1-miss/
+// L2-hit refills) are invisible, the hierarchy's countable misses are
+// exactly those of its largest level simulated alone. tw_replace can
+// maintain both tag arrays, but the trap machinery can only distinguish
+// "somewhere in the hierarchy" from "nowhere".
+func TestTwoLevelDegeneratesToL2(t *testing.T) {
+	k := bootDEC(t, 5, 5)
+	two := MustAttach(k, l1l2Config(2, 32))
+	spawnWorkload(t, k, "xlisp", 11, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := bootDEC(t, 5, 5)
+	flat := MustAttach(k2, Config{
+		Mode: ModeICache,
+		Cache: cache.Config{Size: 32 << 10, LineSize: 16, Assoc: 2,
+			Indexing: cache.VirtIndexed},
+		Sampling: FullSampling(),
+	})
+	spawnWorkload(t, k2, "xlisp", 11, true)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if two.Misses() != flat.Misses() {
+		t.Fatalf("two-level misses %d != flat-L2 misses %d", two.Misses(), flat.Misses())
+	}
+}
+
+func TestTwoLevelInvariant(t *testing.T) {
+	k := bootDEC(t, 9, 9)
+	tw := MustAttach(k, l1l2Config(1, 8))
+	spawnWorkload(t, k, "espresso", 13, true)
+	if err := k.Run(50_000); err != nil {
+		t.Fatal(err)
+	}
+	drops := k.Machine().Counters().MaskedDrops
+	if err := tw.CheckInvariant(drops); err != nil {
+		t.Fatal(err)
+	}
+	if tw.SimCacheLen() == 0 {
+		t.Fatal("hierarchy empty mid-run")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoLevelSamplingUsesL2Sets(t *testing.T) {
+	// 1/128 sampling is invalid against the 64-set L1 but valid against
+	// the 1024-set L2 — the trap-granularity level decides.
+	k := bootDEC(t, 11, 11)
+	cfg := l1l2Config(2, 32) // L1: 128 sets; L2: 1024 sets
+	cfg.Sampling = Sampling{Num: 1, Den: 256}
+	if _, err := Attach(k, cfg); err != nil {
+		t.Fatalf("L2-set sampling rejected: %v", err)
+	}
+}

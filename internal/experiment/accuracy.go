@@ -1,0 +1,410 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/core"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/stats"
+	"tapeworm/internal/workload"
+)
+
+// Table3 summarizes the workload suite (descriptions).
+func Table3(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "workload summary",
+		Columns: []string{"workload", "description"},
+		Notes: []string{
+			"synthetic reproductions parameterized to the paper's Table 3/4 characteristics",
+		},
+	}
+	for _, s := range workload.Specs(o.Scale) {
+		t.Rows = append(t.Rows, []string{s.Name, s.Description})
+	}
+	return t, nil
+}
+
+// Table4 characterizes each workload on the simulated machine: instruction
+// counts, run time, per-component instruction shares, and task counts.
+// The paper's fractions are of *time* measured by Monster; instruction
+// shares are the equivalent observable here.
+func Table4(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "table4",
+		Title: "workload and operating system summary (uninstrumented runs)",
+		Columns: []string{"workload", "instr (10^6)", "run time (s)",
+			"kernel", "BSD server", "X server", "user tasks", "task count"},
+		Notes: []string{
+			fmt.Sprintf("instruction counts are 1/%.0f of the paper's (scale divisor)", o.Scale),
+			"component percentages are instruction shares; paper reports time shares",
+		},
+	}
+	for _, spec := range workload.Specs(o.Scale) {
+		res, err := normalRun(o, spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.snap.Instructions)
+		p := func(x uint64) string { return fmt.Sprintf("%.1f%%", 100*float64(x)/total) }
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			millions(total),
+			f2(res.seconds),
+			p(res.comp[kernel.CompKernel]),
+			p(res.bsdInstr),
+			p(res.xInstr),
+			p(res.comp[kernel.CompUser]),
+			fmt.Sprint(res.tasks),
+		})
+		o.progress("table4: %s done", spec.Name)
+	}
+	return t, nil
+}
+
+// table6Cache is the configuration of Table 6: 4 KB direct-mapped,
+// 4-word lines, physically indexed.
+func table6Cache() *core.Config {
+	return dmICache(4<<10, cache.PhysIndexed, core.FullSampling())
+}
+
+// Table6 isolates the miss contributions of each workload component by
+// running it in a dedicated cache, then measures all activity sharing one
+// cache; the excess of the shared run over the sum of dedicated runs is
+// cache interference.
+func Table6(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "table6",
+		Title: "miss count (10^6) and miss ratio contributions for different workload components, 4K I-cache",
+		Columns: []string{"workload", "from traces", "user tasks", "servers",
+			"kernel", "all activity", "interference"},
+		Notes: []string{
+			"each cell: misses in millions (miss ratio vs total instructions in parentheses)",
+			"dedicated direct-mapped 4 KB cache with 4-word lines per component; All Activity shares one cache",
+			"From Traces uses Pixie+Cache2000 and is only possible for single-task workloads",
+		},
+	}
+	for _, spec := range workload.Specs(o.Scale) {
+		row := []string{spec.Name}
+
+		cell := func(misses uint64, totalInstr uint64) string {
+			return fmt.Sprintf("%s (%.3f)", millions(float64(misses)),
+				float64(misses)/float64(totalInstr))
+		}
+
+		// From traces: single-task workloads only.
+		if spec.Tasks == 1 {
+			res, err := run(runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				trace: &cache2000.Config{
+					Cache: cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
+					Kinds: []mem.RefKind{mem.IFetch},
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell(res.c2kMisses, res.snap.Instructions))
+		} else {
+			row = append(row, "")
+		}
+
+		var dedicatedSum uint64
+		for _, comp := range []struct {
+			user, servers, kern bool
+		}{{true, false, false}, {false, true, false}, {false, false, true}} {
+			res, err := run(runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw:      table6Cache(),
+				simUser: comp.user, simServers: comp.servers, simKernel: comp.kern,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell(res.twStats.Misses, res.snap.Instructions))
+			dedicatedSum += res.twStats.Misses
+		}
+
+		all, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw:      table6Cache(),
+			simUser: true, simServers: true, simKernel: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, cell(all.twStats.Misses, all.snap.Instructions))
+		var interference uint64
+		if all.twStats.Misses > dedicatedSum {
+			interference = all.twStats.Misses - dedicatedSum
+		}
+		row = append(row, cell(interference, all.snap.Instructions))
+		t.Rows = append(t.Rows, row)
+		o.progress("table6: %s done", spec.Name)
+	}
+	return t, nil
+}
+
+// sampleOffset spreads trial sample patterns evenly over the den possible
+// rotations, so that averaging across trials covers all cache sets: the
+// kernel sits at fixed physical addresses, and repeatedly sampling the
+// same sets would bias its (large) miss contribution.
+func sampleOffset(trial, den, trials int) int {
+	if trials <= 0 || den <= 1 {
+		return trial
+	}
+	step := den / trials
+	if step < 1 {
+		step = 1
+	}
+	return (trial * step) % den
+}
+
+// varianceRow renders a stats.Summary in the paper's Table 7/10 format.
+func varianceRow(name string, sum stats.Summary) []string {
+	return []string{
+		name,
+		millions(sum.Mean),
+		millions(sum.Stddev), pct(sum.StddevPct()),
+		millions(sum.Min), pct(sum.MinPct()),
+		millions(sum.Max), pct(sum.MaxPct()),
+		millions(sum.Range), pct(sum.RangePct()),
+	}
+}
+
+var varianceColumns = []string{"workload", "misses mean(10^6)", "s", "(s%)",
+	"min", "(min%)", "max", "(max%)", "range", "(range%)"}
+
+// trialsOf runs the given Tapeworm configuration over o.Trials trials,
+// varying the frame-allocator seed and the sample-pattern offset per
+// trial (the two real sources of run-to-run variation), and returns the
+// sampling-scaled miss estimates.
+func trialsOf(o Options, spec workload.Spec, mkCfg func(trial int) *core.Config,
+	all bool) ([]float64, error) {
+	out := make([]float64, 0, o.Trials)
+	for trial := 0; trial < o.Trials; trial++ {
+		res, err := run(runConfig{
+			spec: spec, seed: o.Seed,
+			pageSeed: o.Seed ^ uint64(trial+1)*0x9e3779b97f4a7c15,
+			frames:   o.Frames,
+			tw:       mkCfg(trial),
+			simUser:  true, simServers: all, simKernel: all,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res.twEst)
+	}
+	return out, nil
+}
+
+// Table7 measures total run-to-run variation: 16 K-byte physically-indexed
+// caches with 1/8 set sampling, all activity included. Both page
+// allocation and the sample pattern vary per trial, as on a real system
+// where the trap sequence is impossible to reproduce.
+func Table7(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table7",
+		Title:   fmt.Sprintf("variation in measured performance (%d trials, 1/8 sampling, 16K phys-indexed)", o.Trials),
+		Columns: varianceColumns,
+		Notes: []string{
+			"all activity (kernel and servers) included; misses are sampling-scaled estimates",
+			"physical page allocation and the sample set pattern vary per trial",
+		},
+	}
+	for _, spec := range workload.Specs(o.Scale) {
+		ests, err := trialsOf(o, spec, func(trial int) *core.Config {
+			return dmICache(16<<10, cache.PhysIndexed,
+				core.Sampling{Num: 1, Den: 8, Offset: sampleOffset(trial, 8, o.Trials)})
+		}, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, varianceRow(spec.Name, stats.Summarize(ests)))
+		o.progress("table7: %s done", spec.Name)
+	}
+	return t, nil
+}
+
+// Table8 isolates sampling-induced variation: espresso alone (no kernel or
+// servers) in virtually-indexed caches, with and without 1/8 sampling.
+// Without sampling the virtually-indexed simulation is exactly
+// reproducible and variance is zero.
+func Table8(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "espresso")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "table8",
+		Title:   fmt.Sprintf("variation due to set sampling (espresso, virtually-indexed, %d trials)", o.Trials),
+		Columns: []string{"cache size", "sampling", "misses mean(10^6)", "s(10^6)", "(s%)"},
+		Notes: []string{
+			"espresso process only; virtual indexing removes page-allocation variation",
+			"unsampled runs are exactly reproducible (zero variance)",
+		},
+	}
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+		for _, sampled := range []bool{false, true} {
+			mk := func(trial int) *core.Config {
+				s := core.FullSampling()
+				if sampled {
+					s = core.Sampling{Num: 1, Den: 8, Offset: sampleOffset(trial, 8, o.Trials)}
+				}
+				return dmICache(size, cache.VirtIndexed, s)
+			}
+			ests, err := trialsOf(o, spec, mk, false)
+			if err != nil {
+				return nil, err
+			}
+			sum := stats.Summarize(ests)
+			label := "none"
+			if sampled {
+				label = "1/8"
+			}
+			t.Rows = append(t.Rows, []string{
+				sizeKB(size), label, millions(sum.Mean), millions(sum.Stddev),
+				pct(sum.StddevPct()),
+			})
+		}
+		o.progress("table8: %s done", sizeKB(size))
+	}
+	return t, nil
+}
+
+// Table9 isolates page-allocation variation: mpeg_play alone, unsampled,
+// in physically- versus virtually-indexed caches, with the frame allocator
+// reseeded per trial. Only the physically-indexed results vary; at 4 KB
+// (one page) they cannot, because every allocation looks the same to a
+// page-sized cache.
+func Table9(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "mpeg_play")
+	if err != nil {
+		return nil, err
+	}
+	trials := o.Trials
+	if trials > 4 {
+		trials = 4 // the paper uses 4 trials here
+	}
+	t := &Table{
+		ID:      "table9",
+		Title:   fmt.Sprintf("variation due to page allocation (mpeg_play, no sampling, %d trials)", trials),
+		Columns: []string{"indexing", "cache size", "misses mean(10^6)", "s(10^6)", "(s%)"},
+		Notes: []string{
+			"page allocation cannot matter at 4K: with 4 KB pages, all allocations overlap identically",
+			"variance peaks when cache size is near the workload's text size [Kessler91]",
+		},
+	}
+	sub := o
+	sub.Trials = trials
+	for _, indexing := range []cache.Indexing{cache.PhysIndexed, cache.VirtIndexed} {
+		for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10} {
+			ests, err := trialsOf(sub, spec, func(int) *core.Config {
+				return dmICache(size, indexing, core.FullSampling())
+			}, false)
+			if err != nil {
+				return nil, err
+			}
+			sum := stats.Summarize(ests)
+			t.Rows = append(t.Rows, []string{
+				indexing.String(), sizeKB(size), millions(sum.Mean),
+				millions(sum.Stddev), pct(sum.StddevPct()),
+			})
+			o.progress("table9: %s %s done", indexing, sizeKB(size))
+		}
+	}
+	return t, nil
+}
+
+// Table10 repeats Table 7's measurement with both variance sources
+// removed: virtually-indexed caches, no sampling. What little remains
+// comes from scheduling interleaving in the shared cache.
+func Table10(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table10",
+		Title:   fmt.Sprintf("measurement variation removed (virtually-indexed, no sampling, %d trials)", o.Trials),
+		Columns: varianceColumns,
+		Notes: []string{
+			"same measurement as Table 7 but configured for virtually-indexed caches without set sampling",
+		},
+	}
+	for _, spec := range workload.Specs(o.Scale) {
+		ests, err := trialsOf(o, spec, func(int) *core.Config {
+			return dmICache(16<<10, cache.VirtIndexed, core.FullSampling())
+		}, true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, varianceRow(spec.Name, stats.Summarize(ests)))
+		o.progress("table10: %s done", spec.Name)
+	}
+	return t, nil
+}
+
+// Figure4 measures the time-dilation bias: slowing the system down raises
+// the clock-interrupt count per workload instruction, whose handler
+// pollutes the shared cache. Dilation is varied by the degree of set
+// sampling, exactly as in the paper; the least-dilated run is the 0%
+// baseline.
+func Figure4(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "mpeg_play")
+	if err != nil {
+		return nil, err
+	}
+	normal, err := normalRun(o, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "figure4",
+		Title:   "error due to time dilation (mpeg_play, all activity, 4K phys-indexed I-cache)",
+		Columns: []string{"sampling", "dilation (slowdown)", "est. misses (10^6)", "increase"},
+		Notes: []string{
+			"dilation varied by changing the degree of sampling; misses are sampling-scaled estimates",
+			"increase measured against the least-dilated configuration",
+		},
+	}
+	type point struct {
+		label    string
+		slowdown float64
+		misses   float64
+	}
+	var points []point
+	for _, den := range []int{16, 8, 4, 2, 1} {
+		// One run per sample-pattern offset: across the complete offset
+		// ensemble every cache set is sampled equally often, so the mean
+		// estimate is unbiased and the remaining signal is dilation.
+		// Page allocation stays fixed to isolate the dilation effect.
+		var sumSlow, sumMiss float64
+		for offset := 0; offset < den; offset++ {
+			s := core.Sampling{Num: 1, Den: den, Offset: offset}
+			res, err := run(runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw:      dmICache(4<<10, cache.PhysIndexed, s),
+				simUser: true, simServers: true, simKernel: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sumSlow += slowdown(res, normal)
+			sumMiss += res.twEst
+		}
+		points = append(points, point{
+			label:    core.Sampling{Num: 1, Den: den}.String(),
+			slowdown: sumSlow / float64(den),
+			misses:   sumMiss / float64(den),
+		})
+		o.progress("figure4: sampling 1/%d done", den)
+	}
+	base := points[0].misses
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			p.label, f2(p.slowdown), millions(p.misses),
+			fmt.Sprintf("%.1f%%", stats.PercentIncrease(p.misses, base)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,185 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 4): speed comparisons against trace-driven
+// simulation (Table 5, Figures 2-3), completeness and accuracy studies
+// (Tables 6-10, Figure 4), and portability analyses (Tables 11-12), plus
+// the workload characterizations of Tables 3-4.
+//
+// Each experiment is a function from Options to a rendered Table. The
+// cmd/twbench binary runs them all and writes an EXPERIMENTS-style report;
+// bench_test.go at the repository root exposes one testing.B benchmark per
+// experiment.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options control experiment scale. Paper-faithful settings are expensive
+// (minutes); tests use coarser scales.
+type Options struct {
+	// Scale divides the paper's workload instruction counts (workload
+	// package). 100 is the standard evaluation scale; tests use 1000+.
+	Scale float64
+	// Seed is the master seed; trial t of an experiment derives its
+	// page-allocation and sampling seeds from Seed and t.
+	Seed uint64
+	// Trials is the trial count for the variance tables (paper: 16).
+	Trials int
+	// Frames is the machine's physical memory size in pages.
+	Frames int
+	// Progress, if non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions returns the standard evaluation configuration.
+func DefaultOptions() Options {
+	return Options{Scale: 100, Seed: 1994, Trials: 16, Frames: 8192}
+}
+
+// QuickOptions returns a configuration coarse enough for unit tests.
+func QuickOptions() Options {
+	return Options{Scale: 2000, Seed: 1994, Trials: 4, Frames: 4096}
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // "table6", "figure2", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Func produces one experiment table.
+type Func func(Options) (*Table, error)
+
+// registry maps experiment IDs to their functions, in paper order.
+var registry = []struct {
+	ID   string
+	Fn   Func
+	Desc string
+}{
+	{"table3", Table3, "workload summary"},
+	{"table4", Table4, "workload and operating system summary"},
+	{"table5", Table5, "Tapeworm miss handling time"},
+	{"figure2", Figure2, "trace-driven vs trap-driven slowdowns"},
+	{"figure3", Figure3, "slowdowns across configurations and sampling"},
+	{"table6", Table6, "miss contributions of workload components"},
+	{"table7", Table7, "variation in measured memory system performance"},
+	{"table8", Table8, "variation due to set sampling"},
+	{"table9", Table9, "variation due to page allocation"},
+	{"table10", Table10, "measurement variation removed"},
+	{"figure4", Figure4, "error due to time dilation"},
+	{"table11", Table11, "Tapeworm code distribution"},
+	{"table12", Table12, "privileged operations on modern microprocessors"},
+	// Extensions beyond the paper's tables and figures.
+	{"ext-ablation", ExtAblation, "handler implementation ablation"},
+	{"ext-breakeven", ExtBreakEven, "trap- vs trace-driven crossover"},
+	{"ext-fragmentation", ExtFragmentation, "long-running TLB fragmentation"},
+	{"ext-replacement", ExtReplacement, "replacement fidelity gap"},
+}
+
+// IDs returns the experiment identifiers in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Describe returns the one-line description of an experiment ID.
+func Describe(id string) string {
+	for _, r := range registry {
+		if r.ID == id {
+			return r.Desc
+		}
+	}
+	return ""
+}
+
+// ByID returns the experiment function for id.
+func ByID(id string) (Func, error) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r.Fn, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiment: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+}
+
+// --- small formatting helpers shared by the experiment files ---
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+func pct(x float64) string { return fmt.Sprintf("(%.0f%%)", x) }
+
+// millions renders a count in millions with two decimals, the paper's
+// habitual unit for miss counts; at reduced scale the magnitudes are
+// smaller but the format stays comparable.
+func millions(x float64) string { return fmt.Sprintf("%.3f", x/1e6) }
+
+func sizeKB(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dM", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%dK", bytes>>10)
+	}
+	return fmt.Sprintf("%dB", bytes)
+}

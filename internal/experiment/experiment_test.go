@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure in the paper's evaluation must be present.
+	want := []string{"table3", "table4", "table5", "figure2", "figure3",
+		"table6", "table7", "table8", "table9", "table10", "figure4",
+		"table11", "table12",
+		"ext-ablation", "ext-breakeven", "ext-fragmentation", "ext-replacement"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i] != id {
+			t.Errorf("position %d: %s, want %s (paper order)", i, got[i], id)
+		}
+		if Describe(id) == "" {
+			t.Errorf("%s has no description", id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Errorf("%s not resolvable: %v", id, err)
+		}
+	}
+	if _, err := ByID("table99"); err == nil {
+		t.Error("unknown experiment resolved")
+	}
+	if Describe("nope") != "" {
+		t.Error("unknown description non-empty")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "test",
+		Title:   "a title",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1"}, {"longer-name", "22"}},
+		Notes:   []string{"a note"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"TEST — a title", "alpha", "longer-name", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+}
+
+func TestInstantExperiments(t *testing.T) {
+	// Table 3, 5, 11 and 12 need no simulation and must succeed quickly.
+	o := QuickOptions()
+	for _, id := range []string{"table3", "table5", "table11", "table12"} {
+		fn, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := fn(o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestTable12MatrixShape(t *testing.T) {
+	tab, err := Table12(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != 11 { // label + 10 processors
+		t.Fatalf("%d columns, want 11", len(tab.Columns))
+	}
+	if len(tab.Rows) != 8 { // 6 ops + 2 mechanism-selection rows
+		t.Fatalf("%d rows, want 8", len(tab.Rows))
+	}
+}
+
+func TestTable11Distribution(t *testing.T) {
+	tab, err := Table11(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The paper's headline: under ~5% of Tapeworm is machine-dependent.
+	if !strings.Contains(tab.Rows[0][0], "machine-dependent") {
+		t.Fatalf("first row = %v", tab.Rows[0])
+	}
+	pct := strings.TrimSuffix(tab.Rows[0][2], "%")
+	if pct >= "10" && len(pct) >= 2 {
+		t.Fatalf("machine-dependent share %s%% exceeds the paper's ~5%%", pct)
+	}
+}
+
+func TestTable8ZeroVarianceUnsampled(t *testing.T) {
+	o := QuickOptions()
+	o.Trials = 3
+	tab, err := Table8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checked int
+	for _, row := range tab.Rows {
+		if row[1] == "none" {
+			if row[3] != "0.000" {
+				t.Errorf("unsampled %s run has nonzero stddev %s", row[0], row[3])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no unsampled rows found")
+	}
+}
+
+func TestFigure2ShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	o := QuickOptions()
+	tab, err := Figure2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(figure2Sizes) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(figure2Sizes))
+	}
+	// Tapeworm slowdowns must not grow with cache size, and the largest
+	// cache's slowdown should approach zero while Cache2000's stays high.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	twFirst, twLast := parseF(t, first[3]), parseF(t, last[3])
+	c2kLast := parseF(t, last[2])
+	if twLast > twFirst {
+		t.Errorf("Tapeworm slowdown grew with cache size: %v -> %v", twFirst, twLast)
+	}
+	if twLast > 0.5 {
+		t.Errorf("Tapeworm slowdown at 1M = %v, want near zero", twLast)
+	}
+	if c2kLast < 10*twLast {
+		t.Errorf("Cache2000 (%v) should dwarf Tapeworm (%v) at large caches", c2kLast, twLast)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,361 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/core"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/pixie"
+	"tapeworm/internal/workload"
+)
+
+// This file holds experiments beyond the paper's tables and figures:
+// ablations of design choices the text discusses qualitatively, and
+// studies of effects the paper mentions without measuring.
+
+// ExtAblation quantifies the handler-implementation ladder of Sections
+// 4.1/4.3: the original C handler (~2,000 cycles, like the Wisconsin Wind
+// Tunnel's 2,500), the optimized assembly handler (246), and hypothetical
+// hardware assistance (~50, "a factor of 5").
+func ExtAblation(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "xlisp")
+	if err != nil {
+		return nil, err
+	}
+	normal, err := normalRun(o, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ext-ablation",
+		Title:   "handler implementation ablation (xlisp, 2K direct-mapped I-cache)",
+		Columns: []string{"handler model", "cycles/miss", "slowdown"},
+		Notes: []string{
+			"the paper reports rewriting the C handler in assembly (Section 4.1) and projects a further ~5x from hardware support (Section 4.3)",
+		},
+	}
+	geom := cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1, Indexing: cache.PhysIndexed}
+	for _, model := range []core.HandlerModel{
+		core.HandlerOriginalC, core.HandlerOptimized, core.HandlerHardwareAssist,
+	} {
+		cfg := &core.Config{Mode: core.ModeICache, Cache: geom,
+			Sampling: core.FullSampling(), Handler: model}
+		res, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw: cfg, simUser: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			model.String(),
+			fmt.Sprint(core.HandlerCycles(model, geom)),
+			f2(slowdown(res, normal)),
+		})
+		o.progress("ext-ablation: %s done", model)
+	}
+	return t, nil
+}
+
+// ExtBreakEven locates the crossover where trap-driven simulation stops
+// being faster than trace-driven simulation. Section 4.1 estimates ~4 hits
+// per miss, i.e. miss ratios around 0.20, reachable "only [by] the most
+// poorly performing caches"; this experiment drives the miss ratio up with
+// pathologically small caches until Tapeworm loses.
+func ExtBreakEven(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "xlisp")
+	if err != nil {
+		return nil, err
+	}
+	normal, err := normalRun(o, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "ext-breakeven",
+		Title: "trap-driven vs trace-driven crossover (xlisp, shrinking caches)",
+		Columns: []string{"cache", "miss ratio", "Tapeworm slowdown",
+			"Cache2000 slowdown", "faster"},
+		Notes: []string{
+			"the handler/trace cost ratio predicts break-even near 4 hits per miss (miss ratio ~0.2)",
+		},
+	}
+	for _, geom := range []cache.Config{
+		{Size: 4 << 10, LineSize: 16, Assoc: 1},
+		{Size: 1 << 10, LineSize: 16, Assoc: 1},
+		{Size: 512, LineSize: 16, Assoc: 1},
+		{Size: 256, LineSize: 16, Assoc: 1},
+		{Size: 128, LineSize: 16, Assoc: 1},
+		{Size: 64, LineSize: 16, Assoc: 1},
+	} {
+		twRes, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw: &core.Config{Mode: core.ModeICache, Cache: geom,
+				Sampling: core.FullSampling()},
+			simUser: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trRes, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			trace: &cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		twSlow, trSlow := slowdown(twRes, normal), slowdown(trRes, normal)
+		faster := "Tapeworm"
+		if trSlow < twSlow {
+			faster = "Cache2000"
+		}
+		missRatio := float64(trRes.c2kMisses) / float64(trRes.c2kHits+trRes.c2kMisses)
+		t.Rows = append(t.Rows, []string{
+			sizeKB(geom.Size), f3(missRatio), f2(twSlow), f2(trSlow), faster,
+		})
+		o.progress("ext-breakeven: %s done", sizeKB(geom.Size))
+	}
+	// Real instruction streams cannot cross over: sequential fetch caps
+	// the miss ratio near 1/(words per line) = 0.25. A synthetic stride
+	// equal to the line size removes spatial locality entirely and shows
+	// the crossover the cost model predicts.
+	row, err := extBreakEvenStride(o)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes,
+		"the synthetic row fetches with a 16-byte stride (no spatial locality): the only way to push miss ratios past the crossover")
+	return t, nil
+}
+
+// strideProgram fetches instructions with a fixed stride over a large
+// region: every reference touches a new cache line, defeating both the
+// simulated cache and the trap filter.
+type strideProgram struct {
+	n      uint64
+	pos    uint32
+	stride uint32
+	size   uint32
+}
+
+// Next implements kernel.Program.
+func (p *strideProgram) Next() kernel.Event {
+	if p.n == 0 {
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	p.n--
+	va := kernel.TextBase + mem.VAddr(p.pos)
+	p.pos += p.stride
+	if p.pos >= p.size {
+		p.pos = 0
+	}
+	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+}
+
+// extBreakEvenStride runs the pathological stride workload under both
+// simulators and returns the table row.
+func extBreakEvenStride(o Options) ([]string, error) {
+	const (
+		instrs = 400_000
+		region = 256 << 10
+	)
+	geom := cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1}
+
+	boot := func() (*kernel.Kernel, *kernel.Task, error) {
+		kcfg := kernel.DefaultConfig(mach.DECstation5000_200(o.Frames), o.Seed)
+		k, err := kernel.Boot(kcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		task := k.Spawn("stride", &strideProgram{n: instrs, stride: 16, size: region},
+			false, false)
+		return k, task, nil
+	}
+
+	// Normal run.
+	kN, _, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	if err := kN.Run(0); err != nil {
+		return nil, err
+	}
+	normalCycles := kN.Machine().Cycles()
+
+	// Tapeworm run.
+	kT, task, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.Attach(kT, core.Config{Mode: core.ModeICache, Cache: geom,
+		Sampling: core.FullSampling()}); err != nil {
+		return nil, err
+	}
+	if err := kT.SetAttributes(task.ID, true, true); err != nil {
+		return nil, err
+	}
+	if err := kT.Run(0); err != nil {
+		return nil, err
+	}
+
+	// Trace-driven run.
+	kR, task, err := boot()
+	if err != nil {
+		return nil, err
+	}
+	c2k, err := cache2000.New(cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}})
+	if err != nil {
+		return nil, err
+	}
+	c2k.BindMachine(kR.Machine())
+	ann := pixie.NewOnTheFly(kR.Machine(), c2k)
+	ann.IOnly = true
+	ann.Annotate(kR, task.ID)
+	if err := kR.Run(0); err != nil {
+		return nil, err
+	}
+
+	twSlow := float64(kT.Machine().Cycles()-normalCycles) / float64(normalCycles)
+	trSlow := float64(kR.Machine().Cycles()-normalCycles) / float64(normalCycles)
+	faster := "Tapeworm"
+	if trSlow < twSlow {
+		faster = "Cache2000"
+	}
+	return []string{"stride-16", f3(c2k.MissRatio()), f2(twSlow), f2(trSlow), faster}, nil
+}
+
+// ExtFragmentation measures the long-running-system TLB effect of Section
+// 4.2: repeated runs of one workload on a single booted system whose
+// servers fragment their heaps show creeping TLB miss rates.
+func ExtFragmentation(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "ousterhout")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ext-fragmentation",
+		Title:   "TLB misses on a long-running, fragmenting system (ousterhout, 64-entry TLB)",
+		Columns: []string{"iteration", "fresh system (misses/1K)", "fragmenting system (misses/1K)"},
+		Notes: []string{
+			"each column is one booted system running the workload repeatedly; the fragmenting system's servers spread their heaps as they serve requests",
+		},
+	}
+	const iterations = 5
+	series := func(fragBytes int) ([]float64, error) {
+		kcfg := kernel.DefaultConfig(mach.DECstation5000_200(o.Frames), o.Seed)
+		kcfg.ServerFragBytesPerReq = fragBytes
+		k, err := kernel.Boot(kcfg)
+		if err != nil {
+			return nil, err
+		}
+		tw, err := core.Attach(k, core.Config{
+			Mode:     core.ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096, Replace: cache.LRU},
+			Sampling: core.FullSampling(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+			if st := k.Server(kind); st != nil {
+				if err := tw.Attributes(st.ID, true, false); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var out []float64
+		var prevM, prevI uint64
+		for i := 0; i < iterations; i++ {
+			prog, err := workload.New(spec, o.Seed+uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			k.Spawn(spec.Name, prog, true, true)
+			if err := k.Run(0); err != nil {
+				return nil, err
+			}
+			m, in := tw.Misses()-prevM, k.Machine().Instructions()-prevI
+			prevM, prevI = tw.Misses(), k.Machine().Instructions()
+			out = append(out, 1000*float64(m)/float64(in))
+		}
+		return out, nil
+	}
+	fresh, err := series(0)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("ext-fragmentation: fresh system done")
+	frag, err := series(96)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("ext-fragmentation: fragmenting system done")
+	for i := 0; i < iterations; i++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(i + 1), f3(fresh[i]), f3(frag[i]),
+		})
+	}
+	return t, nil
+}
+
+// ExtReplacement quantifies the replacement-fidelity gap inherent to
+// trap-driven simulation: hits are invisible, so associative "LRU"
+// degrades to insertion-order (FIFO). The trap-driven miss counts equal a
+// trace-driven FIFO simulation exactly; true LRU differs.
+func ExtReplacement(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "espresso")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "ext-replacement",
+		Title: "trap-driven replacement fidelity (espresso, 2-way I-caches)",
+		Columns: []string{"cache size", "trap-driven misses", "trace FIFO misses",
+			"trace LRU misses"},
+		Notes: []string{
+			"trap-driven simulators never see hits, so per-hit recency cannot be maintained: associative replacement is insertion-order, matching trace-driven FIFO exactly",
+		},
+	}
+	for _, size := range []int{1 << 10, 2 << 10, 4 << 10} {
+		geom := cache.Config{Size: size, LineSize: 16, Assoc: 2, Indexing: cache.VirtIndexed}
+		twRes, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw: &core.Config{Mode: core.ModeICache, Cache: geom,
+				Sampling: core.FullSampling()},
+			simUser: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		traceMisses := func(r cache.Replacement) (uint64, error) {
+			g := geom
+			g.Replace = r
+			res, err := run(runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				trace: &cache2000.Config{Cache: g, Kinds: []mem.RefKind{mem.IFetch}},
+			})
+			return res.c2kMisses, err
+		}
+		fifo, err := traceMisses(cache.FIFO)
+		if err != nil {
+			return nil, err
+		}
+		lru, err := traceMisses(cache.LRU)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			sizeKB(size),
+			fmt.Sprint(twRes.twStats.Misses),
+			fmt.Sprint(fifo),
+			fmt.Sprint(lru),
+		})
+		o.progress("ext-replacement: %s done", sizeKB(size))
+	}
+	return t, nil
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/core"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/monster"
+	"tapeworm/internal/pixie"
+	"tapeworm/internal/workload"
+)
+
+// runConfig describes one simulated machine run.
+type runConfig struct {
+	spec     workload.Spec
+	seed     uint64 // workload stream seed
+	pageSeed uint64 // frame allocator seed (the Table 9 variance knob)
+	frames   int
+
+	tw         *core.Config // nil: no Tapeworm attached
+	simUser    bool         // register workload fork tree
+	simServers bool         // register X/BSD server pages
+	simKernel  bool         // register kernel pages
+
+	trace *cache2000.Config // non-nil: annotate with Pixie feeding Cache2000
+}
+
+// runResult carries everything the experiments read out of a run.
+type runResult struct {
+	snap     monster.Snapshot
+	seconds  float64
+	comp     [kernel.NumComponents]uint64 // instructions per component
+	bsdInstr uint64
+	xInstr   uint64
+	tasks    int
+	counters mach.Counters
+
+	twStats  core.Stats
+	twByComp [kernel.NumComponents]uint64
+	twEst    float64 // sampling-scaled miss estimate
+
+	c2kHits, c2kMisses uint64
+	pixieRefs          uint64
+}
+
+// run executes one workload to completion on a freshly booted machine.
+func run(rc runConfig) (runResult, error) {
+	var res runResult
+	if rc.frames <= 0 {
+		rc.frames = 8192
+	}
+	kcfg := kernel.DefaultConfig(mach.DECstation5000_200(rc.frames), rc.seed)
+	kcfg.PageSeed = rc.pageSeed
+	k, err := kernel.Boot(kcfg)
+	if err != nil {
+		return res, err
+	}
+
+	var tw *core.Tapeworm
+	if rc.tw != nil {
+		tw, err = core.Attach(k, *rc.tw)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	prog, err := workload.New(rc.spec, rc.seed)
+	if err != nil {
+		return res, err
+	}
+	task := k.Spawn(rc.spec.Name, prog, rc.simUser, rc.simUser)
+
+	if tw != nil {
+		if rc.simServers {
+			for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+				if st := k.Server(kind); st != nil {
+					if err := tw.Attributes(st.ID, true, false); err != nil {
+						return res, err
+					}
+				}
+			}
+		}
+		if rc.simKernel {
+			if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	var c2k *cache2000.Simulator
+	var ann *pixie.Annotator
+	if rc.trace != nil {
+		c2k, err = cache2000.New(*rc.trace)
+		if err != nil {
+			return res, err
+		}
+		c2k.BindMachine(k.Machine())
+		ann = pixie.NewOnTheFly(k.Machine(), c2k)
+		ann.IOnly = len(rc.trace.Kinds) == 1 && rc.trace.Kinds[0] == mem.IFetch
+		ann.Annotate(k, task.ID)
+	}
+
+	if err := k.Run(0); err != nil {
+		return res, err
+	}
+
+	m := k.Machine()
+	res.snap = monster.Snap(m)
+	res.seconds = m.Seconds(m.Cycles())
+	res.comp = k.ComponentInstructions()
+	if t := k.Server(kernel.BSDServer); t != nil {
+		res.bsdInstr = t.Instructions
+	}
+	if t := k.Server(kernel.XServer); t != nil {
+		res.xInstr = t.Instructions
+	}
+	res.tasks = k.Stats().UserSpawned
+	res.counters = m.Counters()
+	if tw != nil {
+		res.twStats = tw.Stats()
+		res.twByComp = tw.MissesByComponent()
+		res.twEst = tw.EstimatedMisses()
+	}
+	if c2k != nil {
+		res.c2kHits, res.c2kMisses = c2k.Hits(), c2k.Misses()
+		res.pixieRefs = ann.Refs()
+	}
+	return res, nil
+}
+
+// normalRun executes the workload uninstrumented, establishing the
+// "Normal Workload Run Time" denominator of the slowdown metric.
+func normalRun(o Options, spec workload.Spec, trial uint64) (runResult, error) {
+	return run(runConfig{
+		spec:     spec,
+		seed:     o.Seed,
+		pageSeed: o.Seed ^ (trial * 0x9e3779b9),
+		frames:   o.Frames,
+	})
+}
+
+// slowdown implements the paper's definition against a matching normal
+// run: overhead time over normal run time.
+func slowdown(instrumented, normal runResult) float64 {
+	return monster.Slowdown(instrumented.snap, normal.snap)
+}
+
+// dmICache builds the workhorse configuration of the evaluation: a
+// direct-mapped instruction cache with 4-word (16-byte) lines.
+func dmICache(sizeBytes int, indexing cache.Indexing, s core.Sampling) *core.Config {
+	return &core.Config{
+		Mode: core.ModeICache,
+		Cache: cache.Config{
+			Size: sizeBytes, LineSize: 16, Assoc: 1, Indexing: indexing,
+		},
+		Sampling: s,
+	}
+}
+
+// mustSpec fetches a workload spec at the option scale.
+func mustSpec(o Options, name string) (workload.Spec, error) {
+	spec, err := workload.ByName(name, o.Scale)
+	if err != nil {
+		return workload.Spec{}, fmt.Errorf("experiment: %w", err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"fmt"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/core"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/pixie"
+	"tapeworm/internal/workload"
+)
+
+// Table5 reports the Tapeworm miss-handler cost breakdown and the
+// per-address cost of the trace-driven baseline, with the break-even
+// hits-per-miss ratio between them (Section 4.1).
+func Table5(o Options) (*Table, error) {
+	b := core.Table5Breakdown()
+	perAddr := float64(pixie.GenCyclesPerRef + cache2000.HitCycles)
+	breakEven := float64(b.CyclesPerMiss) / perAddr
+
+	t := &Table{
+		ID:      "table5",
+		Title:   "Tapeworm miss handling time (instructions per routine; cycles per event)",
+		Columns: []string{"routine", "instructions"},
+		Rows: [][]string{
+			{"kernel trap and return", fmt.Sprint(b.KernelTrapReturn)},
+			{"tw_cache_miss()", fmt.Sprint(b.TwCacheMiss)},
+			{"tw_replace()", fmt.Sprint(b.TwReplace)},
+			{"tw_set_trap()", fmt.Sprint(b.TwSetTrap)},
+			{"tw_clear_trap()", fmt.Sprint(b.TwClearTrap)},
+			{"total handler instructions", fmt.Sprint(b.Instructions())},
+			{"cycles per miss in Tapeworm", fmt.Sprint(b.CyclesPerMiss)},
+			{"cycles per address in Pixie+Cache2000 (hit)",
+				fmt.Sprint(pixie.GenCyclesPerRef + cache2000.HitCycles)},
+			{"cycles per address in Pixie+Cache2000 (miss)",
+				fmt.Sprint(pixie.GenCyclesPerRef + cache2000.MissCycles)},
+			{"break-even hits per miss", f2(breakEven)},
+		},
+		Notes: []string{
+			"direct-mapped caches with 4-word lines; associativity increases tw_replace time, longer lines increase tw_set_trap/tw_clear_trap",
+			"Tapeworm traps occur only on misses; the trace-driven simulator pays per address, hit or miss",
+		},
+	}
+	// Ablation handler models (Sections 4.1 and 4.3).
+	cfg := cache.Config{Size: 16 << 10, LineSize: 16, Assoc: 1}
+	for _, m := range []core.HandlerModel{core.HandlerOriginalC, core.HandlerOptimized, core.HandlerHardwareAssist} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("handler model %s (cycles)", m),
+			fmt.Sprint(core.HandlerCycles(m, cfg)),
+		})
+	}
+	return t, nil
+}
+
+// figure2Sizes are the simulated cache sizes of Figure 2.
+var figure2Sizes = []int{
+	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10,
+	64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20,
+}
+
+// Figure2 compares Tapeworm and Pixie+Cache2000 slowdowns while simulating
+// mpeg_play's instruction cache across sizes. Both simulate only the
+// mpeg_play task (Pixie cannot see anything else), but slowdowns are
+// computed against the total wall-clock run time including the X and BSD
+// servers, exactly as in the paper.
+func Figure2(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "mpeg_play")
+	if err != nil {
+		return nil, err
+	}
+	normal, err := normalRun(o, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	o.progress("figure2: normal run %.2fs simulated", normal.seconds)
+
+	t := &Table{
+		ID:    "figure2",
+		Title: "trace-driven (Pixie+Cache2000) vs trap-driven (Tapeworm) slowdowns, mpeg_play I-cache",
+		Columns: []string{"cache size", "miss ratio", "Cache2000 slowdown",
+			"Tapeworm slowdown"},
+		Notes: []string{
+			"direct-mapped, 4-word (16-byte) lines; Tapeworm simulates only the mpeg_play task",
+			"slowdowns computed against total wall-clock run time including X and BSD servers",
+		},
+	}
+	for _, size := range figure2Sizes {
+		twRes, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw:      dmICache(size, cache.PhysIndexed, core.FullSampling()),
+			simUser: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trRes, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			trace: &cache2000.Config{
+				Cache: cache.Config{Size: size, LineSize: 16, Assoc: 1},
+				Kinds: []mem.RefKind{mem.IFetch},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		missRatio := float64(trRes.c2kMisses) / float64(trRes.c2kHits+trRes.c2kMisses)
+		t.Rows = append(t.Rows, []string{
+			sizeKB(size),
+			f3(missRatio),
+			f2(slowdown(trRes, normal)),
+			f2(slowdown(twRes, normal)),
+		})
+		o.progress("figure2: %s done (tw %d misses)", sizeKB(size), twRes.twStats.Misses)
+	}
+	return t, nil
+}
+
+// Figure3 measures Tapeworm slowdowns across associativities, line sizes,
+// and set-sampling degrees (the three panels of Figure 3), again for
+// mpeg_play.
+func Figure3(o Options) (*Table, error) {
+	spec, err := mustSpec(o, "mpeg_play")
+	if err != nil {
+		return nil, err
+	}
+	normal, err := normalRun(o, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "figure3",
+		Title:   "Tapeworm slowdowns for different simulation configurations, mpeg_play",
+		Columns: []string{"panel", "configuration", "cache size", "slowdown"},
+		Notes: []string{
+			"higher associativity and longer lines cost slightly more per miss but miss less overall",
+			"sampling 1/n simulates one of every n sets; slowdown falls in direct proportion",
+		},
+	}
+	if err := figure3Rows(o, t, spec, normal); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func figure3Rows(o Options, t *Table, spec workload.Spec, normal runResult) error {
+	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+
+	one := func(panel, label string, size int, cfg *core.Config) error {
+		res, err := run(runConfig{
+			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+			tw: cfg, simUser: true,
+		})
+		if err != nil {
+			return err
+		}
+		t.Rows = append(t.Rows, []string{panel, label, sizeKB(size), f2(slowdown(res, normal))})
+		o.progress("figure3: %s %s %s done", panel, label, sizeKB(size))
+		return nil
+	}
+
+	for _, assoc := range []int{1, 2, 4} {
+		for _, size := range sizes {
+			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
+			cfg.Cache.Assoc = assoc
+			if err := one("associativity", fmt.Sprintf("%d-way", assoc), size, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	for _, line := range []int{16, 32, 64} {
+		for _, size := range sizes {
+			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
+			cfg.Cache.LineSize = line
+			if err := one("line size", fmt.Sprintf("%dB lines", line), size, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	for _, den := range []int{1, 2, 4, 8, 16} {
+		for _, size := range []int{1 << 10, 2 << 10, 4 << 10} {
+			s := core.Sampling{Num: 1, Den: den}
+			cfg := dmICache(size, cache.PhysIndexed, s)
+			if err := one("set sampling", s.String(), size, cfg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,724 @@
+package kernel
+
+import (
+	"fmt"
+
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/textwalk"
+)
+
+// Config parameterizes a kernel boot.
+type Config struct {
+	Machine mach.Config
+
+	// Seed drives all kernel-internal randomness (service code walks,
+	// data reference patterns). PageSeed drives only the physical frame
+	// allocator; vary it between trials to reproduce page-allocation
+	// variance (Table 9), pin it to remove that variance (Table 10).
+	Seed     uint64
+	PageSeed uint64
+
+	// TapewormFrames is physical memory reserved for Tapeworm at boot.
+	// The paper's implementation takes 256 KB = 64 pages, removing them
+	// from the free pool (Section 4.2, Sources of Measurement Bias).
+	TapewormFrames int
+
+	// QuantumTicks is the scheduling quantum in clock ticks.
+	QuantumTicks int
+
+	// WithXServer and WithBSDServer control which servers boot. Both
+	// default true via DefaultConfig.
+	WithXServer   bool
+	WithBSDServer bool
+
+	// KernelDataRefs is the probability of a data reference after each
+	// kernel instruction.
+	KernelDataRefs float64
+
+	// ServerFragBytesPerReq, when nonzero, widens each server's hot data
+	// footprint by that many bytes per request handled — the long-running
+	// memory-fragmentation effect of Section 4.2. Off by default so the
+	// standard experiments run on a freshly-booted system.
+	ServerFragBytesPerReq int
+}
+
+// DefaultConfig returns a kernel configuration on the given machine model.
+func DefaultConfig(m mach.Config, seed uint64) Config {
+	return Config{
+		Machine:        m,
+		Seed:           seed,
+		PageSeed:       seed ^ 0x9a9e, // distinct but derived; override per trial
+		TapewormFrames: 64,
+		QuantumTicks:   2,
+		WithXServer:    true,
+		WithBSDServer:  true,
+		KernelDataRefs: 0.28,
+	}
+}
+
+// Kernel is the simulated operating system. It implements mach.OS.
+type Kernel struct {
+	cfg    Config
+	m      *mach.Machine
+	layout *kernelLayout
+	hooks  MemSimHooks
+
+	tasks   []*Task // indexed by TaskID
+	runq    []*Task // runnable workload tasks, round-robin
+	cur     int
+	resched bool
+	ticks   uint64
+	inClock bool
+
+	fa       *frameAllocator
+	resident residentQueue
+
+	rngKernel *rng.Source
+
+	entryW, clockW, schedW, vmW, forkW *textwalk.Walker
+	svcW                               [numServices]*textwalk.Walker
+	kdata                              *dataGen
+
+	servers map[ServerKind]*server
+
+	tracer    Tracer
+	traceTask mem.TaskID
+
+	compInstr   [NumComponents]uint64
+	trueECCErrs uint64
+	pageOuts    uint64
+	forks       uint64
+	exits       uint64
+	userSpawned int
+	userExited  int
+}
+
+// residentQueue is a FIFO of (task, vpn) page-ins used to choose page-out
+// victims when physical memory is exhausted.
+type residentQueue struct {
+	entries []residentEntry
+	head    int
+}
+
+type residentEntry struct {
+	tid mem.TaskID
+	vpn uint32
+}
+
+func (q *residentQueue) push(tid mem.TaskID, vpn uint32) {
+	q.entries = append(q.entries, residentEntry{tid, vpn})
+}
+
+func (q *residentQueue) pop() (residentEntry, bool) {
+	for q.head < len(q.entries) {
+		e := q.entries[q.head]
+		q.head++
+		if q.head > 4096 && q.head*2 > len(q.entries) {
+			q.entries = append([]residentEntry(nil), q.entries[q.head:]...)
+			q.head = 0
+		}
+		return e, true
+	}
+	return residentEntry{}, false
+}
+
+// Boot creates the machine and kernel, reserves kernel and Tapeworm
+// memory, and starts the configured servers.
+func Boot(cfg Config) (*Kernel, error) {
+	k := &Kernel{cfg: cfg, servers: make(map[ServerKind]*server)}
+	var err error
+	k.m, err = mach.New(cfg.Machine, k)
+	if err != nil {
+		return nil, err
+	}
+	k.layout = newKernelLayout()
+
+	pageSize := cfg.Machine.PageSize
+	kframes := k.layout.kernelFrames(pageSize)
+	reserved := kframes + cfg.TapewormFrames
+	if reserved >= cfg.Machine.Frames {
+		return nil, fmt.Errorf("kernel: %d frames of physical memory cannot hold %d reserved frames",
+			cfg.Machine.Frames, reserved)
+	}
+	k.fa = newFrameAllocator(cfg.Machine.Frames, reserved, rng.New(cfg.PageSeed).Split("frames"))
+
+	k.rngKernel = rng.New(cfg.Seed).Split("kernel")
+	params := textwalk.DefaultParams()
+	params.CallProb = 0.05
+	mk := func(region textwalk.Region, label string) *textwalk.Walker {
+		return textwalk.MustNew(k.rngKernel.Split(label), region, params, k.layout.helpers)
+	}
+	k.entryW = mk(k.layout.entry, "entry")
+	k.clockW = mk(k.layout.clock, "clock")
+	k.schedW = mk(k.layout.sched, "sched")
+	k.vmW = mk(k.layout.vmFault, "vm")
+	k.forkW = mk(k.layout.fork, "fork")
+	for i := range serviceTable {
+		k.svcW[i] = mk(k.layout.services[i], fmt.Sprintf("svc-%d", i))
+	}
+	k.kdata = newDataGen(k.rngKernel.Split("kdata"), k.layout.data, 8<<10, 0.35)
+
+	// Task 0 is the kernel itself.
+	kt := &Task{ID: mem.KernelTask, Name: "kernel", space: newAddrSpace(pageSize)}
+	k.tasks = []*Task{kt}
+
+	if cfg.WithBSDServer {
+		t := k.newTask("bsd-server", nil, false, false)
+		t.Server = true
+		k.servers[BSDServer] = newServer(BSDServer, t, rng.New(cfg.Seed))
+	}
+	if cfg.WithXServer {
+		t := k.newTask("x-server", nil, false, false)
+		t.Server = true
+		k.servers[XServer] = newServer(XServer, t, rng.New(cfg.Seed))
+	}
+	return k, nil
+}
+
+// MustBoot is Boot but panics on error.
+func MustBoot(cfg Config) *Kernel {
+	k, err := Boot(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Machine returns the underlying machine.
+func (k *Kernel) Machine() *mach.Machine { return k.m }
+
+// SetHooks attaches a kernel-resident memory simulator (Tapeworm).
+func (k *Kernel) SetHooks(h MemSimHooks) { k.hooks = h }
+
+// Tracer observes the user-mode memory references of one annotated task,
+// the way a Pixie-rewritten binary emits its own address trace. Like
+// Pixie, a tracer sees a single task and no kernel or server activity.
+type Tracer interface {
+	Trace(t mem.TaskID, r mem.Ref)
+}
+
+// SetTracer annotates task tid with tr (nil removes the annotation).
+func (k *Kernel) SetTracer(tid mem.TaskID, tr Tracer) {
+	k.tracer = tr
+	k.traceTask = tid
+}
+
+// Task returns the task with the given ID, or nil.
+func (k *Kernel) Task(id mem.TaskID) *Task {
+	if int(id) < len(k.tasks) {
+		return k.tasks[id]
+	}
+	return nil
+}
+
+// Tasks returns all tasks ever created (including exited ones).
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+// Server returns the server task of the given kind, or nil.
+func (k *Kernel) Server(kind ServerKind) *Task {
+	if s := k.servers[kind]; s != nil {
+		return s.task
+	}
+	return nil
+}
+
+// ComponentOf classifies a task ID for per-component accounting.
+func (k *Kernel) ComponentOf(id mem.TaskID) Component {
+	if id == mem.KernelTask {
+		return CompKernel
+	}
+	if t := k.Task(id); t != nil && t.Server {
+		return CompServer
+	}
+	return CompUser
+}
+
+// ComponentInstructions returns instructions executed per component.
+func (k *Kernel) ComponentInstructions() [NumComponents]uint64 { return k.compInstr }
+
+// Stats bundles kernel event totals.
+type Stats struct {
+	TrueECCErrors uint64
+	PageOuts      uint64
+	Forks         uint64
+	Exits         uint64
+	ClockTicks    uint64
+	UserSpawned   int
+	UserExited    int
+}
+
+// Stats returns kernel event totals.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		TrueECCErrors: k.trueECCErrs,
+		PageOuts:      k.pageOuts,
+		Forks:         k.forks,
+		Exits:         k.exits,
+		ClockTicks:    k.ticks,
+		UserSpawned:   k.userSpawned,
+		UserExited:    k.userExited,
+	}
+}
+
+// newTask allocates a task structure and address space.
+func (k *Kernel) newTask(name string, prog Program, simulate, inherit bool) *Task {
+	t := &Task{
+		ID:       mem.TaskID(len(k.tasks)),
+		Name:     name,
+		Simulate: simulate,
+		Inherit:  inherit,
+		prog:     prog,
+		space:    newAddrSpace(k.cfg.Machine.PageSize),
+	}
+	k.tasks = append(k.tasks, t)
+	return t
+}
+
+// Spawn creates a runnable workload task with the given Tapeworm
+// attributes, as if started from a shell with (simulate=0, inherit=1):
+// pass the attribute values the child should carry.
+func (k *Kernel) Spawn(name string, prog Program, simulate, inherit bool) *Task {
+	t := k.newTask(name, prog, simulate, inherit)
+	k.runq = append(k.runq, t)
+	k.userSpawned++
+	if k.hooks != nil {
+		k.hooks.TaskForked(nil, t)
+	}
+	return t
+}
+
+// SetAttributes implements tw_attributes(tid, simulate, inherit). A tid of
+// zero signifies the kernel itself (Table 1).
+func (k *Kernel) SetAttributes(id mem.TaskID, simulate, inherit bool) error {
+	t := k.Task(id)
+	if t == nil {
+		return fmt.Errorf("kernel: no task %d", id)
+	}
+	t.Simulate = simulate
+	t.Inherit = inherit
+	return nil
+}
+
+// UserTasksAlive reports the number of live workload tasks.
+func (k *Kernel) UserTasksAlive() int { return len(k.runq) }
+
+// Run executes workload tasks until they all exit or maxInstr total
+// instructions have retired (0 = no limit). It returns an error only on
+// unrecoverable conditions (out of memory with nothing evictable).
+func (k *Kernel) Run(maxInstr uint64) error {
+	for len(k.runq) > 0 {
+		if maxInstr > 0 && k.m.Instructions() >= maxInstr {
+			return nil
+		}
+		t := k.pick()
+		ev := t.prog.Next()
+		switch ev.Kind {
+		case EvRef:
+			if ev.Ref.Kind == mem.IFetch {
+				t.Instructions++
+				k.compInstr[CompUser]++
+			}
+			if k.tracer != nil && t.ID == k.traceTask {
+				k.tracer.Trace(t.ID, ev.Ref)
+			}
+			k.m.Execute(t.ID, ev.Ref)
+		case EvSyscall:
+			if ev.Service < 0 || ev.Service >= numServices {
+				return fmt.Errorf("kernel: task %d invoked unknown service %d", t.ID, ev.Service)
+			}
+			k.syscall(t, ev.Service)
+		case EvFork:
+			k.fork(t, ev.Child, ev.ShareText)
+		case EvExit:
+			k.exit(t)
+		default:
+			return fmt.Errorf("kernel: task %d emitted unknown event kind %d", t.ID, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// pick returns the task to run next, performing a context switch when the
+// scheduler has requested one.
+func (k *Kernel) pick() *Task {
+	if k.cur >= len(k.runq) {
+		k.cur = 0
+	}
+	if k.resched && len(k.runq) > 1 {
+		k.resched = false
+		k.cur = (k.cur + 1) % len(k.runq)
+		k.kexec(k.schedW, kSwitchLen)
+	} else {
+		k.resched = false
+	}
+	return k.runq[k.cur]
+}
+
+// kexec executes n kernel instructions from walker w, with the configured
+// kernel data-reference mix.
+func (k *Kernel) kexec(w *textwalk.Walker, n int) {
+	for i := 0; i < n; i++ {
+		k.compInstr[CompKernel]++
+		k.m.Execute(mem.KernelTask, mem.Ref{VA: w.Next(), Kind: mem.IFetch})
+		if k.cfg.KernelDataRefs > 0 && k.rngKernel.Bool(k.cfg.KernelDataRefs) {
+			k.m.Execute(mem.KernelTask, k.kdata.next())
+		}
+	}
+}
+
+// syscall runs one kernel service invocation, including any server-side
+// handling, synchronously on behalf of t.
+func (k *Kernel) syscall(t *Task, svc ServiceID) {
+	if svc < 0 || svc >= numServices {
+		panic(fmt.Sprintf("kernel: bad service %d", svc))
+	}
+	d := &serviceTable[svc]
+	k.kexec(k.entryW, kEntryLen)
+
+	masked := int(float64(d.pathLen) * d.maskedFrac)
+	k.kexec(k.svcW[svc], d.pathLen-masked)
+	if masked > 0 {
+		// Critical section: interrupts off. ECC traps raised by these
+		// references are lost — the masking bias of Section 4.2.
+		k.m.SetIntMasked(true)
+		k.kexec(k.svcW[svc], masked)
+		k.m.SetIntMasked(false)
+	}
+
+	if d.server != NoServer {
+		srv := k.servers[d.server]
+		if srv != nil {
+			k.kexec(k.entryW, kIPCLen)
+			k.serverHandle(srv, svc, d.serverLen)
+			k.kexec(k.entryW, kIPCLen)
+		}
+	}
+	if svc == SvcRead || svc == SvcWrite {
+		k.deviceDMA(t, svc)
+	}
+	k.kexec(k.entryW, kExitLen)
+}
+
+// deviceDMA models the I/O transfer behind the read and write fast paths:
+// a device DMAs into (read) or out of (write) the caller's buffer. On
+// machines with predictable DMA, the kernel brackets the transfer with
+// tw_remove_page/tw_register_page so the simulator's traps never meet the
+// device — the workaround the 5000/200 port used. Machines without that
+// property (the 5000/240) silently destroy traps on DMA writes and take
+// spurious faults on DMA reads of trapped buffers; the machine counts
+// both (Section 4.3).
+func (k *Kernel) deviceDMA(t *Task, svc ServiceID) {
+	const xfer = 512 // bytes per transfer
+	va := DataBase   // the caller's first data page serves as I/O buffer
+	pa, ok := k.ResidentPA(t.ID, va)
+	if !ok {
+		return // no buffer established yet
+	}
+	bracket := k.cfg.Machine.PredictableDMA && t.Simulate && k.hooks != nil
+	if bracket {
+		k.hooks.PageRemoved(t.ID, pa, va)
+	}
+	if svc == SvcRead {
+		k.m.DMAWrite(pa, xfer)
+	} else {
+		k.m.DMARead(pa, xfer)
+	}
+	if bracket {
+		k.hooks.PageRegistered(t.ID, pa, va, mem.Load)
+	}
+}
+
+// serverHandle executes one request in the server task's context.
+func (k *Kernel) serverHandle(s *server, svc ServiceID, n int) {
+	w := s.walkers[svc]
+	if w == nil {
+		panic(fmt.Sprintf("kernel: %v has no handler for %v", s.kind, svc))
+	}
+	if k.cfg.ServerFragBytesPerReq > 0 {
+		s.data.grow(uint32(k.cfg.ServerFragBytesPerReq))
+	}
+	for i := 0; i < n; i++ {
+		s.task.Instructions++
+		k.compInstr[CompServer]++
+		k.m.Execute(s.task.ID, mem.Ref{VA: w.Next(), Kind: mem.IFetch})
+		if k.rngKernel.Bool(s.dataP) {
+			r := s.data.next()
+			k.m.Execute(s.task.ID, r)
+		}
+	}
+}
+
+// fork implements task creation with Tapeworm attribute inheritance:
+//
+//	child.simulate <- parent.inherit
+//	child.inherit  <- parent.inherit
+//
+// The child shares the parent's text pages (reference-counted); data and
+// stack pages are faulted privately.
+func (k *Kernel) fork(parent *Task, childProg Program, shareText bool) {
+	k.kexec(k.forkW, kForkLen)
+	child := k.newTask(parent.Name+"+", childProg, parent.Inherit, parent.Inherit)
+	child.Parent = parent.ID
+
+	if shareText {
+		// Share text mappings: the same physical page gains a second
+		// virtual mapping, which must still be registered with the
+		// simulator so it can reference-count shared entries (Section
+		// 3.2) — a new task benefits from lines brought into a
+		// physically-indexed cache by its sibling, as on a real system.
+		pageSize := uint32(k.cfg.Machine.PageSize)
+		parent.space.pages(func(vpn uint32, p pte) {
+			va := mem.VAddr(vpn) * mem.VAddr(pageSize)
+			if va >= DataBase || !p.resident() {
+				return
+			}
+			k.fa.share(p.frame())
+			child.space.set(vpn, p|pteShared|pteValid)
+			child.space.mapped++
+			k.resident.push(child.ID, vpn)
+			if child.Simulate && k.hooks != nil {
+				k.hooks.PageRegistered(child.ID, mem.PAddr(p.frame()*pageSize), va, mem.IFetch)
+			}
+		})
+	}
+
+	k.runq = append(k.runq, child)
+	k.userSpawned++
+	k.forks++
+	if k.hooks != nil {
+		k.hooks.TaskForked(parent, child)
+	}
+}
+
+// exit tears a task down: every mapping is removed (with PageRemoved hooks
+// so Tapeworm can flush the simulated cache, mirroring the host machine's
+// behaviour on unmapping), frames are released, and the task leaves the
+// run queue.
+func (k *Kernel) exit(t *Task) {
+	k.kexec(k.entryW, kExitTaskLen)
+	pageSize := uint32(k.cfg.Machine.PageSize)
+	t.space.pages(func(vpn uint32, p pte) {
+		if !p.resident() {
+			return
+		}
+		pa := mem.PAddr(p.frame() * pageSize)
+		va := mem.VAddr(vpn) * mem.VAddr(pageSize)
+		// Removal is unconditional: even if tw_attributes cleared the
+		// simulate bit after pages were registered, the simulator must
+		// see the unmapping or its per-frame state goes stale (the hook
+		// ignores mappings it never registered).
+		if k.hooks != nil {
+			k.hooks.PageRemoved(t.ID, pa, va)
+		}
+		k.fa.release(p.frame())
+	})
+	t.space = newAddrSpace(int(pageSize))
+	t.State = Exited
+	for i, rt := range k.runq {
+		if rt == t {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			if k.cur > i {
+				k.cur--
+			}
+			break
+		}
+	}
+	k.userExited++
+	k.exits++
+	if k.hooks != nil {
+		k.hooks.TaskExited(t.ID)
+	}
+}
+
+// --- mach.OS implementation ---
+
+// Translate resolves a user virtual address through the task's page table.
+func (k *Kernel) Translate(t mem.TaskID, va mem.VAddr, _ mem.RefKind) (mem.PAddr, bool) {
+	task := k.Task(t)
+	if task == nil {
+		return 0, false
+	}
+	return task.space.Translate(va)
+}
+
+// PageFault services a translation failure: either a page-valid-bit trap
+// planted by Tapeworm's TLB mode (resident but invalid), or a demand fill.
+func (k *Kernel) PageFault(t mem.TaskID, va mem.VAddr, kind mem.RefKind) (mem.PAddr, bool) {
+	task := k.Task(t)
+	if task == nil {
+		return 0, false
+	}
+	as := task.space
+	vpn := as.vpn(va)
+	p := as.lookup(vpn)
+	pageSize := uint32(k.cfg.Machine.PageSize)
+
+	if p.resident() && !p.valid() {
+		// The page is really in memory; the valid bit was cleared to
+		// force this trap. Hand it to the simulator.
+		pa := mem.PAddr(p.frame()*pageSize) + mem.PAddr(uint32(va)&(pageSize-1))
+		if k.hooks != nil && k.hooks.InvalidPageTrap(t, va, mem.PAddr(p.frame()*pageSize), kind) {
+			return pa, true
+		}
+		// No simulator claimed it; restore validity ourselves.
+		as.set(vpn, p|pteValid)
+		return pa, true
+	}
+
+	// Demand fill through the VM fault path.
+	k.kexec(k.vmW, kFaultLen)
+	frame, ok := k.fa.alloc()
+	for !ok {
+		if !k.evictOnePage() {
+			return 0, false // out of memory, nothing evictable
+		}
+		frame, ok = k.fa.alloc()
+	}
+	as.set(vpn, pte(frame)|pteValid|pteResident)
+	as.mapped++
+	k.resident.push(t, vpn)
+	pa0 := mem.PAddr(frame * pageSize)
+	va0 := mem.VAddr(vpn) * mem.VAddr(pageSize)
+	if task.Simulate && k.hooks != nil {
+		// "After the page is marked valid by the VM system,
+		// tw_register_page() sets traps on all memory locations in the
+		// page" (Section 3.2).
+		k.hooks.PageRegistered(t, pa0, va0, kind)
+	}
+	return pa0 + mem.PAddr(uint32(va)&(pageSize-1)), true
+}
+
+// evictOnePage pages out the oldest resident page (FIFO), returning false
+// when nothing can be evicted.
+func (k *Kernel) evictOnePage() bool {
+	pageSize := uint32(k.cfg.Machine.PageSize)
+	for {
+		e, ok := k.resident.pop()
+		if !ok {
+			return false
+		}
+		task := k.Task(e.tid)
+		if task == nil || task.State == Exited {
+			continue
+		}
+		p := task.space.lookup(e.vpn)
+		if !p.resident() {
+			continue
+		}
+		k.kexec(k.vmW, kPageOutLen)
+		pa := mem.PAddr(p.frame() * pageSize)
+		va := mem.VAddr(e.vpn) * mem.VAddr(pageSize)
+		if k.hooks != nil {
+			k.hooks.PageRemoved(e.tid, pa, va)
+		}
+		k.fa.release(p.frame())
+		task.space.set(e.vpn, 0)
+		task.space.mapped--
+		k.pageOuts++
+		return true
+	}
+}
+
+// ECCTrap routes a memory-error trap: Tapeworm traps go to the simulator,
+// true errors are corrected (single-bit) or recorded (double-bit) by the
+// kernel, exactly the discrimination of Section 3.2 footnote 1.
+func (k *Kernel) ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.RefKind) {
+	if k.hooks != nil && k.hooks.ECCTrap(t, va, pa, kind) {
+		return
+	}
+	k.trueECCErrs++
+	k.m.Phys().CorrectWord(pa)
+}
+
+// BreakpointTrap routes an instruction breakpoint to the simulator.
+func (k *Kernel) BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr) {
+	if k.hooks != nil {
+		k.hooks.BreakpointTrap(t, va, pa)
+	}
+}
+
+// ClockInterrupt runs the timer handler: interrupt path instructions
+// (masked, as on real hardware) and scheduler bookkeeping. More elapsed
+// cycles mean more of these per workload instruction — the time-dilation
+// mechanism of Figure 4.
+func (k *Kernel) ClockInterrupt() {
+	if k.inClock {
+		return // coalesce ticks raised while handling a tick
+	}
+	k.inClock = true
+	k.ticks++
+	k.m.SetIntMasked(true)
+	k.kexec(k.clockW, kIntrLen)
+	k.m.SetIntMasked(false)
+	// Softclock: every few ticks the deferred half runs — callout queues,
+	// statistics, page-ager scans — touching a broader slice of kernel
+	// text and data. This work scales with elapsed *time*, so a dilated
+	// system pays proportionally more of it; it is the dominant term in
+	// the time-dilation bias of Figure 4.
+	if k.ticks%2 == 0 {
+		k.kexec(k.vmW, kSoftclockLen)
+		k.kexec(k.schedW, kSoftclockLen/2)
+	}
+	if k.cfg.QuantumTicks > 0 && k.ticks%uint64(k.cfg.QuantumTicks) == 0 {
+		k.resched = true
+	}
+	k.inClock = false
+}
+
+// --- Support for Tapeworm's machine-dependent layers ---
+
+// ForEachKernelPage enumerates the kernel's kseg0 pages (text regions and
+// the data region) so tw_attributes(0, 1, _) can register them.
+func (k *Kernel) ForEachKernelPage(fn func(pa mem.PAddr, va mem.VAddr, kind mem.RefKind)) {
+	pageSize := mem.VAddr(k.cfg.Machine.PageSize)
+	dataStart := k.layout.data.Base
+	for va := mach.KernelBase; va < k.layout.textEnd; va += pageSize {
+		kind := mem.IFetch
+		if va >= dataStart {
+			kind = mem.Load
+		}
+		fn(mem.PAddr(va-mach.KernelBase), va, kind)
+	}
+}
+
+// SetPageValid flips the hardware valid bit of a resident page without
+// touching the software resident bit: the page-valid-bit trap primitive
+// used for TLB simulation. It fails if the page is not resident.
+func (k *Kernel) SetPageValid(t mem.TaskID, va mem.VAddr, valid bool) error {
+	task := k.Task(t)
+	if task == nil {
+		return fmt.Errorf("kernel: no task %d", t)
+	}
+	vpn := task.space.vpn(va)
+	p := task.space.lookup(vpn)
+	if !p.resident() {
+		return fmt.Errorf("kernel: task %d page %#x not resident", t, va)
+	}
+	if valid {
+		task.space.set(vpn, p|pteValid)
+	} else {
+		task.space.set(vpn, p&^pteValid)
+	}
+	return nil
+}
+
+// ResidentPA returns the physical page address of a resident page (even
+// if its valid bit is cleared), for the simulator's bookkeeping.
+func (k *Kernel) ResidentPA(t mem.TaskID, va mem.VAddr) (mem.PAddr, bool) {
+	task := k.Task(t)
+	if task == nil {
+		return 0, false
+	}
+	p := task.space.lookup(task.space.vpn(va))
+	if !p.resident() {
+		return 0, false
+	}
+	return mem.PAddr(p.frame() * uint32(k.cfg.Machine.PageSize)), true
+}
+
+// KernelTextPages returns the number of pages the kernel image occupies.
+func (k *Kernel) KernelTextPages() int {
+	return k.layout.kernelFrames(k.cfg.Machine.PageSize)
+}

@@ -1,0 +1,297 @@
+package kernel
+
+import (
+	"fmt"
+
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/textwalk"
+)
+
+// ServiceID names a kernel service a task can invoke with EvSyscall.
+type ServiceID int
+
+const (
+	// SvcNull is the minimal trap-and-return syscall (getpid-style).
+	SvcNull ServiceID = iota
+	// SvcRead is a file read handled in the kernel's fast path.
+	SvcRead
+	// SvcWrite is a file write handled in the kernel's fast path.
+	SvcWrite
+	// SvcVM covers memory-management calls (brk, mmap).
+	SvcVM
+	// SvcProcess covers process-control calls (wait, signal).
+	SvcProcess
+	// SvcBSDFile is a file operation served by the user-level BSD server
+	// (open/close/stat in Mach 3.0 are RPCs to the UNIX server).
+	SvcBSDFile
+	// SvcBSDProc is process bookkeeping served by the BSD server.
+	SvcBSDProc
+	// SvcBSDExec is program exec handled by the BSD server (heavy).
+	SvcBSDExec
+	// SvcXRender is a drawing request served by the X display server.
+	SvcXRender
+	// SvcXEvent is input/event handling in the X display server.
+	SvcXEvent
+
+	numServices
+)
+
+// String names the service.
+func (s ServiceID) String() string {
+	names := [...]string{"null", "read", "write", "vm", "process",
+		"bsd-file", "bsd-proc", "bsd-exec", "x-render", "x-event"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("ServiceID(%d)", int(s))
+}
+
+// ServerKind identifies which server task, if any, backs a service.
+type ServerKind int
+
+const (
+	// NoServer means the service completes in the kernel.
+	NoServer ServerKind = iota
+	// BSDServer is the user-level BSD UNIX single-server.
+	BSDServer
+	// XServer is the X11 display server.
+	XServer
+)
+
+// String names the server kind.
+func (s ServerKind) String() string {
+	switch s {
+	case BSDServer:
+		return "BSD server"
+	case XServer:
+		return "X server"
+	}
+	return "kernel"
+}
+
+// svcDesc describes one service: its kernel text region, path length, the
+// fraction of the path run with interrupts masked (critical sections), and
+// the backing server with its handler path length.
+type svcDesc struct {
+	id         ServiceID
+	textBytes  uint32
+	pathLen    int     // kernel instructions per invocation
+	maskedFrac float64 // fraction of pathLen with interrupts masked
+	server     ServerKind
+	serverLen  int // server instructions per invocation
+}
+
+// serviceTable defines the kernel's services. Text sizes and path lengths
+// are chosen so that OS-intensive workloads reproduce the paper's Table 6
+// shape: kernel and server components dominate I-cache misses for all but
+// the SPEC-style single-task programs.
+var serviceTable = [numServices]svcDesc{
+	SvcNull:    {SvcNull, 1 << 10, 80, 0.10, NoServer, 0},
+	SvcRead:    {SvcRead, 12 << 10, 700, 0.08, NoServer, 0},
+	SvcWrite:   {SvcWrite, 12 << 10, 650, 0.08, NoServer, 0},
+	SvcVM:      {SvcVM, 16 << 10, 900, 0.15, NoServer, 0},
+	SvcProcess: {SvcProcess, 10 << 10, 500, 0.12, NoServer, 0},
+	SvcBSDFile: {SvcBSDFile, 6 << 10, 450, 0.05, BSDServer, 1500},
+	SvcBSDProc: {SvcBSDProc, 6 << 10, 400, 0.05, BSDServer, 1200},
+	SvcBSDExec: {SvcBSDExec, 8 << 10, 900, 0.05, BSDServer, 4500},
+	SvcXRender: {SvcXRender, 5 << 10, 350, 0.03, XServer, 2200},
+	SvcXEvent:  {SvcXEvent, 5 << 10, 300, 0.03, XServer, 900},
+}
+
+// Services returns the IDs of all defined services.
+func Services() []ServiceID {
+	out := make([]ServiceID, numServices)
+	for i := range out {
+		out[i] = ServiceID(i)
+	}
+	return out
+}
+
+// ServerOf returns which server backs the service.
+func ServerOf(s ServiceID) ServerKind { return serviceTable[s].server }
+
+// FixedTaskCosts returns the kernel instructions consumed per task fork,
+// per task exit, and per VM page fault. Workload generators subtract these
+// fixed costs when solving syscall rates against the Table 4 fractions —
+// at reduced scales the per-task costs do not shrink with the instruction
+// budget and would otherwise swamp the kernel share.
+func FixedTaskCosts() (fork, exit, fault int) {
+	return kForkLen, kExitTaskLen, kFaultLen
+}
+
+// ServiceCosts returns the kernel-mode instructions (entry, service path,
+// IPC if server-backed, exit) and server-task instructions consumed by one
+// invocation of the service. Workload generators use these to solve for
+// syscall rates that hit the paper's Table 4 time distributions.
+func ServiceCosts(s ServiceID) (kernelInstr, serverInstr int) {
+	d := serviceTable[s]
+	kc := kEntryLen + kExitLen + d.pathLen
+	if d.server != NoServer {
+		kc += 2 * kIPCLen
+	}
+	return kc, d.serverLen
+}
+
+// Fixed kernel path lengths (instructions).
+const (
+	kEntryLen     = 60  // trap entry bookkeeping
+	kExitLen      = 40  // trap exit
+	kIPCLen       = 130 // message send/receive path, each direction
+	kIntrLen      = 140 // clock interrupt handler
+	kSoftclockLen = 700 // deferred softclock work, every other tick
+	kSwitchLen    = 160 // context switch
+	kFaultLen     = 240 // VM page-fault service path
+	kPageOutLen   = 300 // page-out path when memory is exhausted
+	kForkLen      = 650 // task fork path
+	kExitTaskLen  = 420 // task teardown path
+)
+
+// kernelLayout computes the kseg0 text offsets of the kernel's code
+// regions. The kernel occupies the reserved low frames of physical memory;
+// region addresses are KernelBase + offset.
+type kernelLayout struct {
+	entry    textwalk.Region
+	clock    textwalk.Region
+	sched    textwalk.Region
+	vmFault  textwalk.Region
+	fork     textwalk.Region
+	helpers  []textwalk.Region
+	services [numServices]textwalk.Region
+	data     textwalk.Region // kernel data (loads/stores)
+	textEnd  mem.VAddr       // first address past kernel text
+}
+
+func newKernelLayout() *kernelLayout {
+	l := &kernelLayout{}
+	off := mem.VAddr(0)
+	place := func(size uint32) textwalk.Region {
+		r := textwalk.Region{Base: mach.KernelBase + off, Size: size}
+		off += mem.VAddr(size)
+		return r
+	}
+	l.entry = place(2 << 10)
+	l.clock = place(1 << 10)
+	l.sched = place(2 << 10)
+	l.vmFault = place(4 << 10)
+	l.fork = place(4 << 10)
+	// Two shared helper regions: string/memory utilities and lock/queue
+	// utilities, called from all service paths.
+	l.helpers = []textwalk.Region{place(6 << 10), place(4 << 10)}
+	for i := range serviceTable {
+		l.services[i] = place(serviceTable[i].textBytes)
+	}
+	// Kernel data region: 64 KB following text.
+	l.data = place(64 << 10)
+	l.textEnd = mach.KernelBase + off
+	return l
+}
+
+// kernelFrames returns how many physical frames the layout occupies.
+func (l *kernelLayout) kernelFrames(pageSize int) int {
+	bytes := int(l.textEnd - mach.KernelBase)
+	return (bytes + pageSize - 1) / pageSize
+}
+
+// dataGen produces data references with a hot/cold split over a region:
+// most references go to a small hot prefix (locks, stats, current frames),
+// the rest stream over the whole region.
+type dataGen struct {
+	r       *rng.Source
+	region  textwalk.Region
+	hotSize uint32
+	storeP  float64
+}
+
+// grow widens the hot region, modelling long-running memory
+// fragmentation: live data structures spread over ever more pages, so the
+// page working set — and with it the TLB miss rate — creeps upward
+// (Section 4.2, "gradual (but substantial) increases in TLB misses due to
+// kernel and server memory fragmentation in a long-running system").
+func (d *dataGen) grow(bytes uint32) {
+	d.hotSize += bytes
+	if d.hotSize > d.region.Size {
+		d.hotSize = d.region.Size
+	}
+}
+
+func newDataGen(r *rng.Source, region textwalk.Region, hotSize uint32, storeP float64) *dataGen {
+	if hotSize > region.Size {
+		hotSize = region.Size
+	}
+	return &dataGen{r: r, region: region, hotSize: hotSize, storeP: storeP}
+}
+
+func (d *dataGen) next() mem.Ref {
+	var off uint32
+	if d.r.Bool(0.95) {
+		off = uint32(d.r.Intn(int(d.hotSize))) &^ 3
+	} else {
+		off = uint32(d.r.Intn(int(d.region.Size))) &^ 3
+	}
+	kind := mem.Load
+	if d.r.Bool(d.storeP) {
+		kind = mem.Store
+	}
+	return mem.Ref{VA: d.region.Base + mem.VAddr(off), Kind: kind}
+}
+
+// server models a user-level server task (BSD UNIX server or X display
+// server). Servers exist before the workload starts (they are "system
+// components" in the paper's terminology) and serve requests synchronously.
+type server struct {
+	kind ServerKind
+	task *Task
+	// One walker per service keeps per-service code locality; all share
+	// the server's helper region.
+	walkers map[ServiceID]*textwalk.Walker
+	data    *dataGen
+	dataP   float64 // data refs per instruction
+}
+
+func newServer(kind ServerKind, task *Task, r *rng.Source) *server {
+	// Server text footprints: the X server is large (~560 KB), the BSD
+	// server moderate (~380 KB). Handlers occupy disjoint slices of the
+	// text so that distinct request types touch distinct code.
+	var textSize uint32
+	switch kind {
+	case XServer:
+		textSize = 192 << 10
+	case BSDServer:
+		textSize = 144 << 10
+	default:
+		panic("kernel: newServer of NoServer")
+	}
+	helpers := []textwalk.Region{
+		{Base: TextBase + mem.VAddr(textSize), Size: 24 << 10},
+	}
+	s := &server{
+		kind:    kind,
+		task:    task,
+		walkers: make(map[ServiceID]*textwalk.Walker),
+		dataP:   0.30,
+	}
+	params := textwalk.DefaultParams()
+	params.CallProb = 0.06
+	// Slice the text among this server's services.
+	var svcs []ServiceID
+	for _, d := range serviceTable {
+		if d.server == kind {
+			svcs = append(svcs, d.id)
+		}
+	}
+	slice := textSize / uint32(len(svcs))
+	for i, id := range svcs {
+		region := textwalk.Region{
+			Base: TextBase + mem.VAddr(uint32(i)*slice),
+			Size: slice &^ 3,
+		}
+		s.walkers[id] = textwalk.MustNew(
+			r.Split(fmt.Sprintf("server-%d-%d", kind, id)), region, params, helpers)
+	}
+	dataRegion := textwalk.Region{Base: DataBase, Size: 256 << 10}
+	s.data = newDataGen(r.Split(fmt.Sprintf("server-%d-data", kind)),
+		dataRegion, 32<<10, 0.3)
+	return s
+}

@@ -1,0 +1,128 @@
+// Package kernel implements the operating system of the simulated host
+// machine: tasks with fork/exit and Tapeworm attribute inheritance, a
+// round-robin scheduler driven by clock interrupts, a virtual memory
+// system with a randomized physical frame allocator and page-registration
+// hooks, kernel services, and user-level server tasks (the Mach 3.0 BSD
+// single-server and the X display server of the paper's Table 4).
+//
+// The kernel is where Tapeworm resides: machine traps vector here first,
+// and the memory-simulation hooks (MemSimHooks) are how Tapeworm's
+// kernel-resident part attaches, mirroring the paper's modified Mach
+// kernel entry code and VM-system calls to tw_register_page and
+// tw_remove_page.
+package kernel
+
+import (
+	"fmt"
+
+	"tapeworm/internal/mem"
+)
+
+// EventKind discriminates the steps a task program can take.
+type EventKind uint8
+
+const (
+	// EvRef executes one memory reference.
+	EvRef EventKind = iota
+	// EvSyscall traps into a kernel service (possibly server-backed).
+	EvSyscall
+	// EvFork creates a child task running Event.Child.
+	EvFork
+	// EvExit terminates the task.
+	EvExit
+)
+
+// Event is one step of a task's execution, produced by its Program.
+type Event struct {
+	Kind    EventKind
+	Ref     mem.Ref   // EvRef
+	Service ServiceID // EvSyscall
+	Child   Program   // EvFork
+	// ShareText controls whether the forked child shares the parent's
+	// text pages (classic fork) or starts with an empty address space
+	// (fork immediately followed by exec of a different program).
+	ShareText bool
+}
+
+// Program generates a task's execution, one event at a time. Programs are
+// required to be deterministic functions of their own construction
+// parameters: a task's stream must not depend on scheduling, so that
+// single-task virtually-indexed simulations are exactly reproducible
+// (DESIGN.md, "per-task deterministic streams").
+type Program interface {
+	Next() Event
+}
+
+// TaskState tracks a task through its lifetime.
+type TaskState uint8
+
+const (
+	// Runnable tasks are eligible for scheduling.
+	Runnable TaskState = iota
+	// Exited tasks have terminated and been torn down.
+	Exited
+)
+
+// Task is an OS task. The Simulate and Inherit fields are the Tapeworm
+// attributes of Table 1, stored in an extended task structure exactly as
+// the paper describes; they are ordinary kernel state that Tapeworm reads
+// and writes through tw_attributes.
+type Task struct {
+	ID     mem.TaskID
+	Parent mem.TaskID
+	Name   string
+	State  TaskState
+
+	// Simulate registers the task's pages with Tapeworm; Inherit gives
+	// the initial Simulate value for children created by fork:
+	//
+	//	child.simulate <- parent.inherit
+	//	child.inherit  <- parent.inherit
+	Simulate bool
+	Inherit  bool
+
+	// Server marks X/BSD-style server tasks that exist before the
+	// workload starts and never exit.
+	Server bool
+
+	prog  Program
+	space *AddrSpace
+
+	Instructions uint64 // user-mode instructions executed by this task
+}
+
+// IsUserWorkload reports whether the task belongs to the measured
+// workload's fork tree (not a server, not the kernel).
+func (t *Task) IsUserWorkload() bool { return !t.Server && t.ID != mem.KernelTask }
+
+// Space returns the task's address space.
+func (t *Task) Space() *AddrSpace { return t.space }
+
+// Component classifies where references execute, for per-component miss
+// accounting (Table 6): user tasks, server tasks, or the kernel.
+type Component uint8
+
+const (
+	// CompUser is any task in the workload's fork tree.
+	CompUser Component = iota
+	// CompServer is the X display server or the BSD UNIX server.
+	CompServer
+	// CompKernel is the OS kernel itself.
+	CompKernel
+
+	// NumComponents is the count of component classes.
+	NumComponents
+)
+
+// String names the component.
+func (c Component) String() string {
+	switch c {
+	case CompUser:
+		return "user"
+	case CompServer:
+		return "server"
+	case CompKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("Component(%d)", uint8(c))
+}

@@ -1,0 +1,631 @@
+// Package mach simulates the host machine that Tapeworm runs on: a 32-bit
+// processor with physical memory carrying ECC check bits, real (host)
+// caches and a host TLB that determine uninstrumented run time, a clock
+// that raises periodic interrupts, breakpoint registers, and an
+// instruction counter.
+//
+// This is the substitution for the paper's DECstation 5000/200 (see
+// DESIGN.md): Tapeworm's behaviour depends on the host only through trap
+// semantics and cycle accounting, so modelling those two faithfully lets
+// every speed, bias and variance result re-emerge from first principles.
+//
+// The machine executes memory references on behalf of an OS (implemented
+// by package kernel) and vectors traps back into it: page faults when a
+// translation is invalid, ECC/memory-error traps when a host cache refill
+// touches a word with inconsistent check bits, breakpoint traps, and clock
+// interrupts. Instrumentation overhead is charged through ChargeOverhead
+// and advances the same clock as base execution — which is precisely why
+// time dilation (Figure 4) appears in simulations that slow the system
+// down.
+package mach
+
+import (
+	"fmt"
+
+	"tapeworm/internal/arch"
+	"tapeworm/internal/cache"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+)
+
+// OS receives machine traps. Package kernel provides the implementation;
+// Tapeworm registers itself with the kernel, not with the machine, because
+// on the real system every trap vectors through kernel entry code first.
+type OS interface {
+	// Translate maps (task, va) to a physical address, or reports a page
+	// fault. IsKernelVA addresses bypass translation (kseg0-style).
+	Translate(t mem.TaskID, va mem.VAddr, k mem.RefKind) (mem.PAddr, bool)
+
+	// PageFault handles an invalid translation, establishing a mapping and
+	// returning the physical address. The handler may execute kernel
+	// references and charge cycles on the machine. The bool distinguishes
+	// a demand-zero fill from a fatal fault (false aborts the reference).
+	PageFault(t mem.TaskID, va mem.VAddr, k mem.RefKind) (mem.PAddr, bool)
+
+	// ECCTrap handles a memory-error trap raised during a host cache line
+	// refill. pa is the first inconsistent word in the refilled line.
+	ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, k mem.RefKind)
+
+	// BreakpointTrap handles an instruction breakpoint at (task, va, pa).
+	BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr)
+
+	// ClockInterrupt handles a timer tick. The handler typically runs
+	// kernel code and may switch tasks.
+	ClockInterrupt()
+}
+
+// Config describes a machine model.
+type Config struct {
+	Name string
+	Proc *arch.Processor // capability matrix entry (Table 12)
+
+	ClockHz uint64 // processor clock, cycles per second
+
+	Frames   int // physical memory size in pages
+	PageSize int // bytes per page
+
+	// Host memory hierarchy. These are the *real* caches of the host
+	// machine, not simulated ones: they set the baseline run time and,
+	// crucially, ECC is checked only on host cache line refills.
+	HostICache cache.Config
+	HostDCache cache.Config
+	HostTLB    cache.TLBConfig
+
+	MissPenalty     int // cycles to refill a host cache line
+	WritePenalty    int // cycles for a write-around store (no-allocate)
+	TLBRefillCycles int // software-managed TLB refill cost
+
+	ClockTickCycles uint64 // cycles between clock interrupts
+
+	// PredictableDMA reports whether the kernel can learn a DMA
+	// transfer's target pages before it runs (and so bracket the
+	// transfer with tw_remove_page/tw_register_page). The 5000/200's
+	// I/O system permits this; the 5000/240's does not — the difference
+	// that "hindered" the port (Section 4.3).
+	PredictableDMA bool
+
+	// DMAChecksECC reports whether the DMA engine checks ECC as it reads
+	// memory. When true, a device reading a Tapeworm-trapped buffer takes
+	// a spurious memory fault that the kernel must absorb by clearing
+	// the trap (losing the miss).
+	DMAChecksECC bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Proc == nil {
+		return fmt.Errorf("mach: config %q lacks a processor", c.Name)
+	}
+	if c.ClockHz == 0 || c.Frames <= 0 || c.PageSize <= 0 {
+		return fmt.Errorf("mach: config %q has zero clock/frames/page size", c.Name)
+	}
+	if err := c.HostICache.Validate(); err != nil {
+		return fmt.Errorf("mach: host icache: %w", err)
+	}
+	if err := c.HostDCache.Validate(); err != nil {
+		return fmt.Errorf("mach: host dcache: %w", err)
+	}
+	if err := c.HostTLB.Validate(); err != nil {
+		return fmt.Errorf("mach: host tlb: %w", err)
+	}
+	if c.ClockTickCycles == 0 {
+		return fmt.Errorf("mach: config %q has no clock tick period", c.Name)
+	}
+	return nil
+}
+
+// DECstation5000_200 returns the machine model of the paper's primary
+// platform: a 25 MHz MIPS R3000 with 64 KB direct-mapped I- and D-caches
+// (4-word lines, no allocate on write), a 64-entry fully-associative
+// software-managed TLB, and ECC memory checked on 4-word refills.
+func DECstation5000_200(frames int) Config {
+	proc, err := arch.ByName("MIPS R3000")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Name:     "DECstation 5000/200",
+		Proc:     proc,
+		ClockHz:  25_000_000,
+		Frames:   frames,
+		PageSize: 4096,
+		HostICache: cache.Config{
+			Name: "host-I", Size: 64 << 10, LineSize: 16, Assoc: 1,
+		},
+		HostDCache: cache.Config{
+			Name: "host-D", Size: 64 << 10, LineSize: 16, Assoc: 1,
+		},
+		HostTLB:         cache.R3000TLB(),
+		MissPenalty:     15,
+		WritePenalty:    2,
+		TLBRefillCycles: 20,
+		// 100 Hz scheduler clock at 25 MHz.
+		ClockTickCycles: 250_000,
+		PredictableDMA:  true,
+	}
+}
+
+// Gateway486 returns the model of the 486-based Gateway PC port: no ECC
+// diagnostic access, so only page-valid-bit (TLB) simulation is possible.
+func Gateway486(frames int) Config {
+	proc, err := arch.ByName("Intel i486")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Name:     "Gateway 486",
+		Proc:     proc,
+		ClockHz:  33_000_000,
+		Frames:   frames,
+		PageSize: 4096,
+		HostICache: cache.Config{
+			Name: "host-U", Size: 8 << 10, LineSize: 16, Assoc: 4,
+		},
+		HostDCache: cache.Config{
+			Name: "host-U2", Size: 8 << 10, LineSize: 16, Assoc: 4,
+		},
+		HostTLB: cache.TLBConfig{
+			Name: "i486", Entries: 32, Assoc: 4, PageSize: 4096, Replace: LRUish(),
+		},
+		MissPenalty:     12,
+		WritePenalty:    2,
+		TLBRefillCycles: 30, // hardware page walk
+		ClockTickCycles: 330_000,
+		PredictableDMA:  true,
+	}
+}
+
+// DECstation5000_240 returns the machine behind the paper's Section 4.3
+// porting anecdote: an R4000-class DECstation with variable page sizes
+// (enabling superpage TLB simulation, cf. [Talluri94]) but a DMA engine
+// implemented differently from the 5000/200's — its DMA writes recompute
+// ECC straight into memory, destroying Tapeworm traps on I/O buffers with
+// no event the kernel can hook (PredictableDMA false).
+func DECstation5000_240(frames int) Config {
+	proc, err := arch.ByName("MIPS R4000")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Name:     "DECstation 5000/240",
+		Proc:     proc,
+		ClockHz:  40_000_000,
+		Frames:   frames,
+		PageSize: 4096,
+		HostICache: cache.Config{
+			Name: "host-I", Size: 64 << 10, LineSize: 16, Assoc: 1,
+		},
+		HostDCache: cache.Config{
+			Name: "host-D", Size: 64 << 10, LineSize: 16, Assoc: 1,
+		},
+		HostTLB: cache.TLBConfig{
+			Name: "r4000", Entries: 64, PageSize: 4096, Replace: cache.Random,
+			Reserved: 8,
+		},
+		MissPenalty:     14,
+		WritePenalty:    2,
+		TLBRefillCycles: 18,
+		ClockTickCycles: 400_000,
+		PredictableDMA:  false,
+		DMAChecksECC:    true,
+	}
+}
+
+// WWTNode returns a SPARC CM-5-node-like machine (the Wisconsin Wind
+// Tunnel platform): allocate-on-write caches, which is what makes
+// data-cache simulation possible there [Reinhardt93].
+func WWTNode(frames int) Config {
+	proc, err := arch.ByName("SPARC")
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Name:     "CM-5 node (SPARC)",
+		Proc:     proc,
+		ClockHz:  32_000_000,
+		Frames:   frames,
+		PageSize: 4096,
+		HostICache: cache.Config{
+			Name: "host-I", Size: 64 << 10, LineSize: 32, Assoc: 1,
+		},
+		HostDCache: cache.Config{
+			Name: "host-D", Size: 64 << 10, LineSize: 32, Assoc: 1,
+		},
+		HostTLB:         cache.TLBConfig{Name: "sparc", Entries: 64, PageSize: 4096, Replace: LRUish()},
+		MissPenalty:     20,
+		WritePenalty:    2,
+		TLBRefillCycles: 25,
+		ClockTickCycles: 320_000,
+		PredictableDMA:  true,
+	}
+}
+
+// LRUish returns the LRU policy; a helper so config literals read clearly.
+func LRUish() cache.Replacement { return cache.LRU }
+
+// KernelBase is the start of the directly-mapped kernel virtual segment
+// (kseg0 on MIPS): kernel VAs map to physical addresses by subtracting
+// KernelBase, bypassing the TLB.
+const KernelBase mem.VAddr = 0x8000_0000
+
+// IsKernelVA reports whether va lies in the kernel's direct-mapped segment.
+func IsKernelVA(va mem.VAddr) bool { return va >= KernelBase }
+
+// Machine is the simulated host. Create with New; drive with Execute.
+type Machine struct {
+	cfg  Config
+	phys *mem.Phys
+	ctl  *mem.Controller
+	os   OS
+
+	hostI   *cache.Cache
+	hostD   *cache.Cache
+	hostTLB *cache.TLB
+
+	cycles   uint64 // total elapsed cycles (base + overhead)
+	overhead uint64 // cycles attributed to instrumentation
+	instret  uint64 // instructions retired (IFetch count)
+
+	nextTick     uint64
+	intMasked    bool
+	pendingClock bool
+	latchedECC   []latchedTrap // ECC events raised while masked
+	inHandler    int           // trap-handler nesting depth
+
+	breakpoints map[mem.PAddr]bool
+
+	// Event counters for bias analysis.
+	eccTraps      uint64 // delivered ECC traps
+	eccLatched    uint64 // ECC traps delivered late from the mask latch
+	maskedDrops   uint64 // ECC checks suppressed by latch overflow
+	silentClears  uint64 // traps destroyed by no-allocate write-around
+	dmaClears     uint64 // traps destroyed by DMA writes
+	dmaFaults     uint64 // spurious DMA faults on trapped buffers
+	trueErrors    uint64 // non-Tapeworm syndromes delivered
+	clockTicks    uint64
+	pageFaults    uint64
+	hostTLBMisses uint64
+}
+
+// New builds a machine from cfg with traps vectored into os.
+func New(cfg Config, os OS) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if os == nil {
+		return nil, fmt.Errorf("mach: nil OS")
+	}
+	phys := mem.NewPhys(cfg.Frames, cfg.PageSize)
+	m := &Machine{
+		cfg:         cfg,
+		phys:        phys,
+		ctl:         mem.NewController(phys),
+		os:          os,
+		hostI:       cache.MustNew(cfg.HostICache, nil),
+		hostD:       cache.MustNew(cfg.HostDCache, nil),
+		hostTLB:     cache.MustNewTLB(cfg.HostTLB, rng.New(0x7457)),
+		nextTick:    cfg.ClockTickCycles,
+		breakpoints: make(map[mem.PAddr]bool),
+	}
+	return m, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, os OS) *Machine {
+	m, err := New(cfg, os)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Phys returns physical memory (for the kernel's frame allocator and for
+// Tapeworm's trap state queries).
+func (m *Machine) Phys() *mem.Phys { return m.phys }
+
+// Controller returns the memory-controller diagnostic interface. Only
+// Tapeworm's machine-dependent layer should touch it.
+func (m *Machine) Controller() *mem.Controller { return m.ctl }
+
+// Cycles returns total elapsed cycles.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// OverheadCycles returns cycles attributed to instrumentation (Tapeworm
+// handlers, Pixie annotation, on-the-fly trace processing).
+func (m *Machine) OverheadCycles() uint64 { return m.overhead }
+
+// BaseCycles returns cycles the workload would cost without
+// instrumentation interleaved (total minus overhead). Note that a dilated
+// run has slightly more base cycles than an uninstrumented run — that
+// difference is the Figure 4 bias, and it is deliberate.
+func (m *Machine) BaseCycles() uint64 { return m.cycles - m.overhead }
+
+// Instructions returns the number of instructions retired.
+func (m *Machine) Instructions() uint64 { return m.instret }
+
+// Seconds converts a cycle count to seconds at the machine's clock rate.
+func (m *Machine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / float64(m.cfg.ClockHz)
+}
+
+// Charge adds base execution cycles (kernel service code, stalls).
+func (m *Machine) Charge(c uint64) { m.cycles += c }
+
+// ChargeOverhead adds instrumentation cycles. They advance the same clock
+// as base cycles — overhead dilates time, as on the real machine.
+func (m *Machine) ChargeOverhead(c uint64) {
+	m.cycles += c
+	m.overhead += c
+}
+
+// latchedTrap is an ECC event raised while interrupts were masked, held in
+// the memory controller's error registers (augmented by Tapeworm's
+// "special code around these regions", Section 4.2) until unmask.
+type latchedTrap struct {
+	t    mem.TaskID
+	va   mem.VAddr
+	pa   mem.PAddr
+	kind mem.RefKind
+}
+
+// eccLatchDepth bounds how many masked ECC events can be held: the
+// controller latches the first error and Tapeworm's "special code around
+// these regions" (Section 4.2) logs the rest into a small software buffer
+// drained at unmask. Events beyond the buffer are lost outright: the
+// refill completes unchecked and the miss goes uncounted until the line
+// leaves the host cache again — the residual measurement bias the paper
+// describes for kernel code run with interrupts disabled.
+const eccLatchDepth = 256
+
+// SetIntMasked sets the processor interrupt mask. While masked, ECC traps
+// latch (bounded) and clock ticks defer; both deliver on unmask.
+func (m *Machine) SetIntMasked(on bool) {
+	m.intMasked = on
+	if on {
+		return
+	}
+	for len(m.latchedECC) > 0 {
+		lt := m.latchedECC[0]
+		m.latchedECC = m.latchedECC[1:]
+		// The trap may have been cleared (page removal) between latch
+		// and delivery; skip stale entries.
+		if !m.phys.TrappedWord(lt.pa) {
+			continue
+		}
+		if m.phys.Classify(lt.pa&^3) == mem.SynTapeworm {
+			m.eccTraps++
+			m.eccLatched++
+		} else {
+			m.trueErrors++
+		}
+		m.inHandler++
+		m.os.ECCTrap(lt.t, lt.va, lt.pa, lt.kind)
+		m.inHandler--
+	}
+	m.latchedECC = nil
+	if m.pendingClock {
+		m.pendingClock = false
+		m.clockTicks++
+		m.os.ClockInterrupt()
+	}
+}
+
+// IntMasked reports the current interrupt mask.
+func (m *Machine) IntMasked() bool { return m.intMasked }
+
+// FlushHostLine removes the host cache lines containing pa from both host
+// caches, forcing the next access to refill (and hence to check ECC).
+// tw_set_trap must call this or resident lines would never re-trap.
+func (m *Machine) FlushHostLine(pa mem.PAddr, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	m.hostI.InvalidateRange(0, uint32(pa), size)
+	m.hostD.InvalidateRange(0, uint32(pa), size)
+}
+
+// DMAWrite models a device writing [pa, pa+size): the transfer recomputes
+// ECC for every word it stores, silently destroying any Tapeworm traps in
+// the buffer, and invalidates the host cache lines it overlaps. The
+// machine-check logic never runs — no handler sees the lost traps.
+func (m *Machine) DMAWrite(pa mem.PAddr, size int) {
+	if size <= 0 {
+		size = mem.WordBytes
+	}
+	for off := 0; off < size; off += mem.WordBytes {
+		w := pa + mem.PAddr(off)
+		if m.phys.TrappedWord(w) && m.phys.Classify(w&^3) == mem.SynTapeworm {
+			m.ctl.ClearTrap(w&^3, mem.WordBytes)
+			m.dmaClears++
+		}
+	}
+	m.FlushHostLine(pa, size)
+	m.cycles += uint64(size / mem.WordBytes) // bus occupancy
+}
+
+// DMARead models a device reading [pa, pa+size). On machines whose DMA
+// engine checks ECC (the 5000/240), reading a Tapeworm-trapped word raises
+// a spurious memory fault; the kernel can only recover by restoring
+// correct check bits, losing the miss.
+func (m *Machine) DMARead(pa mem.PAddr, size int) {
+	if size <= 0 {
+		size = mem.WordBytes
+	}
+	if m.cfg.DMAChecksECC {
+		for off := 0; off < size; off += mem.WordBytes {
+			w := pa + mem.PAddr(off)
+			if m.phys.TrappedWord(w) && m.phys.Classify(w&^3) == mem.SynTapeworm {
+				m.ctl.ClearTrap(w&^3, mem.WordBytes)
+				m.dmaFaults++
+			}
+		}
+	}
+	m.cycles += uint64(size / mem.WordBytes)
+}
+
+// SetBreakpoint arms an instruction breakpoint at physical address pa.
+func (m *Machine) SetBreakpoint(pa mem.PAddr) { m.breakpoints[pa&^3] = true }
+
+// ClearBreakpoint disarms the breakpoint at pa.
+func (m *Machine) ClearBreakpoint(pa mem.PAddr) { delete(m.breakpoints, pa&^3) }
+
+// Counters reports machine event totals.
+type Counters struct {
+	ECCTraps      uint64
+	ECCLatched    uint64
+	MaskedDrops   uint64
+	SilentClears  uint64
+	DMAClears     uint64
+	DMAFaults     uint64
+	TrueErrors    uint64
+	ClockTicks    uint64
+	PageFaults    uint64
+	HostTLBMisses uint64
+}
+
+// Counters returns a snapshot of the machine's event counters.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		ECCTraps:      m.eccTraps,
+		ECCLatched:    m.eccLatched,
+		MaskedDrops:   m.maskedDrops,
+		SilentClears:  m.silentClears,
+		DMAClears:     m.dmaClears,
+		DMAFaults:     m.dmaFaults,
+		TrueErrors:    m.trueErrors,
+		ClockTicks:    m.clockTicks,
+		PageFaults:    m.pageFaults,
+		HostTLBMisses: m.hostTLBMisses,
+	}
+}
+
+// Execute runs one memory reference for task t. This is the machine's
+// fetch-execute step: translation (with page-fault vectoring), host TLB
+// and host cache cost accounting, ECC checking on refill, breakpoint
+// checking, and clock interrupt delivery.
+func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
+	if r.Kind == mem.IFetch {
+		m.instret++
+	}
+	m.cycles++ // base cost of the operation itself
+
+	// Translation. Kernel segment addresses map directly and bypass the
+	// TLB; user addresses go through the OS page tables and the host TLB.
+	var pa mem.PAddr
+	if IsKernelVA(r.VA) {
+		pa = mem.PAddr(r.VA - KernelBase)
+		if !m.phys.Contains(pa) {
+			panic(fmt.Sprintf("mach: kernel VA %#x beyond physical memory", r.VA))
+		}
+	} else {
+		var ok bool
+		pa, ok = m.os.Translate(t, r.VA, r.Kind)
+		if !ok {
+			m.pageFaults++
+			pa, ok = m.os.PageFault(t, r.VA, r.Kind)
+			if !ok {
+				return // fatal fault; reference abandoned
+			}
+		}
+		if hit, _, _ := m.hostTLB.Access(t, r.VA); !hit {
+			m.hostTLBMisses++
+			m.cycles += uint64(m.cfg.TLBRefillCycles)
+		}
+	}
+
+	// Breakpoint check (instruction granularity).
+	if r.Kind == mem.IFetch && len(m.breakpoints) > 0 && m.breakpoints[pa&^3] {
+		m.os.BreakpointTrap(t, r.VA, pa)
+	}
+
+	// Host cache access; ECC is checked only when a line is refilled.
+	hc := m.hostI
+	if r.Kind != mem.IFetch {
+		hc = m.hostD
+	}
+	lineSize := hc.Config().LineSize
+	lineAddr := mem.PAddr(hc.LineAddr(uint32(pa)))
+
+	if r.Kind == mem.Store && !m.cfg.Proc.AllocateOnWrite {
+		// No-allocate-on-write: a store miss writes around the cache.
+		// The write recomputes ECC for the stored word, silently
+		// destroying any Tapeworm trap there without a handler call —
+		// the exact effect that defeated data-cache simulation on the
+		// DECstation (Section 4.4).
+		if hc.Probe(0, uint32(pa)) {
+			hc.Access(0, uint32(pa))
+		} else {
+			m.cycles += uint64(m.cfg.WritePenalty)
+			if m.phys.TrappedWord(pa) && m.phys.Classify(pa&^3) == mem.SynTapeworm {
+				m.ctl.ClearTrap(pa&^3, mem.WordBytes)
+				m.silentClears++
+			}
+		}
+	} else {
+		hit, _, _ := hc.Access(0, uint32(pa))
+		if !hit {
+			m.cycles += uint64(m.cfg.MissPenalty)
+			m.checkECCOnRefill(t, r, lineAddr, lineSize)
+		}
+	}
+
+	// Clock interrupt delivery.
+	if m.cycles >= m.nextTick {
+		m.nextTick = m.cycles + m.cfg.ClockTickCycles
+		if m.intMasked {
+			m.pendingClock = true
+		} else {
+			m.clockTicks++
+			m.os.ClockInterrupt()
+		}
+	}
+}
+
+// checkECCOnRefill scans the words of a refilled host line for inconsistent
+// ECC and raises at most one memory-error trap per refill (the controller
+// latches the first failing address).
+func (m *Machine) checkECCOnRefill(t mem.TaskID, r mem.Ref, lineAddr mem.PAddr, lineSize int) {
+	if !m.phys.Trapped(lineAddr, lineSize) {
+		return
+	}
+	// Locate the first inconsistent word.
+	var errAddr mem.PAddr
+	found := false
+	for off := 0; off < lineSize; off += mem.WordBytes {
+		w := lineAddr + mem.PAddr(off)
+		if m.phys.TrappedWord(w) {
+			errAddr, found = w, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	if m.intMasked {
+		// The error interrupt cannot be taken now. The controller (plus
+		// Tapeworm's logging code around masked regions) latches a
+		// bounded number of events for delivery at unmask; overflow is
+		// lost until the line leaves the host cache again.
+		if len(m.latchedECC) < eccLatchDepth {
+			m.latchedECC = append(m.latchedECC, latchedTrap{t, r.VA, errAddr, r.Kind})
+		} else {
+			m.maskedDrops++
+		}
+		return
+	}
+	if m.phys.Classify(errAddr) == mem.SynTapeworm {
+		m.eccTraps++
+	} else {
+		m.trueErrors++
+	}
+	m.inHandler++
+	m.os.ECCTrap(t, r.VA, errAddr, r.Kind)
+	m.inHandler--
+}
+
+// InHandler reports whether the machine is currently inside a trap handler
+// (used by assertions in tests).
+func (m *Machine) InHandler() bool { return m.inHandler > 0 }

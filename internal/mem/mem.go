@@ -1,0 +1,369 @@
+// Package mem models the physical memory system of the simulated host
+// machine: 32-bit physical/virtual addresses, per-word ECC check bits, the
+// memory-controller ASIC diagnostic interface that Tapeworm abuses to set
+// and clear memory traps, and the dense trap bitset consulted on the hot
+// path of every simulated reference.
+//
+// The paper's DECstation 5000/200 implementation sets a trap by flipping a
+// specific ECC check bit among the 7 check bits that protect each 32-bit
+// word (Section 3.2, footnote 1). Subsequent use of the word raises a
+// memory-error trap into the kernel. This package reproduces that machinery
+// exactly: check-bit state per word, single- versus double-bit syndrome
+// classification, and the distinction between Tapeworm traps and true
+// memory errors.
+package mem
+
+import "fmt"
+
+// PAddr is a 32-bit physical address.
+type PAddr uint32
+
+// VAddr is a 32-bit virtual address.
+type VAddr uint32
+
+// TaskID identifies a task. ID 0 denotes the OS kernel itself, matching
+// the tw_attributes convention of Table 1.
+type TaskID int32
+
+// KernelTask is the TaskID of the OS kernel.
+const KernelTask TaskID = 0
+
+// RefKind distinguishes instruction fetches from data loads and stores.
+type RefKind uint8
+
+const (
+	// IFetch is an instruction fetch.
+	IFetch RefKind = iota
+	// Load is a data read.
+	Load
+	// Store is a data write.
+	Store
+)
+
+// String names the reference kind.
+func (k RefKind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	}
+	return fmt.Sprintf("RefKind(%d)", uint8(k))
+}
+
+// Ref is one memory reference issued by a task: a virtual address and an
+// access kind. Physical addresses are attached by the MMU at access time.
+type Ref struct {
+	VA   VAddr
+	Kind RefKind
+}
+
+// WordBytes is the machine word size in bytes (32-bit machine).
+const WordBytes = 4
+
+// twCheckBit is the specific check bit (of the 7 per word) that Tapeworm
+// flips to set a trap. A single-bit error in any of the other positions, or
+// any double-bit error, is classified as a true memory error.
+const twCheckBit = 0
+
+// Phys is the physical memory of the machine: a frame count, a page size,
+// the dense trap bitset, and the sparse ECC corruption state.
+//
+// Only corrupted words carry explicit ECC state; the overwhelmingly common
+// correct words cost nothing. The trap bitset is the one structure touched
+// on every simulated reference and is kept as flat []uint64 words.
+type Phys struct {
+	pageSize int
+	frames   int
+	bytes    int
+
+	trapBits []uint64 // one bit per machine word; 1 = ECC trap set by Tapeworm
+
+	// ecc maps word index -> XOR mask of corrupted check/data bit
+	// positions (bits 0..6 are check bits, 7..38 data bits). Present only
+	// for words whose stored ECC differs from the correct encoding.
+	ecc map[uint32]uint64
+
+	trapsSet     uint64 // statistics: total tw_set_trap word-sets
+	trapsCleared uint64
+}
+
+// NewPhys creates a physical memory of frames pages of pageSize bytes each.
+// pageSize must be a power of two and a multiple of the word size.
+func NewPhys(frames, pageSize int) *Phys {
+	if frames <= 0 {
+		panic("mem: frame count must be positive")
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 || pageSize%WordBytes != 0 {
+		panic(fmt.Sprintf("mem: invalid page size %d", pageSize))
+	}
+	total := frames * pageSize
+	words := total / WordBytes
+	return &Phys{
+		pageSize: pageSize,
+		frames:   frames,
+		bytes:    total,
+		trapBits: make([]uint64, (words+63)/64),
+		ecc:      make(map[uint32]uint64),
+	}
+}
+
+// PageSize returns the machine page size in bytes.
+func (p *Phys) PageSize() int { return p.pageSize }
+
+// Frames returns the number of physical page frames.
+func (p *Phys) Frames() int { return p.frames }
+
+// Bytes returns the total physical memory size in bytes.
+func (p *Phys) Bytes() int { return p.bytes }
+
+// Contains reports whether pa addresses a byte inside physical memory.
+func (p *Phys) Contains(pa PAddr) bool { return int(pa) < p.bytes }
+
+func (p *Phys) wordIndex(pa PAddr) uint32 {
+	if !p.Contains(pa) {
+		panic(fmt.Sprintf("mem: physical address %#x out of range (%d bytes)", pa, p.bytes))
+	}
+	return uint32(pa) / WordBytes
+}
+
+// --- Trap bitset (the hot path) ---
+
+// Trapped reports whether any word in [pa, pa+size) has a trap set.
+// Size zero is treated as one word.
+func (p *Phys) Trapped(pa PAddr, size int) bool {
+	if size <= 0 {
+		size = WordBytes
+	}
+	first := p.wordIndex(pa)
+	last := p.wordIndex(pa + PAddr(size) - 1)
+	for w := first; w <= last; w++ {
+		if p.trapBits[w>>6]&(1<<(w&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TrappedWord reports whether the single word containing pa has a trap set.
+// This is the fastest-path query used by the machine's refill check.
+func (p *Phys) TrappedWord(pa PAddr) bool {
+	w := p.wordIndex(pa)
+	return p.trapBits[w>>6]&(1<<(w&63)) != 0
+}
+
+// setTrapBits marks all words in [pa, pa+size) as trapped (or clears them).
+func (p *Phys) setTrapBits(pa PAddr, size int, on bool) {
+	if size <= 0 {
+		size = WordBytes
+	}
+	first := p.wordIndex(pa)
+	last := p.wordIndex(pa + PAddr(size) - 1)
+	for w := first; w <= last; w++ {
+		if on {
+			p.trapBits[w>>6] |= 1 << (w & 63)
+		} else {
+			p.trapBits[w>>6] &^= 1 << (w & 63)
+		}
+	}
+}
+
+// TrapCount returns the total number of words currently trapped. Intended
+// for assertions and tests, not the simulation hot path.
+func (p *Phys) TrapCount() int {
+	n := 0
+	for _, w := range p.trapBits {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Stats reports cumulative counts of trap set/clear word operations.
+func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared }
+
+// --- ECC state ---
+
+// ECCState returns the corruption mask of the word containing pa
+// (0 = correct ECC).
+func (p *Phys) ECCState(pa PAddr) uint64 {
+	return p.ecc[p.wordIndex(pa)]
+}
+
+// Syndrome classifies the ECC state of one word.
+type Syndrome int
+
+const (
+	// SynOK: the word's ECC is consistent; no trap.
+	SynOK Syndrome = iota
+	// SynTapeworm: exactly the Tapeworm check bit is flipped; this trap
+	// was set by tw_set_trap and represents a simulated miss.
+	SynTapeworm
+	// SynSingleBit: a single-bit error in a non-Tapeworm position — a
+	// true, correctable memory error.
+	SynSingleBit
+	// SynDoubleBit: a double-bit (uncorrectable) error — always a true
+	// memory error, even while Tapeworm is active.
+	SynDoubleBit
+)
+
+// String names the syndrome.
+func (s Syndrome) String() string {
+	switch s {
+	case SynOK:
+		return "ok"
+	case SynTapeworm:
+		return "tapeworm-trap"
+	case SynSingleBit:
+		return "single-bit-error"
+	case SynDoubleBit:
+		return "double-bit-error"
+	}
+	return fmt.Sprintf("Syndrome(%d)", int(s))
+}
+
+// Classify decodes the corruption mask of the word at pa into a Syndrome.
+// The single-error-correcting, double-error-detecting code distinguishes
+// exactly these cases (footnote 1 of Section 3.2): a flip of the dedicated
+// Tapeworm check bit is a simulated miss; a flip anywhere else, or two or
+// more flips, is a true error detected with high probability.
+func (p *Phys) Classify(pa PAddr) Syndrome {
+	mask := p.ecc[p.wordIndex(pa)]
+	switch popcount(mask) {
+	case 0:
+		return SynOK
+	case 1:
+		if mask == 1<<twCheckBit {
+			return SynTapeworm
+		}
+		return SynSingleBit
+	default:
+		return SynDoubleBit
+	}
+}
+
+// InjectError flips bit position bit (0..38) of the word at pa, modelling a
+// genuine memory fault. Injecting on a word that already carries a Tapeworm
+// trap produces a double-bit syndrome, which Tapeworm must report as a true
+// error rather than consume as a simulated miss.
+func (p *Phys) InjectError(pa PAddr, bit uint) {
+	if bit > 38 {
+		panic(fmt.Sprintf("mem: ECC bit position %d out of range (0-38)", bit))
+	}
+	w := p.wordIndex(pa)
+	p.ecc[w] ^= 1 << bit
+	if p.ecc[w] == 0 {
+		delete(p.ecc, w)
+	}
+	p.syncTrapBit(w)
+}
+
+// CorrectWord restores correct ECC to the word at pa, as the kernel's
+// memory-error handler does after correcting a true single-bit error.
+func (p *Phys) CorrectWord(pa PAddr) {
+	w := p.wordIndex(pa)
+	delete(p.ecc, w)
+	p.syncTrapBit(w)
+}
+
+// syncTrapBit keeps the dense bitset consistent with the sparse ECC state:
+// the machine raises a memory-error trap whenever a word's ECC is
+// inconsistent for any reason.
+func (p *Phys) syncTrapBit(w uint32) {
+	if p.ecc[w] != 0 {
+		p.trapBits[w>>6] |= 1 << (w & 63)
+	} else {
+		p.trapBits[w>>6] &^= 1 << (w & 63)
+	}
+}
+
+// Controller is the memory-controller ASIC diagnostic interface. Tapeworm's
+// machine-dependent layer drives it to implement tw_set_trap and
+// tw_clear_trap. The interface is deliberately awkward — a flip call per
+// word and a multi-step error-address reconstruction — mirroring the
+// "convoluted sequence of control instructions" the paper describes; the
+// cycle costs of that awkwardness are charged by the machine layer.
+type Controller struct {
+	phys *Phys
+}
+
+// NewController returns the diagnostic controller for phys.
+func NewController(phys *Phys) *Controller { return &Controller{phys: phys} }
+
+// FlipTapewormBit toggles the dedicated Tapeworm check bit of every word in
+// [pa, pa+size). Flipping a correct word sets a trap; flipping a trapped
+// word restores correct ECC. Size is rounded up to whole words.
+func (c *Controller) FlipTapewormBit(pa PAddr, size int) {
+	if size <= 0 {
+		size = WordBytes
+	}
+	first := c.phys.wordIndex(pa)
+	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	for w := first; w <= last; w++ {
+		c.phys.ecc[w] ^= 1 << twCheckBit
+		if c.phys.ecc[w] == 0 {
+			delete(c.phys.ecc, w)
+		}
+		c.phys.syncTrapBit(w)
+	}
+}
+
+// SetTrap sets the Tapeworm trap on [pa, pa+size), idempotently: words
+// already trapped by Tapeworm are left alone (flipping twice would clear
+// them). Words carrying true errors are also left alone.
+func (c *Controller) SetTrap(pa PAddr, size int) {
+	if size <= 0 {
+		size = WordBytes
+	}
+	first := c.phys.wordIndex(pa)
+	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	for w := first; w <= last; w++ {
+		if c.phys.ecc[w] == 0 {
+			c.phys.ecc[w] = 1 << twCheckBit
+			c.phys.syncTrapBit(w)
+			c.phys.trapsSet++
+		}
+	}
+}
+
+// ClearTrap removes Tapeworm traps from [pa, pa+size). True-error state is
+// preserved: clearing a region never masks a genuine fault.
+func (c *Controller) ClearTrap(pa PAddr, size int) {
+	if size <= 0 {
+		size = WordBytes
+	}
+	first := c.phys.wordIndex(pa)
+	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	for w := first; w <= last; w++ {
+		if c.phys.ecc[w]&(1<<twCheckBit) != 0 {
+			c.phys.ecc[w] &^= 1 << twCheckBit
+			if c.phys.ecc[w] == 0 {
+				delete(c.phys.ecc, w)
+			}
+			c.phys.syncTrapBit(w)
+			c.phys.trapsCleared++
+		}
+	}
+}
+
+// ReconstructErrorAddress pieces together the failing physical address from
+// the controller's error registers after a memory-error trap. On the real
+// ASIC this takes about a dozen load/shift/add/mask instructions; the
+// machine layer charges that cost. Here it validates and echoes the
+// faulting address, panicking if no error is actually latched there.
+func (c *Controller) ReconstructErrorAddress(pa PAddr) PAddr {
+	if c.phys.Classify(pa) == SynOK {
+		panic(fmt.Sprintf("mem: ReconstructErrorAddress(%#x): no error latched", pa))
+	}
+	return pa &^ (WordBytes - 1)
+}

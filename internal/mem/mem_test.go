@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newPhys() *Phys { return NewPhys(64, 4096) } // 256 KB
+
+func TestNewPhysValidation(t *testing.T) {
+	for _, bad := range []struct{ frames, page int }{
+		{0, 4096}, {-1, 4096}, {4, 0}, {4, 3000}, {4, 6}, // 6 not mult of word? 6 not pow2
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPhys(%d,%d) did not panic", bad.frames, bad.page)
+				}
+			}()
+			NewPhys(bad.frames, bad.page)
+		}()
+	}
+	p := newPhys()
+	if p.Bytes() != 64*4096 || p.Frames() != 64 || p.PageSize() != 4096 {
+		t.Errorf("geometry wrong: %d/%d/%d", p.Bytes(), p.Frames(), p.PageSize())
+	}
+}
+
+func TestSetClearTrapRoundTrip(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x1000, 16)
+	if !p.Trapped(0x1000, 16) {
+		t.Fatal("trap not visible after SetTrap")
+	}
+	if p.Classify(0x1000) != SynTapeworm {
+		t.Fatalf("syndrome = %v, want tapeworm trap", p.Classify(0x1000))
+	}
+	// Each of the 4 words is individually trapped.
+	for off := PAddr(0); off < 16; off += WordBytes {
+		if !p.TrappedWord(0x1000 + off) {
+			t.Fatalf("word at +%d not trapped", off)
+		}
+	}
+	// Adjacent words untouched.
+	if p.TrappedWord(0x0ffc) || p.TrappedWord(0x1010) {
+		t.Fatal("trap leaked to adjacent words")
+	}
+	c.ClearTrap(0x1000, 16)
+	if p.Trapped(0x1000, 16) {
+		t.Fatal("trap survived ClearTrap")
+	}
+	if p.Classify(0x1000) != SynOK {
+		t.Fatal("ECC state not restored")
+	}
+	if p.TrapCount() != 0 {
+		t.Fatalf("TrapCount = %d after full clear", p.TrapCount())
+	}
+}
+
+func TestSetTrapIdempotent(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x2000, 4)
+	c.SetTrap(0x2000, 4) // double set must not flip the bit back
+	if !p.TrappedWord(0x2000) {
+		t.Fatal("double SetTrap cleared the trap")
+	}
+	c.ClearTrap(0x2000, 4)
+	c.ClearTrap(0x2000, 4) // double clear must be harmless
+	if p.TrappedWord(0x2000) {
+		t.Fatal("trap present after clear")
+	}
+}
+
+func TestFlipTapewormBitToggles(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.FlipTapewormBit(0x3000, 4)
+	if p.Classify(0x3000) != SynTapeworm {
+		t.Fatal("flip did not set trap")
+	}
+	c.FlipTapewormBit(0x3000, 4)
+	if p.Classify(0x3000) != SynOK {
+		t.Fatal("second flip did not restore ECC")
+	}
+}
+
+func TestTrueErrorClassification(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+
+	// Single-bit error in a non-Tapeworm position: true error.
+	p.InjectError(0x4000, 5)
+	if got := p.Classify(0x4000); got != SynSingleBit {
+		t.Fatalf("syndrome = %v, want single-bit", got)
+	}
+	if !p.TrappedWord(0x4000) {
+		t.Fatal("true errors must raise traps too")
+	}
+
+	// A true error on a word already carrying a Tapeworm trap: double bit.
+	c.SetTrap(0x5000, 4)
+	p.InjectError(0x5000, 12)
+	if got := p.Classify(0x5000); got != SynDoubleBit {
+		t.Fatalf("syndrome = %v, want double-bit", got)
+	}
+
+	// Clearing the Tapeworm trap must preserve the true-error bit.
+	c.ClearTrap(0x5000, 4)
+	if got := p.Classify(0x5000); got != SynSingleBit {
+		t.Fatalf("after clear, syndrome = %v, want single-bit preserved", got)
+	}
+}
+
+func TestInjectErrorBounds(t *testing.T) {
+	p := newPhys()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bit 39 should panic")
+		}
+	}()
+	p.InjectError(0, 39)
+}
+
+func TestReconstructErrorAddress(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x6004, 4)
+	if got := c.ReconstructErrorAddress(0x6007); got != 0x6004 {
+		t.Fatalf("reconstructed %#x, want word-aligned 0x6004", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reconstruct without latched error should panic")
+		}
+	}()
+	c.ReconstructErrorAddress(0x7000)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p := newPhys()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access should panic")
+		}
+	}()
+	p.TrappedWord(PAddr(p.Bytes()))
+}
+
+func TestTrappedRangeSpansWords(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x1010, 4) // single word in the middle of a line
+	if !p.Trapped(0x1000, 64) {
+		t.Fatal("range query missed interior trap")
+	}
+	if p.Trapped(0x1014, 12) {
+		t.Fatal("range query false positive")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x0, 16)   // 4 words
+	c.SetTrap(0x0, 16)   // idempotent: no new sets
+	c.ClearTrap(0x0, 8)  // 2 words
+	c.ClearTrap(0x0, 16) // 2 more (2 already clear)
+	set, cleared := p.Stats()
+	if set != 4 || cleared != 4 {
+		t.Fatalf("stats = %d set, %d cleared; want 4, 4", set, cleared)
+	}
+}
+
+// TestTrapBitsetMatchesECCState is the core invariant: the dense bitset the
+// machine consults on every reference must agree with the sparse ECC state
+// after any sequence of operations.
+func TestTrapBitsetMatchesECCState(t *testing.T) {
+	type op struct {
+		Kind byte
+		Word uint16
+		Bit  uint8
+	}
+	f := func(ops []op) bool {
+		p := NewPhys(16, 4096) // 64 KB = 16K words
+		c := NewController(p)
+		words := uint32(p.Bytes() / WordBytes)
+		for _, o := range ops {
+			pa := PAddr(uint32(o.Word) % words * WordBytes)
+			switch o.Kind % 4 {
+			case 0:
+				c.SetTrap(pa, WordBytes)
+			case 1:
+				c.ClearTrap(pa, WordBytes)
+			case 2:
+				c.FlipTapewormBit(pa, WordBytes)
+			case 3:
+				p.InjectError(pa, uint(o.Bit%39))
+			}
+		}
+		for w := uint32(0); w < words; w++ {
+			pa := PAddr(w * WordBytes)
+			hasState := p.ECCState(pa) != 0
+			if p.TrappedWord(pa) != hasState {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefKindString(t *testing.T) {
+	if IFetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("RefKind labels wrong")
+	}
+}
+
+func BenchmarkTrappedWord(b *testing.B) {
+	p := NewPhys(1024, 4096)
+	c := NewController(p)
+	c.SetTrap(0x1000, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.TrappedWord(PAddr(uint32(i*4) % uint32(p.Bytes())))
+	}
+}

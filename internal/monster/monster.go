@@ -1,0 +1,83 @@
+// Package monster models the Monster hardware monitoring system [Nagle92]:
+// a DAS 9200 logic analyzer attached to the CPU pins that unobtrusively
+// counts instructions and stall cycles. In this reproduction the analyzer
+// probes the simulated machine's counters, which is exact and — like the
+// real analyzer — perturbs nothing.
+//
+// Monster supplies the quantities Tapeworm cannot obtain by itself on an
+// R3000 (no on-chip instruction counter, Table 12): total instructions for
+// miss-ratio denominators and total run time for slowdown denominators.
+package monster
+
+import "tapeworm/internal/mach"
+
+// Snapshot captures the machine's counters at one instant.
+type Snapshot struct {
+	Cycles         uint64
+	OverheadCycles uint64
+	Instructions   uint64
+	ClockTicks     uint64
+}
+
+// Snap probes the machine.
+func Snap(m *mach.Machine) Snapshot {
+	return Snapshot{
+		Cycles:         m.Cycles(),
+		OverheadCycles: m.OverheadCycles(),
+		Instructions:   m.Instructions(),
+		ClockTicks:     m.Counters().ClockTicks,
+	}
+}
+
+// Sub returns the counter deltas s - earlier.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	return Snapshot{
+		Cycles:         s.Cycles - earlier.Cycles,
+		OverheadCycles: s.OverheadCycles - earlier.OverheadCycles,
+		Instructions:   s.Instructions - earlier.Instructions,
+		ClockTicks:     s.ClockTicks - earlier.ClockTicks,
+	}
+}
+
+// CPI returns cycles per instruction.
+func (s Snapshot) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// Slowdown computes the paper's metric:
+//
+//	Slowdown = Overhead / Normal Workload Run Time
+//
+// where Overhead is the time the instrumented run added over an
+// unmodified run of the same workload, and both runs are measured in
+// wall-clock terms (machine cycles here). instrumented and normal are
+// whole-run snapshots of the two runs.
+func Slowdown(instrumented, normal Snapshot) float64 {
+	if normal.Cycles == 0 {
+		return 0
+	}
+	if instrumented.Cycles < normal.Cycles {
+		return 0
+	}
+	return float64(instrumented.Cycles-normal.Cycles) / float64(normal.Cycles)
+}
+
+// MissRatio returns misses relative to an instruction count. The paper's
+// Table 6 expresses every component's miss ratio against the *total*
+// instructions of the workload, so the components sum to the All-Activity
+// ratio; pass the appropriate denominator.
+func MissRatio(misses uint64, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(instructions)
+}
+
+// MPI returns misses per instruction scaled to misses-per-1000 for
+// readability in reports.
+func MPI(misses, instructions uint64) float64 {
+	return 1000 * MissRatio(misses, instructions)
+}

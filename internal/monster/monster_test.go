@@ -1,0 +1,60 @@
+package monster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSub(t *testing.T) {
+	a := Snapshot{Cycles: 100, OverheadCycles: 20, Instructions: 50, ClockTicks: 2}
+	b := Snapshot{Cycles: 350, OverheadCycles: 90, Instructions: 170, ClockTicks: 5}
+	d := b.Sub(a)
+	if d.Cycles != 250 || d.OverheadCycles != 70 || d.Instructions != 120 || d.ClockTicks != 3 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestCPI(t *testing.T) {
+	s := Snapshot{Cycles: 300, Instructions: 200}
+	if got := s.CPI(); got != 1.5 {
+		t.Fatalf("CPI = %v", got)
+	}
+	if (Snapshot{}).CPI() != 0 {
+		t.Fatal("zero-instruction CPI should be 0")
+	}
+}
+
+func TestSlowdownDefinition(t *testing.T) {
+	// Slowdown = Overhead / Normal Run Time: a run taking 3x as long as
+	// the normal run has slowdown 2.0, not 3.0.
+	normal := Snapshot{Cycles: 1000}
+	instrumented := Snapshot{Cycles: 3000}
+	if got := Slowdown(instrumented, normal); got != 2.0 {
+		t.Fatalf("Slowdown = %v, want 2", got)
+	}
+	// No overhead: zero slowdown.
+	if got := Slowdown(normal, normal); got != 0 {
+		t.Fatalf("identical runs slowdown = %v", got)
+	}
+	// A (noise-)faster instrumented run clamps at zero rather than going
+	// negative — slowdowns "approach zero as miss ratios decrease".
+	if got := Slowdown(Snapshot{Cycles: 900}, normal); got != 0 {
+		t.Fatalf("faster run slowdown = %v", got)
+	}
+	// Degenerate denominator.
+	if got := Slowdown(instrumented, Snapshot{}); got != 0 {
+		t.Fatalf("zero-normal slowdown = %v", got)
+	}
+}
+
+func TestMissRatioAndMPI(t *testing.T) {
+	if got := MissRatio(25, 1000); got != 0.025 {
+		t.Fatalf("MissRatio = %v", got)
+	}
+	if got := MissRatio(25, 0); got != 0 {
+		t.Fatalf("zero-instruction MissRatio = %v", got)
+	}
+	if got := MPI(25, 1000); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("MPI = %v, want 25 per 1000", got)
+	}
+}

@@ -1,0 +1,78 @@
+// Package pixie models the Pixie binary annotator [Smith91, MIPS88]: a
+// rewritten workload binary that emits its own user-level address trace as
+// it runs. Pixie sees exactly one task and no kernel or server references
+// — "Note that Pixie only generates user-level address traces for a single
+// task" (Section 4) — which is precisely the completeness limitation that
+// Table 6 quantifies.
+//
+// Two usage styles mirror practice: capture to a trace buffer/file for
+// later simulation, or on-the-fly delivery to a consumer (Cache2000)
+// during the run. Both charge per-reference annotation overhead to the
+// machine clock, because the annotated workload really does run that much
+// slower on the host.
+package pixie
+
+import (
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/trace"
+)
+
+// GenCyclesPerRef is the annotation cost per traced reference: the inline
+// code that computes and stores the address. Together with the consumer's
+// processing cost this lands in the paper's 40-60 cycles per address.
+const GenCyclesPerRef = 15
+
+// Consumer receives traced references on the fly.
+type Consumer interface {
+	Consume(e trace.Entry)
+}
+
+// Annotator is the kernel.Tracer that implements Pixie-style annotation.
+type Annotator struct {
+	m        *mach.Machine
+	buf      *trace.Buffer // nil when purely on-the-fly
+	consumer Consumer      // nil when purely capturing
+	refs     uint64
+
+	// IOnly restricts the trace to instruction fetches (pixie -idtrace
+	// vs. -itrace); I-cache studies use instruction traces only.
+	IOnly bool
+}
+
+// NewCapture returns an annotator that appends to buf.
+func NewCapture(m *mach.Machine, buf *trace.Buffer) *Annotator {
+	return &Annotator{m: m, buf: buf}
+}
+
+// NewOnTheFly returns an annotator that feeds c directly, the
+// Pixie+Cache2000 configuration used for the paper's slowdown comparison
+// (no trace file ever exists).
+func NewOnTheFly(m *mach.Machine, c Consumer) *Annotator {
+	return &Annotator{m: m, consumer: c}
+}
+
+// Annotate attaches the annotator to task tid of kernel k.
+func (a *Annotator) Annotate(k *kernel.Kernel, tid mem.TaskID) {
+	k.SetTracer(tid, a)
+}
+
+// Refs returns the number of references traced.
+func (a *Annotator) Refs() uint64 { return a.refs }
+
+// Trace implements kernel.Tracer.
+func (a *Annotator) Trace(_ mem.TaskID, r mem.Ref) {
+	if a.IOnly && r.Kind != mem.IFetch {
+		return
+	}
+	a.refs++
+	a.m.ChargeOverhead(GenCyclesPerRef)
+	e := trace.Entry{VA: r.VA, Kind: r.Kind}
+	if a.buf != nil {
+		a.buf.Append(e)
+	}
+	if a.consumer != nil {
+		a.consumer.Consume(e)
+	}
+}

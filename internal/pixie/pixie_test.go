@@ -1,0 +1,159 @@
+package pixie
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/cache2000"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/trace"
+	"tapeworm/internal/workload"
+)
+
+func bootWith(t *testing.T, name string, seed uint64) (*kernel.Kernel, *kernel.Task) {
+	t.Helper()
+	cfg := kernel.DefaultConfig(mach.DECstation5000_200(2048), seed)
+	k, err := kernel.Boot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.ByName(name, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.New(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, k.Spawn(name, prog, false, false)
+}
+
+func TestCaptureProducesTrace(t *testing.T) {
+	k, task := bootWith(t, "espresso", 3)
+	var buf trace.Buffer
+	ann := NewCapture(k.Machine(), &buf)
+	ann.Annotate(k, task.ID)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace captured")
+	}
+	if ann.Refs() != uint64(buf.Len()) {
+		t.Fatalf("ref count %d != buffer %d", ann.Refs(), buf.Len())
+	}
+	// The trace contains both kinds by default.
+	kinds := map[mem.RefKind]bool{}
+	for _, e := range buf.Entries() {
+		kinds[e.Kind] = true
+		if mach.IsKernelVA(e.VA) {
+			t.Fatal("kernel reference in a Pixie trace")
+		}
+	}
+	if !kinds[mem.IFetch] || !kinds[mem.Load] {
+		t.Fatalf("trace kinds missing: %v", kinds)
+	}
+}
+
+func TestIOnlyFiltersDataRefs(t *testing.T) {
+	k, task := bootWith(t, "espresso", 3)
+	var buf trace.Buffer
+	ann := NewCapture(k.Machine(), &buf)
+	ann.IOnly = true
+	ann.Annotate(k, task.ID)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range buf.Entries() {
+		if e.Kind != mem.IFetch {
+			t.Fatalf("non-ifetch entry %v in I-only trace", e.Kind)
+		}
+	}
+}
+
+func TestAnnotationChargesOverhead(t *testing.T) {
+	k, task := bootWith(t, "espresso", 3)
+	var buf trace.Buffer
+	ann := NewCapture(k.Machine(), &buf)
+	ann.Annotate(k, task.ID)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	m := k.Machine()
+	want := ann.Refs() * GenCyclesPerRef
+	if m.OverheadCycles() != want {
+		t.Fatalf("overhead %d cycles, want %d (refs x %d)",
+			m.OverheadCycles(), want, GenCyclesPerRef)
+	}
+}
+
+func TestOnTheFlyMatchesBatchReplay(t *testing.T) {
+	// Running Cache2000 on the fly must give exactly the same hit/miss
+	// counts as capturing a trace and replaying it.
+	mk := func() (*kernel.Kernel, *kernel.Task) { return bootWith(t, "xlisp", 5) }
+
+	ccfg := cache2000.Config{
+		Cache: cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+		Kinds: []mem.RefKind{mem.IFetch},
+	}
+
+	// On the fly.
+	k1, t1 := mk()
+	fly, err := cache2000.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fly.BindMachine(k1.Machine())
+	a1 := NewOnTheFly(k1.Machine(), fly)
+	a1.IOnly = true
+	a1.Annotate(k1, t1.ID)
+	if err := k1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture then replay.
+	k2, t2 := mk()
+	var buf trace.Buffer
+	a2 := NewCapture(k2.Machine(), &buf)
+	a2.IOnly = true
+	a2.Annotate(k2, t2.ID)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := cache2000.New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.Run(&buf)
+
+	if fly.Misses() != batch.Misses() || fly.Hits() != batch.Hits() {
+		t.Fatalf("on-the-fly %d/%d vs batch %d/%d",
+			fly.Hits(), fly.Misses(), batch.Hits(), batch.Misses())
+	}
+}
+
+func TestOnTheFlyDilatesTime(t *testing.T) {
+	// The annotated run must take longer than an unannotated run — Pixie
+	// and Cache2000 processing advances the same clock.
+	k1, _ := bootWith(t, "espresso", 7)
+	if err := k1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	normalCycles := k1.Machine().Cycles()
+
+	k2, t2 := bootWith(t, "espresso", 7)
+	fly := cache2000.MustNew(cache2000.Config{
+		Cache: cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+	})
+	fly.BindMachine(k2.Machine())
+	ann := NewOnTheFly(k2.Machine(), fly)
+	ann.Annotate(k2, t2.ID)
+	if err := k2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k2.Machine().Cycles() <= normalCycles {
+		t.Fatal("annotated run was not slower than the normal run")
+	}
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d/100 draws", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if v := r.Uint64(); v != first[i] {
+			t.Fatalf("after Reseed, draw %d: got %d want %d", i, v, first[i])
+		}
+	}
+}
+
+func TestSplitIndependentOfOrder(t *testing.T) {
+	// Children are a pure function of (parent seed, label), regardless of
+	// what else was split first — required so varying the page-allocation
+	// stream cannot perturb the reference stream.
+	p1 := New(99)
+	_ = p1.Split("other")
+	c1 := p1.Split("pages")
+
+	p2 := New(99)
+	c2 := p2.Split("pages")
+
+	for i := 0; i < 100; i++ {
+		if a, b := c1.Uint64(), c2.Uint64(); a != b {
+			t.Fatalf("split stream differs at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(5), New(5)
+	_ = a.Split("x")
+	_ = a.Split("y")
+	for i := 0; i < 50; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("parent stream perturbed by Split at draw %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	p := New(3)
+	a, b := p.Split("alpha"), p.Split("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("labels alpha/beta collided on %d/100 draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Coarse uniformity: each of 8 buckets should receive ~1/8 of draws.
+	r := New(123)
+	const draws = 80000
+	var buckets [8]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Uint64n(8)]++
+	}
+	want := draws / 8
+	for i, c := range buckets {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("bucket %d has %d draws, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(77)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	const draws = 50000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Bool(0.25) frequency %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(31)
+	z := NewZipf(r, 100, 1.0)
+	var counts [100]int
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	if counts[0] < 5*counts[99] {
+		t.Fatalf("Zipf tail too heavy: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := New(8)
+	z := NewZipf(r, 10, 0.8)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 10 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+	}
+}
+
+func TestPowfAgreement(t *testing.T) {
+	cases := []struct{ x, y, want, tol float64 }{
+		{2, 2, 4, 1e-9},
+		{3, 1, 3, 1e-9},
+		{5, 0, 1, 1e-9},
+		{4, 0.5, 2, 1e-3},
+		{2, 1.5, 2.828427, 1e-3},
+	}
+	for _, c := range cases {
+		got := powf(c.x, c.y)
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("powf(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

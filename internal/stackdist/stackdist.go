@@ -1,0 +1,215 @@
+// Package stackdist implements single-pass (stack-algorithm) trace-driven
+// simulation [Mattson70, Thompson89, Sugumar93], the technique the paper's
+// Figure 1 caption contrasts with both the plain trace-driven loop and
+// Tapeworm's trap-driven loop.
+//
+// For LRU caches with a fixed line size and set count, one pass over a
+// trace yields the miss count of *every* associativity at once: a
+// reference's LRU stack distance within its set is the smallest
+// associativity for which it hits. With one set, this generalizes to every
+// fully-associative capacity. This flexibility is exactly what trap-driven
+// simulation gives up — Tapeworm simulates one configuration per run,
+// trading configuration coverage for speed on long workloads.
+package stackdist
+
+import (
+	"fmt"
+
+	"tapeworm/internal/trace"
+)
+
+// Config fixes the line size and set count shared by the cache family
+// under study. NumSets == 1 studies fully-associative caches of every
+// capacity; larger set counts study the associativity family (1-way,
+// 2-way, ... at the same set count).
+type Config struct {
+	LineSize int
+	NumSets  int
+	// MaxTrackedDepth bounds the per-set stacks (and hence memory) for
+	// enormous traces; distances beyond it are recorded as "deeper".
+	// Zero means unbounded.
+	MaxTrackedDepth int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("stackdist: line size %d must be a positive power of two", c.LineSize)
+	}
+	if c.NumSets <= 0 || c.NumSets&(c.NumSets-1) != 0 {
+		return fmt.Errorf("stackdist: set count %d must be a positive power of two", c.NumSets)
+	}
+	if c.MaxTrackedDepth < 0 {
+		return fmt.Errorf("stackdist: negative depth bound")
+	}
+	return nil
+}
+
+// Simulator accumulates the stack-distance histogram of a reference
+// stream in a single pass.
+type Simulator struct {
+	cfg   Config
+	shift uint
+	mask  uint32
+
+	// stacks[s] holds the lines of set s in LRU order, most recent first.
+	stacks [][]uint32
+
+	hist       []uint64 // hist[d]: references with stack distance d
+	deep       uint64   // distances beyond MaxTrackedDepth
+	compulsory uint64   // first-ever references (infinite distance)
+	refs       uint64
+
+	// seen records every line ever touched, so that reuse of a line
+	// evicted from a bounded stack is classified as "deeper than the
+	// bound" rather than compulsory. Nil when the stacks are unbounded.
+	seen map[uint32]struct{}
+}
+
+// New builds a Simulator.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var shift uint
+	for l := cfg.LineSize; l > 1; l >>= 1 {
+		shift++
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		shift:  shift,
+		mask:   uint32(cfg.NumSets - 1),
+		stacks: make([][]uint32, cfg.NumSets),
+	}
+	if cfg.MaxTrackedDepth > 0 {
+		s.seen = make(map[uint32]struct{})
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Process records one reference.
+func (s *Simulator) Process(e trace.Entry) {
+	s.refs++
+	line := uint32(e.VA) >> s.shift
+	set := int(line & s.mask)
+	stack := s.stacks[set]
+
+	// Find the line's depth in its set's LRU stack.
+	for d, l := range stack {
+		if l == line {
+			// Move to front.
+			copy(stack[1:d+1], stack[:d])
+			stack[0] = line
+			if d < len(s.hist) {
+				s.hist[d]++
+			} else {
+				for len(s.hist) <= d {
+					s.hist = append(s.hist, 0)
+				}
+				s.hist[d]++
+			}
+			return
+		}
+	}
+	// Not in the tracked stack: a true first touch is compulsory; reuse
+	// of a line dropped from a bounded stack has distance beyond the
+	// bound and is recorded as "deeper".
+	if s.seen != nil {
+		if _, reuse := s.seen[line]; reuse {
+			s.deep++
+		} else {
+			s.seen[line] = struct{}{}
+			s.compulsory++
+		}
+		if len(stack) >= s.cfg.MaxTrackedDepth {
+			stack = stack[:len(stack)-1] // drop the deepest entry
+		}
+	} else {
+		s.compulsory++
+	}
+	s.stacks[set] = append([]uint32{line}, stack...)
+}
+
+// Deeper reports how many reuses fell beyond a bounded stack's tracked
+// depth; they miss in every cache of the family up to that depth. With an
+// unbounded stack, Deeper is always zero.
+func (s *Simulator) Deeper() uint64 { return s.deep }
+
+// Run processes an entire trace buffer.
+func (s *Simulator) Run(b *trace.Buffer) {
+	for _, e := range b.Entries() {
+		s.Process(e)
+	}
+}
+
+// Refs returns the number of references processed.
+func (s *Simulator) Refs() uint64 { return s.refs }
+
+// Compulsory returns the number of first-touch references.
+func (s *Simulator) Compulsory() uint64 { return s.compulsory }
+
+// Histogram returns the stack-distance counts: Histogram()[d] is the
+// number of references that hit at depth d (0 = most recently used).
+func (s *Simulator) Histogram() []uint64 {
+	out := make([]uint64, len(s.hist))
+	copy(out, s.hist)
+	return out
+}
+
+// MissesAt returns the miss count for an LRU cache of the family with the
+// given associativity (ways per set): every reference with stack distance
+// >= ways misses, plus all compulsory references. With a bounded stack,
+// reuses beyond the bound also miss in every cache up to the bound; asking
+// about ways beyond MaxTrackedDepth then overestimates and is rejected.
+func (s *Simulator) MissesAt(ways int) uint64 {
+	if ways <= 0 {
+		return s.refs
+	}
+	if s.cfg.MaxTrackedDepth > 0 && ways > s.cfg.MaxTrackedDepth {
+		panic(fmt.Sprintf("stackdist: %d ways exceeds tracked depth %d",
+			ways, s.cfg.MaxTrackedDepth))
+	}
+	misses := s.compulsory + s.deep
+	for d := ways; d < len(s.hist); d++ {
+		misses += s.hist[d]
+	}
+	return misses
+}
+
+// MissRatioAt returns MissesAt(ways) over total references.
+func (s *Simulator) MissRatioAt(ways int) float64 {
+	if s.refs == 0 {
+		return 0
+	}
+	return float64(s.MissesAt(ways)) / float64(s.refs)
+}
+
+// Curve returns (capacityBytes, misses) pairs for the whole family in one
+// shot: entry i is the cache of i+1 ways per set.
+func (s *Simulator) Curve(maxWays int) []CurvePoint {
+	out := make([]CurvePoint, 0, maxWays)
+	for w := 1; w <= maxWays; w++ {
+		out = append(out, CurvePoint{
+			CapacityBytes: w * s.cfg.NumSets * s.cfg.LineSize,
+			Ways:          w,
+			Misses:        s.MissesAt(w),
+		})
+	}
+	return out
+}
+
+// CurvePoint is one cache of the family.
+type CurvePoint struct {
+	CapacityBytes int
+	Ways          int
+	Misses        uint64
+}

@@ -1,0 +1,173 @@
+package stackdist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/trace"
+)
+
+func entry(va uint32) trace.Entry {
+	return trace.Entry{VA: mem.VAddr(va), Kind: mem.IFetch}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{LineSize: 16, NumSets: 64}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{LineSize: 0, NumSets: 1},
+		{LineSize: 24, NumSets: 1},
+		{LineSize: 16, NumSets: 0},
+		{LineSize: 16, NumSets: 3},
+		{LineSize: 16, NumSets: 4, MaxTrackedDepth: -1},
+	}
+	for i, c := range bads {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDistances(t *testing.T) {
+	// Fully-associative family, 16-byte lines.
+	s := MustNew(Config{LineSize: 16, NumSets: 1})
+	addrs := []uint32{0x00, 0x10, 0x20, 0x00, 0x10, 0x00}
+	// Distances:  comp, comp, comp,  d2,   d2,   d1
+	for _, a := range addrs {
+		s.Process(entry(a))
+	}
+	if s.Compulsory() != 3 {
+		t.Fatalf("compulsory = %d", s.Compulsory())
+	}
+	h := s.Histogram()
+	if h[1] != 1 || h[2] != 2 {
+		t.Fatalf("histogram = %v", h)
+	}
+	// 1-line cache: only the last (d1=... wait d1 means second position)
+	// misses at ways<=d. MissesAt(1): refs with distance>=1 (3) + comp (3).
+	if got := s.MissesAt(1); got != 6 {
+		t.Fatalf("MissesAt(1) = %d", got)
+	}
+	if got := s.MissesAt(2); got != 5 {
+		t.Fatalf("MissesAt(2) = %d", got)
+	}
+	if got := s.MissesAt(3); got != 3 {
+		t.Fatalf("MissesAt(3) = %d (only compulsory)", got)
+	}
+	if got := s.MissesAt(0); got != s.Refs() {
+		t.Fatalf("MissesAt(0) = %d", got)
+	}
+}
+
+// TestSinglePassMatchesPerConfigSimulation is the defining property of
+// stack algorithms: one pass must equal N separate LRU simulations.
+func TestSinglePassMatchesPerConfigSimulation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const numSets = 8
+		var refs []trace.Entry
+		for i := 0; i < 4000; i++ {
+			// Localized stream so all distances are exercised.
+			base := uint32(r.Intn(64)) * 16
+			if r.Bool(0.2) {
+				base += uint32(r.Intn(1<<12)) &^ 15
+			}
+			refs = append(refs, entry(base))
+		}
+
+		s := MustNew(Config{LineSize: 16, NumSets: numSets})
+		for _, e := range refs {
+			s.Process(e)
+		}
+
+		for _, ways := range []int{1, 2, 4, 8} {
+			c := cache.MustNew(cache.Config{
+				Size:     numSets * ways * 16,
+				LineSize: 16,
+				Assoc:    ways,
+			}, nil)
+			var misses uint64
+			for _, e := range refs {
+				if hit, _, _ := c.Access(0, uint32(e.VA)); !hit {
+					misses++
+				}
+			}
+			if s.MissesAt(ways) != misses {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	r := rng.New(5)
+	s := MustNew(Config{LineSize: 16, NumSets: 16})
+	for i := 0; i < 20000; i++ {
+		s.Process(entry(uint32(r.Intn(1 << 14))))
+	}
+	curve := s.Curve(32)
+	if len(curve) != 32 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Misses > curve[i-1].Misses {
+			t.Fatalf("inclusion violated: %d ways misses %d > %d ways misses %d",
+				curve[i].Ways, curve[i].Misses, curve[i-1].Ways, curve[i-1].Misses)
+		}
+		if curve[i].CapacityBytes != (i+1)*16*16 {
+			t.Fatalf("capacity at %d ways = %d", i+1, curve[i].CapacityBytes)
+		}
+	}
+}
+
+func TestBoundedDepth(t *testing.T) {
+	s := MustNew(Config{LineSize: 16, NumSets: 1, MaxTrackedDepth: 4})
+	// Touch 8 lines, then re-touch the first: its distance (7) exceeds
+	// the bound, so it must be counted as deep, not compulsory.
+	for i := 0; i < 8; i++ {
+		s.Process(entry(uint32(i * 16)))
+	}
+	s.Process(entry(0))
+	if s.Compulsory() != 8 {
+		t.Fatalf("compulsory = %d, want 8", s.Compulsory())
+	}
+	if s.Deeper() != 1 {
+		t.Fatalf("deep = %d, want 1", s.Deeper())
+	}
+	// Deep reuses miss at every tracked associativity.
+	if got := s.MissesAt(4); got != 9 {
+		t.Fatalf("MissesAt(4) = %d, want 9", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ways beyond the bound should panic")
+		}
+	}()
+	s.MissesAt(5)
+}
+
+func TestRunAndRatio(t *testing.T) {
+	var buf trace.Buffer
+	for i := 0; i < 100; i++ {
+		buf.Append(entry(uint32(i%4) * 16))
+	}
+	s := MustNew(Config{LineSize: 16, NumSets: 1})
+	s.Run(&buf)
+	if s.Refs() != 100 {
+		t.Fatalf("refs = %d", s.Refs())
+	}
+	if got := s.MissRatioAt(4); got != 0.04 { // 4 compulsory
+		t.Fatalf("ratio = %v", got)
+	}
+	if (&Simulator{}).MissRatioAt(1) != 0 {
+		t.Fatal("empty simulator ratio should be 0")
+	}
+}

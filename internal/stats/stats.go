@@ -1,0 +1,140 @@
+// Package stats provides the descriptive statistics used by the paper's
+// evaluation tables: per-trial-set mean, standard deviation, minimum,
+// maximum and range, each optionally expressed as a percentage of (or
+// percent difference from) the mean, exactly as in Tables 7–10.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a set of experimental trials.
+type Summary struct {
+	N      int     // number of trials
+	Mean   float64 // arithmetic mean
+	Stddev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Range  float64 // Max - Min
+}
+
+// Summarize computes a Summary of xs. It panics if xs is empty.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Range = s.Max - s.Min
+	return s
+}
+
+// StddevPct returns the standard deviation as a percentage of the mean
+// (the parenthesized numbers in Table 7). Returns 0 for a zero mean.
+func (s Summary) StddevPct() float64 { return pctOf(s.Stddev, s.Mean) }
+
+// MinPct returns the percent difference of the minimum from the mean.
+func (s Summary) MinPct() float64 { return pctOf(s.Mean-s.Min, s.Mean) }
+
+// MaxPct returns the percent difference of the maximum from the mean.
+func (s Summary) MaxPct() float64 { return pctOf(s.Max-s.Mean, s.Mean) }
+
+// RangePct returns the range as a percentage of the mean.
+func (s Summary) RangePct() float64 { return pctOf(s.Range, s.Mean) }
+
+func pctOf(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * x / base
+}
+
+// String formats the summary in the style of the paper's variance tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g s=%.4g (%.0f%%) min=%.4g max=%.4g range=%.4g (%.0f%%)",
+		s.N, s.Mean, s.Stddev, s.StddevPct(), s.Min, s.Max, s.Range, s.RangePct())
+}
+
+// Median returns the median of xs. It panics if xs is empty.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// ConfidenceInterval95 returns the half-width of a 95% confidence interval
+// for the mean, using Student's t critical values for small trial counts.
+// Tapeworm experiments require multiple trials because trap-driven
+// simulation is sensitive to real system variation (Section 4.2); the
+// interval quantifies how many trials are enough.
+func ConfidenceInterval95(s Summary) float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return tCrit95(s.N-1) * s.Stddev / math.Sqrt(float64(s.N))
+}
+
+// tCrit95 returns the two-sided 95% Student's t critical value for the
+// given degrees of freedom. Values above 30 use the normal approximation.
+func tCrit95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+		2.042,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
+}
+
+// RatioEstimate scales a sampled count up to a full-population estimate.
+// With 1/k set sampling, the observed miss count estimates total misses as
+// observed*k ([Kessler91, Puzak85]); this helper centralizes the arithmetic
+// so experiments cannot disagree about it.
+func RatioEstimate(observed float64, sampledFraction float64) float64 {
+	if sampledFraction <= 0 || sampledFraction > 1 {
+		panic("stats: sampled fraction must be in (0, 1]")
+	}
+	return observed / sampledFraction
+}
+
+// PercentIncrease returns the percent increase of x over base, the metric
+// of Figure 4 (miss increase due to time dilation). Returns 0 for base 0.
+func PercentIncrease(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (x - base) / base
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	if !almost(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Stddev = %v", s.Stddev)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Range != 7 {
+		t.Errorf("min/max/range = %v/%v/%v", s.Min, s.Max, s.Range)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Stddev != 0 || s.Range != 0 || s.Mean != 3.5 {
+		t.Errorf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentsMatchPaperStyle(t *testing.T) {
+	// Table 7 expresses s and Range as % of mean, min/max as % difference
+	// from mean. Construct data where those are exact.
+	s := Summarize([]float64{50, 150}) // mean 100, range 100
+	if !almost(s.RangePct(), 100, 1e-9) {
+		t.Errorf("RangePct = %v", s.RangePct())
+	}
+	if !almost(s.MinPct(), 50, 1e-9) {
+		t.Errorf("MinPct = %v", s.MinPct())
+	}
+	if !almost(s.MaxPct(), 50, 1e-9) {
+		t.Errorf("MaxPct = %v", s.MaxPct())
+	}
+}
+
+func TestZeroMeanPercents(t *testing.T) {
+	s := Summarize([]float64{0, 0, 0})
+	if s.StddevPct() != 0 || s.RangePct() != 0 {
+		t.Error("percent-of-zero-mean should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	// Median must not reorder the caller's slice.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its argument")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	s := Summarize([]float64{10, 12, 14, 16})
+	ci := ConfidenceInterval95(s)
+	// s = sqrt(20/3) ≈ 2.582; t(3) = 3.182; ci = 3.182*2.582/2 ≈ 4.108.
+	if !almost(ci, 4.108, 0.01) {
+		t.Errorf("ci = %v", ci)
+	}
+	if !math.IsInf(ConfidenceInterval95(Summarize([]float64{1})), 1) {
+		t.Error("single-trial CI should be infinite")
+	}
+}
+
+func TestTCritMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		v := tCrit95(df)
+		if v > prev {
+			t.Fatalf("tCrit95 not nonincreasing at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+	if tCrit95(1000) != 1.960 {
+		t.Error("large-df tCrit should be 1.960")
+	}
+}
+
+func TestRatioEstimate(t *testing.T) {
+	// 1/8 set sampling scales observed misses by 8 (Section 3.2).
+	if got := RatioEstimate(100, 1.0/8); got != 800 {
+		t.Errorf("RatioEstimate = %v", got)
+	}
+	if got := RatioEstimate(42, 1); got != 42 {
+		t.Errorf("full-sample estimate = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on fraction > 1")
+		}
+	}()
+	RatioEstimate(1, 1.5)
+}
+
+func TestPercentIncrease(t *testing.T) {
+	if got := PercentIncrease(103.57, 90.56); !almost(got, 14.365, 0.01) {
+		t.Errorf("Figure 4 bottom row: %v", got) // paper reports 14.4%
+	}
+	if PercentIncrease(5, 0) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+func TestSummaryInvariantsQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-6 || s.Mean > s.Max+1e-6 {
+			return false
+		}
+		if s.Stddev < 0 || s.Range < 0 {
+			return false
+		}
+		return almost(s.Range, s.Max-s.Min, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package textwalk generates synthetic instruction-fetch address streams
+// with program-like locality: straight-line runs punctuated by taken
+// branches that are usually short backward jumps (loops), occasionally
+// forward skips, and sometimes calls into shared helper regions.
+//
+// Both the kernel's service routines and the synthetic workload programs
+// are built from these walkers. The model's purpose is not to imitate any
+// particular binary but to give reference streams whose miss-ratio-versus-
+// cache-size curves have the realistic shape the paper's workloads exhibit
+// (Figure 2, Table 6): high miss ratios in small caches that fall toward
+// zero once the cache covers the working set.
+package textwalk
+
+import (
+	"fmt"
+
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+)
+
+// Region is a contiguous range of virtual text.
+type Region struct {
+	Base mem.VAddr
+	Size uint32 // bytes
+}
+
+// Contains reports whether va lies in the region.
+func (r Region) Contains(va mem.VAddr) bool {
+	return va >= r.Base && uint32(va-r.Base) < r.Size
+}
+
+// End returns the first address past the region.
+func (r Region) End() mem.VAddr { return r.Base + mem.VAddr(r.Size) }
+
+// Params tune a walker's branch behaviour.
+type Params struct {
+	BlockLen  int     // mean basic-block length, instructions
+	BackProb  float64 // P(taken branch is backward) — loopiness
+	LoopSpan  int     // max backward branch distance, instructions
+	FwdSpan   int     // max forward branch distance, instructions
+	CallProb  float64 // P(a branch is instead a call to a helper region)
+	HelperLen int     // instructions executed per helper call
+}
+
+// DefaultParams returns branch behaviour resembling integer code: 6-
+// instruction basic blocks, 60% backward branches looping within ~48
+// instructions.
+func DefaultParams() Params {
+	return Params{BlockLen: 6, BackProb: 0.60, LoopSpan: 48, FwdSpan: 24,
+		CallProb: 0.04, HelperLen: 40}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.BlockLen < 1 {
+		return fmt.Errorf("textwalk: BlockLen %d < 1", p.BlockLen)
+	}
+	if p.BackProb < 0 || p.BackProb > 1 || p.CallProb < 0 || p.CallProb > 1 {
+		return fmt.Errorf("textwalk: probabilities out of [0,1]")
+	}
+	if p.LoopSpan < 1 || p.FwdSpan < 1 {
+		return fmt.Errorf("textwalk: spans must be >= 1")
+	}
+	return nil
+}
+
+// Walker emits a locality-bearing instruction address stream over one
+// region, optionally calling out to shared helper regions.
+type Walker struct {
+	r       *rng.Source
+	region  Region
+	params  Params
+	helpers []Region
+
+	pc        uint32 // byte offset within region
+	inHelper  bool
+	helper    Region
+	helperPC  uint32
+	helperRem int
+}
+
+// New creates a Walker over region with behaviour params, drawing
+// randomness from r. Helper regions (shared library / kernel utility
+// text) may be nil.
+func New(r *rng.Source, region Region, params Params, helpers []Region) (*Walker, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if region.Size < 64 || region.Size%4 != 0 {
+		return nil, fmt.Errorf("textwalk: region size %d too small or unaligned", region.Size)
+	}
+	return &Walker{r: r, region: region, params: params, helpers: helpers}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(r *rng.Source, region Region, params Params, helpers []Region) *Walker {
+	w, err := New(r, region, params, helpers)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Region returns the walker's home region.
+func (w *Walker) Region() Region { return w.region }
+
+// JumpTo repositions the walker at a byte offset within its region
+// (procedure entry). Offsets are clamped and word-aligned.
+func (w *Walker) JumpTo(offset uint32) {
+	if offset >= w.region.Size {
+		offset %= w.region.Size
+	}
+	w.pc = offset &^ 3
+	w.inHelper = false
+}
+
+// Next returns the next instruction-fetch address.
+func (w *Walker) Next() mem.VAddr {
+	if w.inHelper {
+		va := w.helper.Base + mem.VAddr(w.helperPC)
+		w.helperPC += 4
+		if w.helperPC >= w.helper.Size {
+			w.helperPC = 0
+		}
+		w.helperRem--
+		if w.helperRem <= 0 {
+			w.inHelper = false // return from helper
+		}
+		return va
+	}
+
+	va := w.region.Base + mem.VAddr(w.pc)
+
+	// Advance: usually fall through; at block boundaries, branch.
+	if w.r.Intn(w.params.BlockLen) != 0 {
+		w.pc += 4
+		if w.pc >= w.region.Size {
+			w.pc = 0
+		}
+		return va
+	}
+
+	// Taken control transfer.
+	if len(w.helpers) > 0 && w.r.Bool(w.params.CallProb) {
+		h := w.helpers[w.r.Intn(len(w.helpers))]
+		w.inHelper = true
+		w.helper = h
+		// Enter at one of a handful of routine entry points; repeated
+		// calls reuse the same helper lines heavily, as real library
+		// code does.
+		entries := int(h.Size) / 2048
+		if entries < 1 {
+			entries = 1
+		}
+		w.helperPC = uint32(w.r.Intn(entries)) * 2048 % h.Size
+		w.helperRem = w.params.HelperLen
+		return va
+	}
+	if w.r.Bool(w.params.BackProb) {
+		back := uint32(w.r.Intn(w.params.LoopSpan)+1) * 4
+		if back > w.pc {
+			w.pc = 0
+		} else {
+			w.pc -= back
+		}
+	} else {
+		w.pc += uint32(w.r.Intn(w.params.FwdSpan)+1) * 4
+		if w.pc >= w.region.Size {
+			w.pc = 0
+		}
+	}
+	return va
+}

@@ -1,0 +1,180 @@
+package textwalk
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+)
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x100}
+	for _, c := range []struct {
+		va   mem.VAddr
+		want bool
+	}{
+		{0x0fff, false}, {0x1000, true}, {0x10ff, true}, {0x1100, false},
+	} {
+		if got := r.Contains(c.va); got != c.want {
+			t.Errorf("Contains(%#x) = %v", c.va, got)
+		}
+	}
+	if r.End() != 0x1100 {
+		t.Errorf("End() = %#x", r.End())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bads := []Params{
+		{BlockLen: 0, BackProb: 0.5, LoopSpan: 8, FwdSpan: 8},
+		{BlockLen: 4, BackProb: -0.1, LoopSpan: 8, FwdSpan: 8},
+		{BlockLen: 4, BackProb: 1.5, LoopSpan: 8, FwdSpan: 8},
+		{BlockLen: 4, BackProb: 0.5, LoopSpan: 0, FwdSpan: 8},
+		{BlockLen: 4, BackProb: 0.5, LoopSpan: 8, FwdSpan: 0},
+		{BlockLen: 4, BackProb: 0.5, CallProb: 2, LoopSpan: 8, FwdSpan: 8},
+	}
+	for i, p := range bads {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := New(r, Region{Base: 0, Size: 32}, DefaultParams(), nil); err == nil {
+		t.Error("tiny region accepted")
+	}
+	if _, err := New(r, Region{Base: 0, Size: 130}, DefaultParams(), nil); err == nil {
+		t.Error("unaligned region accepted")
+	}
+}
+
+func TestWalkerStaysInRegionOrHelpers(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		region := Region{Base: 0x40_0000, Size: 4096}
+		helper := Region{Base: 0x50_0000, Size: 1024}
+		w := MustNew(r, region, DefaultParams(), []Region{helper})
+		for i := 0; i < 5000; i++ {
+			va := w.Next()
+			if !region.Contains(va) && !helper.Contains(va) {
+				return false
+			}
+			if va%4 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	mk := func() *Walker {
+		return MustNew(rng.New(7), Region{Base: 0, Size: 2048}, DefaultParams(), nil)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("walkers diverged at step %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestWalkerLocality(t *testing.T) {
+	// A walk over a large region should still concentrate: the number of
+	// distinct lines touched in N steps must be far below N (branches are
+	// mostly short backward loops).
+	w := MustNew(rng.New(3), Region{Base: 0, Size: 64 << 10}, DefaultParams(), nil)
+	const steps = 20000
+	lines := make(map[mem.VAddr]bool)
+	for i := 0; i < steps; i++ {
+		lines[w.Next()&^15] = true
+	}
+	if len(lines) > steps/4 {
+		t.Fatalf("%d distinct lines in %d steps: no locality", len(lines), steps)
+	}
+	if len(lines) < 16 {
+		t.Fatalf("only %d lines touched: walker stuck", len(lines))
+	}
+}
+
+func TestJumpTo(t *testing.T) {
+	w := MustNew(rng.New(5), Region{Base: 0x1000, Size: 4096}, DefaultParams(), nil)
+	w.JumpTo(0x800)
+	if va := w.Next(); va != 0x1800 {
+		t.Fatalf("after JumpTo(0x800), Next() = %#x", va)
+	}
+	// Out-of-range offsets wrap rather than escape the region.
+	w.JumpTo(5000)
+	va := w.Next()
+	if !w.Region().Contains(va) {
+		t.Fatalf("JumpTo out of range escaped region: %#x", va)
+	}
+	// Unaligned offsets are word-aligned.
+	w.JumpTo(0x803)
+	if va := w.Next(); va != 0x1800 {
+		t.Fatalf("JumpTo unaligned: Next() = %#x", va)
+	}
+}
+
+func TestHelperCallsReturn(t *testing.T) {
+	params := DefaultParams()
+	params.CallProb = 0.5 // call often
+	params.HelperLen = 10
+	region := Region{Base: 0, Size: 1024}
+	helper := Region{Base: 0x9000, Size: 2048}
+	w := MustNew(rng.New(9), region, params, []Region{helper})
+	inHelperRun := 0
+	maxRun := 0
+	for i := 0; i < 20000; i++ {
+		va := w.Next()
+		if helper.Contains(va) {
+			inHelperRun++
+			if inHelperRun > maxRun {
+				maxRun = inHelperRun
+			}
+		} else {
+			inHelperRun = 0
+		}
+	}
+	if maxRun == 0 {
+		t.Fatal("helper never entered despite CallProb 0.5")
+	}
+	if maxRun > params.HelperLen {
+		t.Fatalf("helper run of %d exceeds HelperLen %d", maxRun, params.HelperLen)
+	}
+}
+
+func TestSequentialRunsDominant(t *testing.T) {
+	// With BlockLen 6 about 5/6 of transitions should be pc+4.
+	w := MustNew(rng.New(21), Region{Base: 0, Size: 8192}, DefaultParams(), nil)
+	prev := w.Next()
+	seq := 0
+	const n = 30000
+	for i := 0; i < n; i++ {
+		va := w.Next()
+		if va == prev+4 {
+			seq++
+		}
+		prev = va
+	}
+	frac := float64(seq) / n
+	if frac < 0.7 || frac > 0.95 {
+		t.Fatalf("sequential fraction %.2f, want ~0.83", frac)
+	}
+}
+
+func BenchmarkWalkerNext(b *testing.B) {
+	w := MustNew(rng.New(1), Region{Base: 0, Size: 32 << 10}, DefaultParams(), nil)
+	for i := 0; i < b.N; i++ {
+		_ = w.Next()
+	}
+}

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"fmt"
+
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+	"tapeworm/internal/rng"
+	"tapeworm/internal/textwalk"
+)
+
+// program is the kernel.Program implementation for a workload task. Its
+// stream is a deterministic function of (spec, seed, task label): it never
+// consults machine or kernel state, so single-task virtually-indexed
+// simulations are exactly reproducible regardless of scheduling — the
+// property the paper's validation against Cache2000 relies on.
+type program struct {
+	spec *Spec
+	r    *rng.Source
+
+	remaining uint64 // user instructions still to emit
+	exited    bool
+
+	// Text walk: one walker per procedure, Zipf-selected per visit, with
+	// a per-phase permutation so working sets drift over time.
+	procs     []*textwalk.Walker
+	zipf      *rng.Zipf
+	perm      []int
+	cur       *textwalk.Walker
+	visitLeft int
+	phaseLeft uint64
+
+	// Data references.
+	dataR       *rng.Source
+	pendingData bool
+	pending     mem.Ref
+	streamPos   uint32
+
+	// Syscalls occur with probability syscallProb per user instruction —
+	// probabilistic rather than counted, so tasks shorter than the mean
+	// interval still issue their expected share (the sdet/kenbus fork
+	// trees run thousands of very short tasks).
+	syscallProb float64
+	mixCum      [3]float64
+	mixSvc      [3]kernel.ServiceID
+
+	// Forking.
+	forksLeft  int
+	forkEvery  uint64
+	sinceFork  uint64
+	childIndex int
+	makeChild  func(i int) kernel.Program
+}
+
+// New builds the root Program for spec, seeded by seed. The root forks the
+// spec's fork tree as it runs.
+func New(spec Spec, seed uint64) (kernel.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := spec // private copy
+	userTotal := s.UserInstructions()
+	rootInstr := uint64(float64(userTotal) * s.RootWorkFrac)
+
+	var directChildren, grandPerChild int
+	childCount := s.Tasks - 1
+	if childCount > 0 {
+		if s.ForkDepth == 2 && childCount >= 4 {
+			// Two-level tree: sqrt-ish split, e.g. 280 -> 16 children
+			// each forking ~16 grandchildren.
+			directChildren = isqrt(childCount)
+			grandPerChild = (childCount - directChildren) / directChildren
+			// Remainder is absorbed by giving the first children one
+			// extra grandchild each.
+		} else {
+			directChildren = childCount
+		}
+	}
+	childWork := uint64(0)
+	if childCount > 0 {
+		childWork = (userTotal - rootInstr) / uint64(childCount)
+		if childWork == 0 {
+			childWork = 1
+		}
+	}
+
+	// Syscall rates are solved once, from the whole-workload spec, and
+	// shared by every task in the tree.
+	prob, cum, svcs := s.rates()
+	cs := childSpec(&s)
+	root := newProgram(&s, rng.New(seed).Split("task-root"), rootInstr)
+	root.syscallProb, root.mixCum, root.mixSvc = prob, cum, svcs
+	if directChildren > 0 {
+		extra := 0
+		if s.ForkDepth == 2 {
+			extra = (childCount - directChildren) - grandPerChild*directChildren
+		}
+		root.forksLeft = directChildren
+		root.forkEvery = maxu64(rootInstr/uint64(directChildren+1), 1)
+		root.makeChild = func(i int) kernel.Program {
+			label := fmt.Sprintf("task-%d", i)
+			gc := 0
+			if s.ForkDepth == 2 {
+				gc = grandPerChild
+				if i < extra {
+					gc++
+				}
+			}
+			c := newProgram(cs, rng.New(seed).Split(label), childWork)
+			c.syscallProb, c.mixCum, c.mixSvc = prob, cum, svcs
+			if gc > 0 {
+				c.forksLeft = gc
+				c.forkEvery = maxu64(childWork/uint64(gc+1), 1)
+				c.makeChild = func(j int) kernel.Program {
+					g := newProgram(cs,
+						rng.New(seed).Split(fmt.Sprintf("%s-%d", label, j)), childWork)
+					g.syscallProb, g.mixCum, g.mixSvc = prob, cum, svcs
+					return g
+				}
+			}
+			return c
+		}
+	}
+	return root, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(spec Spec, seed uint64) kernel.Program {
+	p, err := New(spec, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isqrt(n int) int {
+	r := 1
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func maxu64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newProgram builds one task's generator emitting n user instructions.
+func newProgram(s *Spec, r *rng.Source, n uint64) *program {
+	p := &program{
+		spec:      s,
+		r:         r.Split("walk"),
+		dataR:     r.Split("data"),
+		remaining: n,
+		phaseLeft: s.PhaseLen,
+	}
+	// Carve the text into procedures, each with its own walker. The last
+	// kilobyte of the text is a shared helper slice (library epilogue)
+	// called from every procedure; it lives inside TextBytes so the
+	// spec's footprint is the program's whole instruction working set.
+	const helperSize = 1 << 10
+	body := s.TextBytes - helperSize
+	if s.TextBytes < 2*helperSize {
+		body = s.TextBytes / 2
+	}
+	procSize := (body / uint32(s.Procs)) &^ 63
+	if procSize < 64 {
+		procSize = 64
+	}
+	helper := textwalk.Region{
+		Base: kernel.TextBase + mem.VAddr(body),
+		Size: s.TextBytes - body,
+	}
+	params := textwalk.DefaultParams()
+	params.CallProb = 0.03
+	for i := 0; i < s.Procs; i++ {
+		region := textwalk.Region{
+			Base: kernel.TextBase + mem.VAddr(uint32(i)*procSize),
+			Size: procSize,
+		}
+		p.procs = append(p.procs, textwalk.MustNew(
+			p.r.Split(fmt.Sprintf("proc-%d", i)), region, params,
+			[]textwalk.Region{helper}))
+	}
+	p.zipf = rng.NewZipf(p.r.Split("zipf"), s.Procs, s.ZipfSkew)
+	p.perm = identity(s.Procs)
+	p.cur = p.procs[0]
+	p.visitLeft = s.VisitLen
+
+	p.syscallProb, p.mixCum, p.mixSvc = s.rates()
+	return p
+}
+
+// childSpec derives the per-child variant of a fork-tree workload: child
+// tasks are short-lived utilities whose data work stays within the hot
+// footprint (streaming over the full dataset is the root's job).
+func childSpec(s *Spec) *Spec {
+	c := *s
+	if c.DataHotBytes > 0 {
+		c.DataBytes = c.DataHotBytes
+	}
+	c.StreamFrac = 0
+	return &c
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Next implements kernel.Program.
+func (p *program) Next() kernel.Event {
+	if p.pendingData {
+		p.pendingData = false
+		return kernel.Event{Kind: kernel.EvRef, Ref: p.pending}
+	}
+	if p.remaining == 0 {
+		if !p.exited {
+			p.exited = true
+		}
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	if p.forksLeft > 0 && p.sinceFork >= p.forkEvery {
+		p.sinceFork = 0
+		p.forksLeft--
+		i := p.childIndex
+		p.childIndex++
+		return kernel.Event{
+			Kind:      kernel.EvFork,
+			Child:     p.makeChild(i),
+			ShareText: p.spec.ChildShareText,
+		}
+	}
+	if p.syscallProb > 0 && p.dataR.Bool(p.syscallProb) {
+		return kernel.Event{Kind: kernel.EvSyscall, Service: p.pickService()}
+	}
+
+	// One user instruction.
+	p.remaining--
+	p.sinceFork++
+	if p.visitLeft <= 0 {
+		p.cur = p.procs[p.perm[p.zipf.Draw()]]
+		p.cur.JumpTo(0)
+		p.visitLeft = p.spec.VisitLen
+	}
+	p.visitLeft--
+	if p.phaseLeft > 0 {
+		p.phaseLeft--
+		if p.phaseLeft == 0 {
+			p.perm = p.r.Perm(p.spec.Procs)
+			p.phaseLeft = p.spec.PhaseLen
+		}
+	}
+	va := p.cur.Next()
+
+	if p.spec.DataRefsPerInstr > 0 && p.dataR.Bool(p.spec.DataRefsPerInstr) {
+		p.pending = p.dataRef()
+		p.pendingData = true
+	}
+	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+}
+
+// pickService draws a service from the workload's syscall mix.
+func (p *program) pickService() kernel.ServiceID {
+	u := p.dataR.Float64()
+	for i, c := range p.mixCum {
+		if u < c {
+			return p.mixSvc[i]
+		}
+	}
+	return p.mixSvc[2]
+}
+
+// dataRef produces one data reference: streaming (sequential over the full
+// footprint), hot (within the hot subset), or cold (uniform).
+func (p *program) dataRef() mem.Ref {
+	s := p.spec
+	var off uint32
+	switch {
+	case s.StreamFrac > 0 && p.dataR.Bool(s.StreamFrac):
+		off = p.streamPos
+		p.streamPos += 4
+		if p.streamPos >= s.DataBytes {
+			p.streamPos = 0
+		}
+	case p.dataR.Bool(0.95) && s.DataHotBytes > 0:
+		off = uint32(p.dataR.Intn(int(s.DataHotBytes))) &^ 3
+	default:
+		off = uint32(p.dataR.Intn(int(s.DataBytes))) &^ 3
+	}
+	kind := mem.Load
+	if p.dataR.Bool(s.StoreFrac) {
+		kind = mem.Store
+	}
+	return mem.Ref{VA: kernel.DataBase + mem.VAddr(off), Kind: kind}
+}
