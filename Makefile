@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify verify-race bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## verify: the tier-1 gate (see ROADMAP.md).
+verify: build test
+
+## verify-race: tier-1 plus vet and the race detector. The run scheduler
+## fans independent simulations across goroutines; this target is the
+## concurrency gate for any change touching internal/sched or the
+## experiment harness.
+verify-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

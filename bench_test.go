@@ -137,6 +137,32 @@ func BenchmarkTable12_PrivilegedOps(b *testing.B) {
 	runExperiment(b, "table12")
 }
 
+// BenchmarkParallel_Figure2 measures the run scheduler's fan-out: each
+// iteration regenerates Figure 2 serially (Parallelism 1) and again on
+// the full worker pool (Parallelism 0 = GOMAXPROCS), reporting the
+// wall-clock ratio as "speedup". Run with -cpu 1,4: at -cpu 1 the pool
+// degenerates to the serial path and speedup sits near 1.0; at -cpu 4
+// the 13 independent runs should overlap for a speedup well above 2x
+// (provided the host actually has 4 cores — raising GOMAXPROCS past the
+// hardware only adds scheduling, so a single-core host stays near 1.0).
+func BenchmarkParallel_Figure2(b *testing.B) {
+	timeRun := func(parallelism int) time.Duration {
+		o := benchOptions()
+		o.Parallelism = parallelism
+		start := time.Now()
+		if _, err := experiment.Figure2(o); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += timeRun(1)
+		parallel += timeRun(0)
+	}
+	b.ReportMetric(float64(serial)/float64(parallel), "speedup")
+}
+
 // --- Ablations: handler implementation cost (Sections 4.1, 4.3) ---
 
 // benchHandlerModel measures whole-run slowdown under each miss-handler

@@ -6,8 +6,14 @@
 //	twbench                         # run the full suite at scale 100
 //	twbench -run figure2,table6     # selected experiments
 //	twbench -scale 1000 -trials 4   # coarser, faster
+//	twbench -parallel 1             # strictly serial execution
 //	twbench -list                   # list experiment IDs
 //	twbench -o report.txt           # also write the report to a file
+//
+// Each experiment's independent machine runs execute on a worker pool
+// (default GOMAXPROCS workers; -parallel overrides). Results are
+// assembled in submission order, so the report is byte-identical at any
+// parallelism; only progress-line interleaving differs.
 package main
 
 import (
@@ -26,8 +32,9 @@ func main() {
 		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		scale   = flag.Float64("scale", 100, "workload scale divisor (100 = standard evaluation)")
 		trials  = flag.Int("trials", 16, "trials for variance tables")
-		seed    = flag.Uint64("seed", 1994, "master seed")
-		frames  = flag.Int("frames", 8192, "physical memory frames")
+		seed     = flag.Uint64("seed", 1994, "master seed")
+		frames   = flag.Int("frames", 8192, "physical memory frames")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = serial)")
 		outPath = flag.String("o", "", "also write the report to this file")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -43,6 +50,7 @@ func main() {
 
 	opts := experiment.Options{
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
+		Parallelism: *parallel,
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "  %s\n", line) }

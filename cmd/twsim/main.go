@@ -8,6 +8,12 @@
 //	twsim -workload sdet -size 4K -kernel -servers
 //	twsim -workload ousterhout -mode tlb -tlb-entries 64
 //	twsim -workload espresso -size 1K -sample 1/8 -indexing virtual
+//
+// The uninstrumented baseline and the instrumented run are independent
+// simulations (each boots its own kernel), so by default they execute
+// concurrently on the run scheduler; -parallel 1 forces the serial
+// order. Either way the reported numbers are identical: each run's
+// results depend only on its own seeds.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"tapeworm"
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mem"
+	"tapeworm/internal/sched"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 		simServers = flag.Bool("servers", false, "also simulate the X/BSD servers")
 		simKernel  = flag.Bool("kernel", false, "also simulate the OS kernel")
 		baseline   = flag.Bool("baseline", true, "also run uninstrumented for slowdown")
+		parallel   = flag.Int("parallel", 0, "worker pool size for the baseline/instrumented runs (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -71,36 +79,64 @@ func main() {
 		check(fmt.Errorf("unknown machine %q", *machine))
 	}
 
-	var normal tapeworm.Snapshot
+	// The baseline and instrumented simulations share nothing — each
+	// boots a private kernel and machine — so run them as one scheduler
+	// batch; index 0 is the baseline, index 1 the instrumented system.
+	type simOut struct {
+		sys *tapeworm.System
+		tw  *tapeworm.Simulator
+	}
+	var jobs []sched.Job[simOut]
 	if *baseline {
+		jobs = append(jobs, func() (simOut, error) {
+			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+				Machine: mc, Seed: *seed, PageSeed: *pageSeed})
+			if err != nil {
+				return simOut{}, err
+			}
+			if _, err := sys.LoadWorkload(*wl, *scale, *seed, false); err != nil {
+				return simOut{}, err
+			}
+			return simOut{sys: sys}, sys.Run(0)
+		})
+	}
+	jobs = append(jobs, func() (simOut, error) {
 		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
 			Machine: mc, Seed: *seed, PageSeed: *pageSeed})
-		check(err)
-		_, err = sys.LoadWorkload(*wl, *scale, *seed, false)
-		check(err)
-		check(sys.Run(0))
-		normal = sys.Monitor()
-	}
-
-	sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-		Machine: mc, Seed: *seed, PageSeed: *pageSeed})
-	check(err)
-	tw, err := sys.AttachTapeworm(cfg)
-	check(err)
-	_, err = sys.LoadWorkload(*wl, *scale, *seed, true)
-	check(err)
-	if *simServers {
-		for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
-			if t := sys.Kernel().Server(kind); t != nil {
-				check(tw.Attributes(t.ID, true, false))
+		if err != nil {
+			return simOut{}, err
+		}
+		tw, err := sys.AttachTapeworm(cfg)
+		if err != nil {
+			return simOut{}, err
+		}
+		if _, err := sys.LoadWorkload(*wl, *scale, *seed, true); err != nil {
+			return simOut{}, err
+		}
+		if *simServers {
+			for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+				if t := sys.Kernel().Server(kind); t != nil {
+					if err := tw.Attributes(t.ID, true, false); err != nil {
+						return simOut{}, err
+					}
+				}
 			}
 		}
-	}
-	if *simKernel {
-		check(tw.Attributes(mem.KernelTask, true, false))
-	}
-	check(sys.Run(0))
+		if *simKernel {
+			if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
+				return simOut{}, err
+			}
+		}
+		return simOut{sys: sys, tw: tw}, sys.Run(0)
+	})
+	outs, err := sched.Run(*parallel, jobs, nil)
+	check(err)
 
+	var normal tapeworm.Snapshot
+	if *baseline {
+		normal = outs[0].sys.Monitor()
+	}
+	sys, tw := outs[len(outs)-1].sys, outs[len(outs)-1].tw
 	snap := sys.Monitor()
 	st := tw.Stats()
 	fmt.Printf("workload:   %s (scale 1/%.0f) on %s\n", *wl, *scale, mc.Name)

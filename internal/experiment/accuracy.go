@@ -43,11 +43,23 @@ func Table4(o Options) (*Table, error) {
 			"component percentages are instruction shares; paper reports time shares",
 		},
 	}
-	for _, spec := range workload.Specs(o.Scale) {
-		res, err := normalRun(o, spec, 0)
-		if err != nil {
-			return nil, err
+	specs := workload.Specs(o.Scale)
+	jobs := make([]runJob, len(specs))
+	for i, spec := range specs {
+		name := spec.Name
+		jobs[i] = runJob{
+			cfg: normalConfig(o, spec, 0),
+			progress: func(runResult) string {
+				return fmt.Sprintf("table4: %s done", name)
+			},
 		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		res := results[i]
 		total := float64(res.snap.Instructions)
 		p := func(x uint64) string { return fmt.Sprintf("%.1f%%", 100*float64(x)/total) }
 		t.Rows = append(t.Rows, []string{
@@ -60,7 +72,6 @@ func Table4(o Options) (*Table, error) {
 			p(res.comp[kernel.CompUser]),
 			fmt.Sprint(res.tasks),
 		})
-		o.progress("table4: %s done", spec.Name)
 	}
 	return t, nil
 }
@@ -87,55 +98,69 @@ func Table6(o Options) (*Table, error) {
 			"From Traces uses Pixie+Cache2000 and is only possible for single-task workloads",
 		},
 	}
-	for _, spec := range workload.Specs(o.Scale) {
-		row := []string{spec.Name}
-
-		cell := func(misses uint64, totalInstr uint64) string {
-			return fmt.Sprintf("%s (%.3f)", millions(float64(misses)),
-				float64(misses)/float64(totalInstr))
-		}
-
-		// From traces: single-task workloads only.
+	specs := workload.Specs(o.Scale)
+	// Per-spec job layout: an optional trace run, three dedicated-cache
+	// component runs, then the shared-cache run.
+	type layout struct{ trace, dedicated, all int }
+	var jobs []runJob
+	layouts := make([]layout, len(specs))
+	for i, spec := range specs {
+		name := spec.Name
+		layouts[i].trace = -1
 		if spec.Tasks == 1 {
-			res, err := run(runConfig{
+			layouts[i].trace = len(jobs)
+			jobs = append(jobs, runJob{cfg: runConfig{
 				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
 				trace: &cache2000.Config{
 					Cache: cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
 					Kinds: []mem.RefKind{mem.IFetch},
 				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, cell(res.c2kMisses, res.snap.Instructions))
-		} else {
-			row = append(row, "")
+			}})
 		}
-
-		var dedicatedSum uint64
+		layouts[i].dedicated = len(jobs)
 		for _, comp := range []struct {
 			user, servers, kern bool
 		}{{true, false, false}, {false, true, false}, {false, false, true}} {
-			res, err := run(runConfig{
+			jobs = append(jobs, runJob{cfg: runConfig{
 				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
 				tw:      table6Cache(),
 				simUser: comp.user, simServers: comp.servers, simKernel: comp.kern,
-			})
-			if err != nil {
-				return nil, err
-			}
+			}})
+		}
+		layouts[i].all = len(jobs)
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw:      table6Cache(),
+				simUser: true, simServers: true, simKernel: true,
+			},
+			progress: func(runResult) string {
+				return fmt.Sprintf("table6: %s done", name)
+			},
+		})
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		row := []string{spec.Name}
+		cell := func(misses uint64, totalInstr uint64) string {
+			return fmt.Sprintf("%s (%.3f)", millions(float64(misses)),
+				float64(misses)/float64(totalInstr))
+		}
+		if idx := layouts[i].trace; idx >= 0 {
+			row = append(row, cell(results[idx].c2kMisses, results[idx].snap.Instructions))
+		} else {
+			row = append(row, "")
+		}
+		var dedicatedSum uint64
+		for j := 0; j < 3; j++ {
+			res := results[layouts[i].dedicated+j]
 			row = append(row, cell(res.twStats.Misses, res.snap.Instructions))
 			dedicatedSum += res.twStats.Misses
 		}
-
-		all, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw:      table6Cache(),
-			simUser: true, simServers: true, simKernel: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+		all := results[layouts[i].all]
 		row = append(row, cell(all.twStats.Misses, all.snap.Instructions))
 		var interference uint64
 		if all.twStats.Misses > dedicatedSum {
@@ -143,7 +168,6 @@ func Table6(o Options) (*Table, error) {
 		}
 		row = append(row, cell(interference, all.snap.Instructions))
 		t.Rows = append(t.Rows, row)
-		o.progress("table6: %s done", spec.Name)
 	}
 	return t, nil
 }
@@ -178,27 +202,36 @@ func varianceRow(name string, sum stats.Summary) []string {
 var varianceColumns = []string{"workload", "misses mean(10^6)", "s", "(s%)",
 	"min", "(min%)", "max", "(max%)", "range", "(range%)"}
 
-// trialsOf runs the given Tapeworm configuration over o.Trials trials,
+// trialJobs describes o.Trials runs of the given Tapeworm configuration,
 // varying the frame-allocator seed and the sample-pattern offset per
-// trial (the two real sources of run-to-run variation), and returns the
-// sampling-scaled miss estimates.
-func trialsOf(o Options, spec workload.Spec, mkCfg func(trial int) *core.Config,
-	all bool) ([]float64, error) {
-	out := make([]float64, 0, o.Trials)
+// trial (the two real sources of run-to-run variation). The last trial
+// carries the progress line, so it fires once the group is nearly done.
+func trialJobs(o Options, spec workload.Spec, mkCfg func(trial int) *core.Config,
+	all bool, progress string) []runJob {
+	jobs := make([]runJob, o.Trials)
 	for trial := 0; trial < o.Trials; trial++ {
-		res, err := run(runConfig{
+		jobs[trial] = runJob{cfg: runConfig{
 			spec: spec, seed: o.Seed,
 			pageSeed: o.Seed ^ uint64(trial+1)*0x9e3779b97f4a7c15,
 			frames:   o.Frames,
 			tw:       mkCfg(trial),
 			simUser:  true, simServers: all, simKernel: all,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res.twEst)
+		}}
 	}
-	return out, nil
+	if progress != "" {
+		jobs[o.Trials-1].progress = func(runResult) string { return progress }
+	}
+	return jobs
+}
+
+// twEsts extracts the sampling-scaled miss estimates from a block of
+// trial results.
+func twEsts(results []runResult) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.twEst
+	}
+	return out
 }
 
 // Table7 measures total run-to-run variation: 16 K-byte physically-indexed
@@ -215,16 +248,21 @@ func Table7(o Options) (*Table, error) {
 			"physical page allocation and the sample set pattern vary per trial",
 		},
 	}
-	for _, spec := range workload.Specs(o.Scale) {
-		ests, err := trialsOf(o, spec, func(trial int) *core.Config {
+	specs := workload.Specs(o.Scale)
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs, trialJobs(o, spec, func(trial int) *core.Config {
 			return dmICache(16<<10, cache.PhysIndexed,
 				core.Sampling{Num: 1, Den: 8, Offset: sampleOffset(trial, 8, o.Trials)})
-		}, true)
-		if err != nil {
-			return nil, err
-		}
+		}, true, fmt.Sprintf("table7: %s done", spec.Name))...)
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		ests := twEsts(results[i*o.Trials : (i+1)*o.Trials])
 		t.Rows = append(t.Rows, varianceRow(spec.Name, stats.Summarize(ests)))
-		o.progress("table7: %s done", spec.Name)
 	}
 	return t, nil
 }
@@ -247,8 +285,11 @@ func Table8(o Options) (*Table, error) {
 			"unsampled runs are exactly reproducible (zero variance)",
 		},
 	}
-	for _, size := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10} {
+	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+	var jobs []runJob
+	for _, size := range sizes {
 		for _, sampled := range []bool{false, true} {
+			size, sampled := size, sampled
 			mk := func(trial int) *core.Config {
 				s := core.FullSampling()
 				if sampled {
@@ -256,10 +297,22 @@ func Table8(o Options) (*Table, error) {
 				}
 				return dmICache(size, cache.VirtIndexed, s)
 			}
-			ests, err := trialsOf(o, spec, mk, false)
-			if err != nil {
-				return nil, err
+			progress := ""
+			if sampled { // last group of the size
+				progress = fmt.Sprintf("table8: %s done", sizeKB(size))
 			}
+			jobs = append(jobs, trialJobs(o, spec, mk, false, progress)...)
+		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	group := 0
+	for _, size := range sizes {
+		for _, sampled := range []bool{false, true} {
+			ests := twEsts(results[group*o.Trials : (group+1)*o.Trials])
+			group++
 			sum := stats.Summarize(ests)
 			label := "none"
 			if sampled {
@@ -270,7 +323,6 @@ func Table8(o Options) (*Table, error) {
 				pct(sum.StddevPct()),
 			})
 		}
-		o.progress("table8: %s done", sizeKB(size))
 	}
 	return t, nil
 }
@@ -300,20 +352,30 @@ func Table9(o Options) (*Table, error) {
 	}
 	sub := o
 	sub.Trials = trials
-	for _, indexing := range []cache.Indexing{cache.PhysIndexed, cache.VirtIndexed} {
-		for _, size := range []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10} {
-			ests, err := trialsOf(sub, spec, func(int) *core.Config {
+	indexings := []cache.Indexing{cache.PhysIndexed, cache.VirtIndexed}
+	sizes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	var jobs []runJob
+	for _, indexing := range indexings {
+		for _, size := range sizes {
+			indexing, size := indexing, size
+			jobs = append(jobs, trialJobs(sub, spec, func(int) *core.Config {
 				return dmICache(size, indexing, core.FullSampling())
-			}, false)
-			if err != nil {
-				return nil, err
-			}
-			sum := stats.Summarize(ests)
+			}, false, fmt.Sprintf("table9: %s %s done", indexing, sizeKB(size)))...)
+		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	group := 0
+	for _, indexing := range indexings {
+		for _, size := range sizes {
+			sum := stats.Summarize(twEsts(results[group*trials : (group+1)*trials]))
+			group++
 			t.Rows = append(t.Rows, []string{
 				indexing.String(), sizeKB(size), millions(sum.Mean),
 				millions(sum.Stddev), pct(sum.StddevPct()),
 			})
-			o.progress("table9: %s %s done", indexing, sizeKB(size))
 		}
 	}
 	return t, nil
@@ -331,15 +393,20 @@ func Table10(o Options) (*Table, error) {
 			"same measurement as Table 7 but configured for virtually-indexed caches without set sampling",
 		},
 	}
-	for _, spec := range workload.Specs(o.Scale) {
-		ests, err := trialsOf(o, spec, func(int) *core.Config {
+	specs := workload.Specs(o.Scale)
+	var jobs []runJob
+	for _, spec := range specs {
+		jobs = append(jobs, trialJobs(o, spec, func(int) *core.Config {
 			return dmICache(16<<10, cache.VirtIndexed, core.FullSampling())
-		}, true)
-		if err != nil {
-			return nil, err
-		}
+		}, true, fmt.Sprintf("table10: %s done", spec.Name))...)
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		ests := twEsts(results[i*o.Trials : (i+1)*o.Trials])
 		t.Rows = append(t.Rows, varianceRow(spec.Name, stats.Summarize(ests)))
-		o.progress("table10: %s done", spec.Name)
 	}
 	return t, nil
 }
@@ -354,10 +421,6 @@ func Figure4(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal, err := normalRun(o, spec, 0)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:      "figure4",
 		Title:   "error due to time dilation (mpeg_play, all activity, 4K phys-indexed I-cache)",
@@ -367,28 +430,46 @@ func Figure4(o Options) (*Table, error) {
 			"increase measured against the least-dilated configuration",
 		},
 	}
+	// One run per sample-pattern offset: across the complete offset
+	// ensemble every cache set is sampled equally often, so the mean
+	// estimate is unbiased and the remaining signal is dilation.
+	// Page allocation stays fixed to isolate the dilation effect.
+	dens := []int{16, 8, 4, 2, 1}
+	jobs := []runJob{{cfg: normalConfig(o, spec, 0)}}
+	for _, den := range dens {
+		den := den
+		for offset := 0; offset < den; offset++ {
+			s := core.Sampling{Num: 1, Den: den, Offset: offset}
+			j := runJob{cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw:      dmICache(4<<10, cache.PhysIndexed, s),
+				simUser: true, simServers: true, simKernel: true,
+			}}
+			if offset == den-1 {
+				j.progress = func(runResult) string {
+					return fmt.Sprintf("figure4: sampling 1/%d done", den)
+				}
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	normal := results[0]
 	type point struct {
 		label    string
 		slowdown float64
 		misses   float64
 	}
 	var points []point
-	for _, den := range []int{16, 8, 4, 2, 1} {
-		// One run per sample-pattern offset: across the complete offset
-		// ensemble every cache set is sampled equally often, so the mean
-		// estimate is unbiased and the remaining signal is dilation.
-		// Page allocation stays fixed to isolate the dilation effect.
+	next := 1
+	for _, den := range dens {
 		var sumSlow, sumMiss float64
 		for offset := 0; offset < den; offset++ {
-			s := core.Sampling{Num: 1, Den: den, Offset: offset}
-			res, err := run(runConfig{
-				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-				tw:      dmICache(4<<10, cache.PhysIndexed, s),
-				simUser: true, simServers: true, simKernel: true,
-			})
-			if err != nil {
-				return nil, err
-			}
+			res := results[next]
+			next++
 			sumSlow += slowdown(res, normal)
 			sumMiss += res.twEst
 		}
@@ -397,7 +478,6 @@ func Figure4(o Options) (*Table, error) {
 			slowdown: sumSlow / float64(den),
 			misses:   sumMiss / float64(den),
 		})
-		o.progress("figure4: sampling 1/%d done", den)
 	}
 	base := points[0].misses
 	for _, p := range points {

@@ -29,7 +29,17 @@ type Options struct {
 	Trials int
 	// Frames is the machine's physical memory size in pages.
 	Frames int
-	// Progress, if non-nil, receives one line per completed run.
+	// Parallelism bounds the worker pool that executes an experiment's
+	// independent machine runs (internal/sched); 0 selects GOMAXPROCS
+	// and 1 reproduces the strictly serial seed behaviour. Every run
+	// boots a private kernel, machine and RNG state, and results are
+	// assembled in submission order, so rendered tables are
+	// byte-identical at any parallelism.
+	Parallelism int
+	// Progress, if non-nil, receives one line per completed run. Calls
+	// are serialized by the run scheduler, so the callback needs no
+	// locking of its own, but lines may arrive out of submission order
+	// when Parallelism != 1.
 	Progress func(string)
 }
 

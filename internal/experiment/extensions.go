@@ -10,6 +10,7 @@ import (
 	"tapeworm/internal/mach"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/pixie"
+	"tapeworm/internal/sched"
 	"tapeworm/internal/workload"
 )
 
@@ -26,10 +27,6 @@ func ExtAblation(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal, err := normalRun(o, spec, 0)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:      "ext-ablation",
 		Title:   "handler implementation ablation (xlisp, 2K direct-mapped I-cache)",
@@ -39,24 +36,35 @@ func ExtAblation(o Options) (*Table, error) {
 		},
 	}
 	geom := cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1, Indexing: cache.PhysIndexed}
-	for _, model := range []core.HandlerModel{
+	models := []core.HandlerModel{
 		core.HandlerOriginalC, core.HandlerOptimized, core.HandlerHardwareAssist,
-	} {
+	}
+	jobs := []runJob{{cfg: normalConfig(o, spec, 0)}}
+	for _, model := range models {
+		model := model
 		cfg := &core.Config{Mode: core.ModeICache, Cache: geom,
 			Sampling: core.FullSampling(), Handler: model}
-		res, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw: cfg, simUser: true,
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw: cfg, simUser: true,
+			},
+			progress: func(runResult) string {
+				return fmt.Sprintf("ext-ablation: %s done", model)
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	normal := results[0]
+	for i, model := range models {
 		t.Rows = append(t.Rows, []string{
 			model.String(),
 			fmt.Sprint(core.HandlerCycles(model, geom)),
-			f2(slowdown(res, normal)),
+			f2(slowdown(results[i+1], normal)),
 		})
-		o.progress("ext-ablation: %s done", model)
 	}
 	return t, nil
 }
@@ -71,10 +79,6 @@ func ExtBreakEven(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal, err := normalRun(o, spec, 0)
-	if err != nil {
-		return nil, err
-	}
 	t := &Table{
 		ID:    "ext-breakeven",
 		Title: "trap-driven vs trace-driven crossover (xlisp, shrinking caches)",
@@ -84,30 +88,41 @@ func ExtBreakEven(o Options) (*Table, error) {
 			"the handler/trace cost ratio predicts break-even near 4 hits per miss (miss ratio ~0.2)",
 		},
 	}
-	for _, geom := range []cache.Config{
+	geoms := []cache.Config{
 		{Size: 4 << 10, LineSize: 16, Assoc: 1},
 		{Size: 1 << 10, LineSize: 16, Assoc: 1},
 		{Size: 512, LineSize: 16, Assoc: 1},
 		{Size: 256, LineSize: 16, Assoc: 1},
 		{Size: 128, LineSize: 16, Assoc: 1},
 		{Size: 64, LineSize: 16, Assoc: 1},
-	} {
-		twRes, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw: &core.Config{Mode: core.ModeICache, Cache: geom,
-				Sampling: core.FullSampling()},
-			simUser: true,
+	}
+	jobs := []runJob{{cfg: normalConfig(o, spec, 0)}}
+	for _, geom := range geoms {
+		geom := geom
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw: &core.Config{Mode: core.ModeICache, Cache: geom,
+					Sampling: core.FullSampling()},
+				simUser: true,
+			},
+		}, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				trace: &cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}},
+			},
+			progress: func(runResult) string {
+				return fmt.Sprintf("ext-breakeven: %s done", sizeKB(geom.Size))
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		trRes, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			trace: &cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}},
-		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	normal := results[0]
+	for i, geom := range geoms {
+		twRes, trRes := results[1+2*i], results[2+2*i]
 		twSlow, trSlow := slowdown(twRes, normal), slowdown(trRes, normal)
 		faster := "Tapeworm"
 		if trSlow < twSlow {
@@ -117,7 +132,6 @@ func ExtBreakEven(o Options) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			sizeKB(geom.Size), f3(missRatio), f2(twSlow), f2(trSlow), faster,
 		})
-		o.progress("ext-breakeven: %s done", sizeKB(geom.Size))
 	}
 	// Real instruction streams cannot cross over: sequential fetch caps
 	// the miss ratio near 1/(words per line) = 0.25. A synthetic stride
@@ -158,7 +172,8 @@ func (p *strideProgram) Next() kernel.Event {
 }
 
 // extBreakEvenStride runs the pathological stride workload under both
-// simulators and returns the table row.
+// simulators (and uninstrumented) and returns the table row. The three
+// runs boot private kernels, so they execute as one scheduler batch.
 func extBreakEvenStride(o Options) ([]string, error) {
 	const (
 		instrs = 400_000
@@ -177,56 +192,72 @@ func extBreakEvenStride(o Options) ([]string, error) {
 		return k, task, nil
 	}
 
-	// Normal run.
-	kN, _, err := boot()
+	type strideOut struct {
+		cycles    uint64
+		missRatio float64
+	}
+	jobs := []sched.Job[strideOut]{
+		// Normal run.
+		func() (strideOut, error) {
+			k, _, err := boot()
+			if err != nil {
+				return strideOut{}, err
+			}
+			if err := k.Run(0); err != nil {
+				return strideOut{}, err
+			}
+			return strideOut{cycles: k.Machine().Cycles()}, nil
+		},
+		// Tapeworm run.
+		func() (strideOut, error) {
+			k, task, err := boot()
+			if err != nil {
+				return strideOut{}, err
+			}
+			if _, err := core.Attach(k, core.Config{Mode: core.ModeICache, Cache: geom,
+				Sampling: core.FullSampling()}); err != nil {
+				return strideOut{}, err
+			}
+			if err := k.SetAttributes(task.ID, true, true); err != nil {
+				return strideOut{}, err
+			}
+			if err := k.Run(0); err != nil {
+				return strideOut{}, err
+			}
+			return strideOut{cycles: k.Machine().Cycles()}, nil
+		},
+		// Trace-driven run.
+		func() (strideOut, error) {
+			k, task, err := boot()
+			if err != nil {
+				return strideOut{}, err
+			}
+			c2k, err := cache2000.New(cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}})
+			if err != nil {
+				return strideOut{}, err
+			}
+			c2k.BindMachine(k.Machine())
+			ann := pixie.NewOnTheFly(k.Machine(), c2k)
+			ann.IOnly = true
+			ann.Annotate(k, task.ID)
+			if err := k.Run(0); err != nil {
+				return strideOut{}, err
+			}
+			return strideOut{cycles: k.Machine().Cycles(), missRatio: c2k.MissRatio()}, nil
+		},
+	}
+	res, err := sched.Run(o.Parallelism, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
-	if err := kN.Run(0); err != nil {
-		return nil, err
-	}
-	normalCycles := kN.Machine().Cycles()
-
-	// Tapeworm run.
-	kT, task, err := boot()
-	if err != nil {
-		return nil, err
-	}
-	if _, err := core.Attach(kT, core.Config{Mode: core.ModeICache, Cache: geom,
-		Sampling: core.FullSampling()}); err != nil {
-		return nil, err
-	}
-	if err := kT.SetAttributes(task.ID, true, true); err != nil {
-		return nil, err
-	}
-	if err := kT.Run(0); err != nil {
-		return nil, err
-	}
-
-	// Trace-driven run.
-	kR, task, err := boot()
-	if err != nil {
-		return nil, err
-	}
-	c2k, err := cache2000.New(cache2000.Config{Cache: geom, Kinds: []mem.RefKind{mem.IFetch}})
-	if err != nil {
-		return nil, err
-	}
-	c2k.BindMachine(kR.Machine())
-	ann := pixie.NewOnTheFly(kR.Machine(), c2k)
-	ann.IOnly = true
-	ann.Annotate(kR, task.ID)
-	if err := kR.Run(0); err != nil {
-		return nil, err
-	}
-
-	twSlow := float64(kT.Machine().Cycles()-normalCycles) / float64(normalCycles)
-	trSlow := float64(kR.Machine().Cycles()-normalCycles) / float64(normalCycles)
+	normalCycles := res[0].cycles
+	twSlow := float64(res[1].cycles-normalCycles) / float64(normalCycles)
+	trSlow := float64(res[2].cycles-normalCycles) / float64(normalCycles)
 	faster := "Tapeworm"
 	if trSlow < twSlow {
 		faster = "Cache2000"
 	}
-	return []string{"stride-16", f3(c2k.MissRatio()), f2(twSlow), f2(trSlow), faster}, nil
+	return []string{"stride-16", f3(res[2].missRatio), f2(twSlow), f2(trSlow), faster}, nil
 }
 
 // ExtFragmentation measures the long-running-system TLB effect of Section
@@ -285,16 +316,19 @@ func ExtFragmentation(o Options) (*Table, error) {
 		}
 		return out, nil
 	}
-	fresh, err := series(0)
+	// Each series is inherently serial (iterations share one booted
+	// system), but the fresh and fragmenting systems are independent.
+	labels := []string{"fresh", "fragmenting"}
+	both, err := sched.Run(o.Parallelism, []sched.Job[[]float64]{
+		func() ([]float64, error) { return series(0) },
+		func() ([]float64, error) { return series(96) },
+	}, func(i int, _ []float64) {
+		o.progress("ext-fragmentation: %s system done", labels[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	o.progress("ext-fragmentation: fresh system done")
-	frag, err := series(96)
-	if err != nil {
-		return nil, err
-	}
-	o.progress("ext-fragmentation: fragmenting system done")
+	fresh, frag := both[0], both[1]
 	for i := 0; i < iterations; i++ {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(i + 1), f3(fresh[i]), f3(frag[i]),
@@ -321,41 +355,43 @@ func ExtReplacement(o Options) (*Table, error) {
 			"trap-driven simulators never see hits, so per-hit recency cannot be maintained: associative replacement is insertion-order, matching trace-driven FIFO exactly",
 		},
 	}
-	for _, size := range []int{1 << 10, 2 << 10, 4 << 10} {
+	sizes := []int{1 << 10, 2 << 10, 4 << 10}
+	var jobs []runJob
+	for _, size := range sizes {
+		size := size
 		geom := cache.Config{Size: size, LineSize: 16, Assoc: 2, Indexing: cache.VirtIndexed}
-		twRes, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw: &core.Config{Mode: core.ModeICache, Cache: geom,
-				Sampling: core.FullSampling()},
-			simUser: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		traceMisses := func(r cache.Replacement) (uint64, error) {
+		traceJob := func(r cache.Replacement) runJob {
 			g := geom
 			g.Replace = r
-			res, err := run(runConfig{
+			return runJob{cfg: runConfig{
 				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
 				trace: &cache2000.Config{Cache: g, Kinds: []mem.RefKind{mem.IFetch}},
-			})
-			return res.c2kMisses, err
+			}}
 		}
-		fifo, err := traceMisses(cache.FIFO)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw: &core.Config{Mode: core.ModeICache, Cache: geom,
+					Sampling: core.FullSampling()},
+				simUser: true,
+			},
+		}, traceJob(cache.FIFO), traceJob(cache.LRU))
+		jobs[len(jobs)-1].progress = func(runResult) string {
+			return fmt.Sprintf("ext-replacement: %s done", sizeKB(size))
 		}
-		lru, err := traceMisses(cache.LRU)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runAll(o, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, size := range sizes {
+		twRes, fifo, lru := results[3*i], results[3*i+1], results[3*i+2]
 		t.Rows = append(t.Rows, []string{
 			sizeKB(size),
 			fmt.Sprint(twRes.twStats.Misses),
-			fmt.Sprint(fifo),
-			fmt.Sprint(lru),
+			fmt.Sprint(fifo.c2kMisses),
+			fmt.Sprint(lru.c2kMisses),
 		})
-		o.progress("ext-replacement: %s done", sizeKB(size))
 	}
 	return t, nil
 }

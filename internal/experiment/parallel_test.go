@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parallelOptions is deliberately coarse: the determinism gate compares
+// rendered bytes, which is scale-independent, so the cheapest runs
+// suffice.
+func parallelOptions(parallelism int) Options {
+	return Options{Scale: 4000, Seed: 1994, Trials: 3, Frames: 4096,
+		Parallelism: parallelism}
+}
+
+// TestParallelDeterminism is the regression gate for the run scheduler:
+// representative experiments (one slowdown study, one variance study)
+// must render byte-identical tables at Parallelism 1 and 8. Every run
+// boots a private kernel with seed-derived RNG streams, so execution
+// order cannot leak into results — only into progress-line order.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"figure2", "table7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fn, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialTab, err := fn(parallelOptions(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallelTab, err := fn(parallelOptions(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, parallel := serialTab.Render(), parallelTab.Render()
+			if serial != parallel {
+				t.Errorf("%s renders differ between Parallelism 1 and 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelProgressComplete: the scheduler must deliver exactly the
+// serial set of progress lines (order aside), already serialized — the
+// callback mutates shared state without its own lock and must survive
+// the race detector.
+func TestParallelProgressComplete(t *testing.T) {
+	collect := func(parallelism int) map[string]int {
+		o := parallelOptions(parallelism)
+		lines := make(map[string]int)
+		var order []string
+		o.Progress = func(line string) {
+			lines[line]++ // unsynchronized map write: relies on scheduler serialization
+			order = append(order, line)
+		}
+		if _, err := Figure2(o); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) == 0 {
+			t.Fatal("no progress lines emitted")
+		}
+		return lines
+	}
+	serial, parallel := collect(1), collect(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("progress line sets differ: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for line, n := range serial {
+		if parallel[line] != n {
+			t.Errorf("line %q: %d serial occurrences, %d parallel", line, n, parallel[line])
+		}
+		if !strings.HasPrefix(line, "figure2:") {
+			t.Errorf("unexpected progress line %q", line)
+		}
+	}
+}
+
+// TestParallelismOneMatchesLegacySerial pins the degenerate pool: with
+// Parallelism 1 the scheduler must not spawn goroutines that interleave
+// with the caller — progress callbacks arrive strictly in submission
+// order, reproducing the seed repo's serial behaviour.
+func TestParallelismOneMatchesLegacySerial(t *testing.T) {
+	o := parallelOptions(1)
+	var mu sync.Mutex
+	var got []string
+	o.Progress = func(line string) {
+		mu.Lock()
+		got = append(got, line)
+		mu.Unlock()
+	}
+	if _, err := ExtAblation(o); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"ext-ablation: original-C done",
+		"ext-ablation: optimized-assembly done",
+		"ext-ablation: hardware-assist done",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("progress lines = %v, want %d lines", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q (serial submission order)", i, got[i], want[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"tapeworm/internal/arch"
+	"tapeworm/internal/sched"
 )
 
 // Table11 reports the code distribution of this Tapeworm implementation in
@@ -45,6 +46,13 @@ func Table11(o Options) (*Table, error) {
 			return -1 // substrates: the simulated machine/OS, not Tapeworm
 		}
 	}
+	// Walk serially (directory order defines determinism), then count
+	// lines of the collected files on the run scheduler's worker pool.
+	type file struct {
+		path string
+		cat  int
+	}
+	var files []file
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -62,19 +70,25 @@ func Table11(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		idx := classify(filepath.ToSlash(rel))
-		if idx < 0 {
-			return nil
+		if idx := classify(filepath.ToSlash(rel)); idx >= 0 {
+			files = append(files, file{path: path, cat: idx})
 		}
-		n, err := countLines(path)
-		if err != nil {
-			return err
-		}
-		cats[idx].lines += n
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	jobs := make([]sched.Job[int], len(files))
+	for i := range files {
+		path := files[i].path
+		jobs[i] = func() (int, error) { return countLines(path) }
+	}
+	counts, err := sched.Run(o.Parallelism, jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range files {
+		cats[f.cat].lines += counts[i]
 	}
 
 	total := 0

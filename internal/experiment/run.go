@@ -11,6 +11,7 @@ import (
 	"tapeworm/internal/mem"
 	"tapeworm/internal/monster"
 	"tapeworm/internal/pixie"
+	"tapeworm/internal/sched"
 	"tapeworm/internal/workload"
 )
 
@@ -132,15 +133,46 @@ func run(rc runConfig) (runResult, error) {
 	return res, nil
 }
 
-// normalRun executes the workload uninstrumented, establishing the
-// "Normal Workload Run Time" denominator of the slowdown metric.
-func normalRun(o Options, spec workload.Spec, trial uint64) (runResult, error) {
-	return run(runConfig{
+// normalConfig describes an uninstrumented run of the workload,
+// establishing the "Normal Workload Run Time" denominator of the slowdown
+// metric.
+func normalConfig(o Options, spec workload.Spec, trial uint64) runConfig {
+	return runConfig{
 		spec:     spec,
 		seed:     o.Seed,
 		pageSeed: o.Seed ^ (trial * 0x9e3779b9),
 		frames:   o.Frames,
-	})
+	}
+}
+
+// runJob pairs a run configuration with an optional progress formatter,
+// invoked (serialized) when the run completes.
+type runJob struct {
+	cfg      runConfig
+	progress func(runResult) string
+}
+
+// runAll executes the jobs' machine runs — each a fully independent
+// simulation booting its own kernel — on a sched worker pool bounded by
+// o.Parallelism, and returns the results in submission order. Because
+// results are index-ordered, every table assembled from them is
+// byte-identical to a serial execution; only the interleaving of progress
+// lines may differ.
+func runAll(o Options, jobs []runJob) ([]runResult, error) {
+	sj := make([]sched.Job[runResult], len(jobs))
+	for i := range jobs {
+		rc := jobs[i].cfg
+		sj[i] = func() (runResult, error) { return run(rc) }
+	}
+	var done func(int, runResult)
+	if o.Progress != nil {
+		done = func(i int, r runResult) {
+			if f := jobs[i].progress; f != nil {
+				o.Progress(f(r))
+			}
+		}
+	}
+	return sched.Run(o.Parallelism, sj, done)
 }
 
 // slowdown implements the paper's definition against a matching normal

@@ -8,7 +8,6 @@ import (
 	"tapeworm/internal/core"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/pixie"
-	"tapeworm/internal/workload"
 )
 
 // Table5 reports the Tapeworm miss-handler cost breakdown and the
@@ -69,11 +68,38 @@ func Figure2(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal, err := normalRun(o, spec, 0)
+	jobs := []runJob{{
+		cfg: normalConfig(o, spec, 0),
+		progress: func(r runResult) string {
+			return fmt.Sprintf("figure2: normal run %.2fs simulated", r.seconds)
+		},
+	}}
+	for _, size := range figure2Sizes {
+		size := size
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw:      dmICache(size, cache.PhysIndexed, core.FullSampling()),
+				simUser: true,
+			},
+			progress: func(r runResult) string {
+				return fmt.Sprintf("figure2: %s done (tw %d misses)", sizeKB(size), r.twStats.Misses)
+			},
+		}, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				trace: &cache2000.Config{
+					Cache: cache.Config{Size: size, LineSize: 16, Assoc: 1},
+					Kinds: []mem.RefKind{mem.IFetch},
+				},
+			},
+		})
+	}
+	results, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}
-	o.progress("figure2: normal run %.2fs simulated", normal.seconds)
+	normal := results[0]
 
 	t := &Table{
 		ID:    "figure2",
@@ -85,25 +111,8 @@ func Figure2(o Options) (*Table, error) {
 			"slowdowns computed against total wall-clock run time including X and BSD servers",
 		},
 	}
-	for _, size := range figure2Sizes {
-		twRes, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw:      dmICache(size, cache.PhysIndexed, core.FullSampling()),
-			simUser: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		trRes, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			trace: &cache2000.Config{
-				Cache: cache.Config{Size: size, LineSize: 16, Assoc: 1},
-				Kinds: []mem.RefKind{mem.IFetch},
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, size := range figure2Sizes {
+		twRes, trRes := results[1+2*i], results[2+2*i]
 		missRatio := float64(trRes.c2kMisses) / float64(trRes.c2kHits+trRes.c2kMisses)
 		t.Rows = append(t.Rows, []string{
 			sizeKB(size),
@@ -111,7 +120,6 @@ func Figure2(o Options) (*Table, error) {
 			f2(slowdown(trRes, normal)),
 			f2(slowdown(twRes, normal)),
 		})
-		o.progress("figure2: %s done (tw %d misses)", sizeKB(size), twRes.twStats.Misses)
 	}
 	return t, nil
 }
@@ -124,10 +132,52 @@ func Figure3(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal, err := normalRun(o, spec, 0)
+	type point struct {
+		panel, label string
+		size         int
+		cfg          *core.Config
+	}
+	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
+	var points []point
+	for _, assoc := range []int{1, 2, 4} {
+		for _, size := range sizes {
+			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
+			cfg.Cache.Assoc = assoc
+			points = append(points, point{"associativity", fmt.Sprintf("%d-way", assoc), size, cfg})
+		}
+	}
+	for _, line := range []int{16, 32, 64} {
+		for _, size := range sizes {
+			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
+			cfg.Cache.LineSize = line
+			points = append(points, point{"line size", fmt.Sprintf("%dB lines", line), size, cfg})
+		}
+	}
+	for _, den := range []int{1, 2, 4, 8, 16} {
+		for _, size := range []int{1 << 10, 2 << 10, 4 << 10} {
+			s := core.Sampling{Num: 1, Den: den}
+			points = append(points, point{"set sampling", s.String(), size, dmICache(size, cache.PhysIndexed, s)})
+		}
+	}
+
+	jobs := []runJob{{cfg: normalConfig(o, spec, 0)}}
+	for _, p := range points {
+		p := p
+		jobs = append(jobs, runJob{
+			cfg: runConfig{
+				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
+				tw: p.cfg, simUser: true,
+			},
+			progress: func(runResult) string {
+				return fmt.Sprintf("figure3: %s %s %s done", p.panel, p.label, sizeKB(p.size))
+			},
+		})
+	}
+	results, err := runAll(o, jobs)
 	if err != nil {
 		return nil, err
 	}
+	normal := results[0]
 
 	t := &Table{
 		ID:      "figure3",
@@ -138,54 +188,9 @@ func Figure3(o Options) (*Table, error) {
 			"sampling 1/n simulates one of every n sets; slowdown falls in direct proportion",
 		},
 	}
-	if err := figure3Rows(o, t, spec, normal); err != nil {
-		return nil, err
+	for i, p := range points {
+		t.Rows = append(t.Rows, []string{p.panel, p.label, sizeKB(p.size),
+			f2(slowdown(results[i+1], normal))})
 	}
 	return t, nil
-}
-
-func figure3Rows(o Options, t *Table, spec workload.Spec, normal runResult) error {
-	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}
-
-	one := func(panel, label string, size int, cfg *core.Config) error {
-		res, err := run(runConfig{
-			spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
-			tw: cfg, simUser: true,
-		})
-		if err != nil {
-			return err
-		}
-		t.Rows = append(t.Rows, []string{panel, label, sizeKB(size), f2(slowdown(res, normal))})
-		o.progress("figure3: %s %s %s done", panel, label, sizeKB(size))
-		return nil
-	}
-
-	for _, assoc := range []int{1, 2, 4} {
-		for _, size := range sizes {
-			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
-			cfg.Cache.Assoc = assoc
-			if err := one("associativity", fmt.Sprintf("%d-way", assoc), size, cfg); err != nil {
-				return err
-			}
-		}
-	}
-	for _, line := range []int{16, 32, 64} {
-		for _, size := range sizes {
-			cfg := dmICache(size, cache.PhysIndexed, core.FullSampling())
-			cfg.Cache.LineSize = line
-			if err := one("line size", fmt.Sprintf("%dB lines", line), size, cfg); err != nil {
-				return err
-			}
-		}
-	}
-	for _, den := range []int{1, 2, 4, 8, 16} {
-		for _, size := range []int{1 << 10, 2 << 10, 4 << 10} {
-			s := core.Sampling{Num: 1, Den: den}
-			cfg := dmICache(size, cache.PhysIndexed, s)
-			if err := one("set sampling", s.String(), size, cfg); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"slices"
 
 	"tapeworm/internal/mem"
 	"tapeworm/internal/rng"
@@ -90,10 +91,19 @@ func (a *AddrSpace) Translate(va mem.VAddr) (mem.PAddr, bool) {
 // Mapped returns the number of pages with frames assigned.
 func (a *AddrSpace) Mapped() int { return a.mapped }
 
-// Pages calls fn for every mapped page with its vpn and entry state.
+// Pages calls fn for every mapped page with its vpn and entry state, in
+// ascending vpn order. Ordered iteration matters: exit() releases frames
+// through this walk, so a map-order walk would free frames in a different
+// order each run and the allocator's reuse order — hence every
+// physically-indexed result — would stop being reproducible.
 func (a *AddrSpace) pages(fn func(vpn uint32, p pte)) {
-	for hi, c := range a.chunks {
-		for lo, p := range c {
+	his := make([]uint32, 0, len(a.chunks))
+	for hi := range a.chunks {
+		his = append(his, hi)
+	}
+	slices.Sort(his)
+	for _, hi := range his {
+		for lo, p := range a.chunks[hi] {
 			if p != 0 {
 				fn(hi<<10|uint32(lo), p)
 			}

@@ -21,6 +21,7 @@ package mach
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tapeworm/internal/arch"
 	"tapeworm/internal/cache"
@@ -273,6 +274,13 @@ type Machine struct {
 	inHandler    int           // trap-handler nesting depth
 
 	breakpoints map[mem.PAddr]bool
+	// bpPages counts armed breakpoints per physical page frame. Together
+	// with the empty-map guard it keeps the per-instruction breakpoint
+	// check off the map on the hot path: a run with no breakpoints pays
+	// one length test, and a run with breakpoints probes the map only
+	// for fetches into pages that actually carry one.
+	bpPages   []uint32
+	pageShift uint
 
 	// Event counters for bias analysis.
 	eccTraps      uint64 // delivered ECC traps
@@ -306,6 +314,8 @@ func New(cfg Config, os OS) (*Machine, error) {
 		hostTLB:     cache.MustNewTLB(cfg.HostTLB, rng.New(0x7457)),
 		nextTick:    cfg.ClockTickCycles,
 		breakpoints: make(map[mem.PAddr]bool),
+		bpPages:     make([]uint32, cfg.Frames),
+		pageShift:   uint(bits.TrailingZeros(uint(cfg.PageSize))),
 	}
 	return m, nil
 }
@@ -467,10 +477,28 @@ func (m *Machine) DMARead(pa mem.PAddr, size int) {
 }
 
 // SetBreakpoint arms an instruction breakpoint at physical address pa.
-func (m *Machine) SetBreakpoint(pa mem.PAddr) { m.breakpoints[pa&^3] = true }
+func (m *Machine) SetBreakpoint(pa mem.PAddr) {
+	w := pa &^ 3
+	if m.breakpoints[w] {
+		return
+	}
+	m.breakpoints[w] = true
+	if f := int(w >> m.pageShift); f < len(m.bpPages) {
+		m.bpPages[f]++
+	}
+}
 
 // ClearBreakpoint disarms the breakpoint at pa.
-func (m *Machine) ClearBreakpoint(pa mem.PAddr) { delete(m.breakpoints, pa&^3) }
+func (m *Machine) ClearBreakpoint(pa mem.PAddr) {
+	w := pa &^ 3
+	if !m.breakpoints[w] {
+		return
+	}
+	delete(m.breakpoints, w)
+	if f := int(w >> m.pageShift); f < len(m.bpPages) {
+		m.bpPages[f]--
+	}
+}
 
 // Counters reports machine event totals.
 type Counters struct {
@@ -536,8 +564,12 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 		}
 	}
 
-	// Breakpoint check (instruction granularity).
-	if r.Kind == mem.IFetch && len(m.breakpoints) > 0 && m.breakpoints[pa&^3] {
+	// Breakpoint check (instruction granularity). The empty-map guard
+	// and the per-page summary keep the map probe off the common path:
+	// uninstrumented runs never touch the map, and breakpoint-mechanism
+	// runs touch it only for fetches into pages carrying a breakpoint.
+	if r.Kind == mem.IFetch && len(m.breakpoints) != 0 &&
+		m.bpPages[pa>>m.pageShift] != 0 && m.breakpoints[pa&^3] {
 		m.os.BreakpointTrap(t, r.VA, pa)
 	}
 

@@ -129,22 +129,59 @@ func (p *Phys) wordIndex(pa PAddr) uint32 {
 	return uint32(pa) / WordBytes
 }
 
+// wordRange bounds-checks [pa, pa+size) and returns its inclusive word
+// index range. The ubiquitous single-word case (size <= WordBytes, not
+// straddling a word boundary) skips the second bounds check.
+func (p *Phys) wordRange(pa PAddr, size int) (first, last uint32) {
+	first = p.wordIndex(pa)
+	if int(pa&(WordBytes-1))+size <= WordBytes {
+		return first, first
+	}
+	return first, p.wordIndex(pa + PAddr(size) - 1)
+}
+
 // --- Trap bitset (the hot path) ---
 
 // Trapped reports whether any word in [pa, pa+size) has a trap set.
 // Size zero is treated as one word.
+//
+// This is probed on the hot path of every simulated reference (host
+// cache refills check it per line), so the common shapes take fast
+// paths: a range inside one machine word is a single bit test, and a
+// range inside one 64-word bitset chunk — every 16-byte host line — is
+// a single masked load. Only ranges straddling a chunk boundary (page
+// registration, DMA buffers) walk multiple bitset words, and those are
+// scanned a uint64 at a time rather than bit by bit.
 func (p *Phys) Trapped(pa PAddr, size int) bool {
 	if size <= 0 {
 		size = WordBytes
 	}
 	first := p.wordIndex(pa)
+	if size <= WordBytes && int(pa&(WordBytes-1))+size <= WordBytes {
+		// Aligned single-word fast path: the whole range lives in the
+		// word containing pa.
+		return p.trapBits[first>>6]&(1<<(first&63)) != 0
+	}
 	last := p.wordIndex(pa + PAddr(size) - 1)
-	for w := first; w <= last; w++ {
-		if p.trapBits[w>>6]&(1<<(w&63)) != 0 {
+	fc, lc := first>>6, last>>6
+	if fc == lc {
+		// Single-chunk fast path. The shift-width trick keeps the mask
+		// correct when the range covers all 64 words of the chunk
+		// (1<<64 == 0 for non-constant shifts, so the mask is ^0).
+		n := last - first + 1
+		mask := (uint64(1)<<n - 1) << (first & 63)
+		return p.trapBits[fc]&mask != 0
+	}
+	if p.trapBits[fc]&(^uint64(0)<<(first&63)) != 0 {
+		return true
+	}
+	for c := fc + 1; c < lc; c++ {
+		if p.trapBits[c] != 0 {
 			return true
 		}
 	}
-	return false
+	tail := uint64(1)<<((last&63)+1) - 1
+	return p.trapBits[lc]&tail != 0
 }
 
 // TrappedWord reports whether the single word containing pa has a trap set.
@@ -159,8 +196,7 @@ func (p *Phys) setTrapBits(pa PAddr, size int, on bool) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first := p.wordIndex(pa)
-	last := p.wordIndex(pa + PAddr(size) - 1)
+	first, last := p.wordRange(pa, size)
 	for w := first; w <= last; w++ {
 		if on {
 			p.trapBits[w>>6] |= 1 << (w & 63)
@@ -307,8 +343,7 @@ func (c *Controller) FlipTapewormBit(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first := c.phys.wordIndex(pa)
-	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	first, last := c.phys.wordRange(pa, size)
 	for w := first; w <= last; w++ {
 		c.phys.ecc[w] ^= 1 << twCheckBit
 		if c.phys.ecc[w] == 0 {
@@ -325,8 +360,7 @@ func (c *Controller) SetTrap(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first := c.phys.wordIndex(pa)
-	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	first, last := c.phys.wordRange(pa, size)
 	for w := first; w <= last; w++ {
 		if c.phys.ecc[w] == 0 {
 			c.phys.ecc[w] = 1 << twCheckBit
@@ -342,8 +376,7 @@ func (c *Controller) ClearTrap(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first := c.phys.wordIndex(pa)
-	last := c.phys.wordIndex(pa + PAddr(size) - 1)
+	first, last := c.phys.wordRange(pa, size)
 	for w := first; w <= last; w++ {
 		if c.phys.ecc[w]&(1<<twCheckBit) != 0 {
 			c.phys.ecc[w] &^= 1 << twCheckBit

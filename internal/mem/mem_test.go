@@ -214,6 +214,125 @@ func TestTrapBitsetMatchesECCState(t *testing.T) {
 	}
 }
 
+// trappedRef is the straightforward word-by-word reference implementation
+// that Trapped's fast paths must agree with.
+func trappedRef(p *Phys, pa PAddr, size int) bool {
+	if size <= 0 {
+		size = WordBytes
+	}
+	for off := PAddr(pa &^ (WordBytes - 1)); off <= pa+PAddr(size)-1; off += WordBytes {
+		if p.TrappedWord(off) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTrappedWordStraddling covers the fast-path boundaries: byte ranges
+// that straddle a machine word, ranges filling exactly one 64-word bitset
+// chunk, and ranges crossing a chunk boundary.
+func TestTrappedWordStraddling(t *testing.T) {
+	p := newPhys()
+	c := NewController(p)
+	c.SetTrap(0x1004, 4) // exactly one word trapped
+
+	cases := []struct {
+		pa   PAddr
+		size int
+		want bool
+	}{
+		{0x1004, 4, true},   // aligned single word, trapped
+		{0x1000, 4, false},  // aligned single word, clean
+		{0x1006, 2, true},   // unaligned, inside the trapped word
+		{0x1002, 2, false},  // unaligned, inside the clean word before it
+		{0x1002, 4, true},   // straddles the 0x1000/0x1004 word boundary
+		{0x1006, 4, true},   // straddles out of the trapped word
+		{0x1008, 4, false},  // the word after the trap
+		{0x1007, 1, true},   // last byte of the trapped word
+		{0x1008, 1, false},  // first byte after it
+		{0x1000, 16, true},  // one host line containing the trap
+		{0x1010, 16, false}, // the next host line
+		{0x1000, 256, true}, // exactly one 64-word bitset chunk
+		{0x1100, 256, false},
+	}
+	for _, tc := range cases {
+		if got := p.Trapped(tc.pa, tc.size); got != tc.want {
+			t.Errorf("Trapped(%#x, %d) = %v, want %v", tc.pa, tc.size, got, tc.want)
+		}
+		if got := trappedRef(p, tc.pa, tc.size); got != tc.want {
+			t.Errorf("reference disagrees for (%#x, %d): %v", tc.pa, tc.size, got)
+		}
+	}
+}
+
+// TestTrappedPageBoundary covers ranges spanning a page boundary — the
+// shape page registration and DMA transfers probe — including the
+// multi-chunk scan path.
+func TestTrappedPageBoundary(t *testing.T) {
+	p := newPhys() // 4 KB pages
+	c := NewController(p)
+	pageEnd := PAddr(2 * 4096)
+	c.SetTrap(pageEnd-4, 4) // last word of page 1
+	c.SetTrap(pageEnd, 4)   // first word of page 2
+
+	if !p.Trapped(pageEnd-8, 16) {
+		t.Error("range across page boundary missed traps on both sides")
+	}
+	if !p.Trapped(pageEnd-4096, 4096) {
+		t.Error("full-page range missed its final word")
+	}
+	if !p.Trapped(pageEnd, 4096) {
+		t.Error("full-page range missed its first word")
+	}
+	c.ClearTrap(pageEnd-4, 4)
+	c.ClearTrap(pageEnd, 4)
+	if p.Trapped(pageEnd-4096, 2*4096) {
+		t.Error("two-page range false positive after clearing")
+	}
+	// A lone trap deep inside a multi-chunk range (middle-chunk scan).
+	c.SetTrap(pageEnd+2048, 4)
+	if !p.Trapped(pageEnd-4096, 3*4096) {
+		t.Error("multi-chunk range missed an interior trap")
+	}
+}
+
+// TestTrappedMatchesReference pits the fast paths against the reference
+// implementation over randomized trap patterns and query shapes.
+func TestTrappedMatchesReference(t *testing.T) {
+	type query struct {
+		Word uint16
+		Off  uint8
+		Size uint16
+	}
+	f := func(traps []uint16, queries []query) bool {
+		p := NewPhys(16, 4096)
+		c := NewController(p)
+		words := uint32(p.Bytes() / WordBytes)
+		for _, w := range traps {
+			c.SetTrap(PAddr(uint32(w)%words*WordBytes), WordBytes)
+		}
+		for _, q := range queries {
+			pa := PAddr(uint32(q.Word) % words * WordBytes)
+			pa += PAddr(q.Off % WordBytes)
+			size := int(q.Size%512) + 1
+			if int(pa)+size > p.Bytes() {
+				size = p.Bytes() - int(pa)
+			}
+			if size <= 0 {
+				continue
+			}
+			if p.Trapped(pa, size) != trappedRef(p, pa, size) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRefKindString(t *testing.T) {
 	if IFetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
 		t.Error("RefKind labels wrong")

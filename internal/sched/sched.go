@@ -1,0 +1,107 @@
+// Package sched runs independent simulation jobs across a bounded worker
+// pool while preserving the results' submission order.
+//
+// Every experiment in the evaluation harness is a sequence of fully
+// independent machine runs: each boots a fresh kernel with its own
+// mach.Machine, RNG streams and physical memory, so no state is shared
+// between runs and any execution order yields the same per-run results.
+// Determinism therefore reduces to *presentation* order: Run returns
+// results indexed exactly as the jobs were submitted, which makes the
+// parallel rendering of every table byte-identical to the serial one.
+//
+// The pool is bounded by GOMAXPROCS unless the caller asks for a specific
+// parallelism, and a parallelism of 1 degenerates to a plain serial loop
+// with no goroutines at all (the exact seed-repo behaviour).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// A Job computes one independent result.
+type Job[T any] func() (T, error)
+
+// Run executes jobs on up to parallelism workers (<= 0 selects
+// GOMAXPROCS) and returns their results in submission order.
+//
+// onDone, if non-nil, is invoked once per successful job with the job's
+// index and result. Calls are serialized under an internal mutex — a
+// progress callback needs no locking of its own — but may arrive out of
+// submission order when parallelism > 1.
+//
+// If any job fails, Run returns the error of the lowest-indexed failed
+// job together with a nil result slice. A failure also stops workers from
+// *starting* further jobs (already-running jobs complete), so later jobs
+// may be skipped entirely; since every experiment aborts on first error,
+// only the returned error is observable.
+func Run[T any](parallelism int, jobs []Job[T], onDone func(i int, r T)) ([]T, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	if workers == 1 {
+		for i, job := range jobs {
+			r, err := job()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			if onDone != nil {
+				onDone(i, r)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // index of the next job to claim
+		failed atomic.Bool  // a job has errored; stop claiming
+		mu     sync.Mutex   // serializes onDone and error recording
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := jobs[i]()
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					return
+				}
+				results[i] = r
+				if onDone != nil {
+					mu.Lock()
+					onDone(i, r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrderPreserved: results land at their submission index no matter how
+// many workers race, and every index is visited exactly once.
+func TestOrderPreserved(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 200
+		jobs := make([]Job[int], n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (int, error) { return i * i, nil }
+		}
+		got, err := Run(workers, jobs, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestSerialAndParallelIdentical: the parallel pool must reproduce the
+// serial loop's result slice exactly.
+func TestSerialAndParallelIdentical(t *testing.T) {
+	const n = 64
+	mk := func() []Job[string] {
+		jobs := make([]Job[string], n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() (string, error) { return fmt.Sprintf("r%03d", i), nil }
+		}
+		return jobs
+	}
+	serial, err := Run(1, mk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(8, mk(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %q != parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		jobs := []Job[int]{
+			func() (int, error) { return 1, nil },
+			func() (int, error) { return 0, sentinel },
+			func() (int, error) { return 3, nil },
+		}
+		res, err := Run(workers, jobs, nil)
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: results %v returned alongside error", workers, res)
+		}
+	}
+}
+
+// TestOnDoneSerialized: completion callbacks never overlap and fire once
+// per job with the job's own result.
+func TestOnDoneSerialized(t *testing.T) {
+	const n = 100
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() (int, error) { return i, nil }
+	}
+	var inCallback atomic.Int32
+	seen := make([]bool, n)
+	_, err := Run(8, jobs, func(i, r int) {
+		if inCallback.Add(1) != 1 {
+			t.Error("onDone callbacks overlapped")
+		}
+		if i != r {
+			t.Errorf("onDone(%d, %d): index/result mismatch", i, r)
+		}
+		if seen[i] {
+			t.Errorf("onDone fired twice for %d", i)
+		}
+		seen[i] = true
+		inCallback.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("onDone never fired for %d", i)
+		}
+	}
+}
+
+func TestEmptyAndCapped(t *testing.T) {
+	if res, err := Run[int](4, nil, nil); err != nil || res != nil {
+		t.Fatalf("empty run: %v, %v", res, err)
+	}
+	// More workers than jobs must not deadlock or duplicate work.
+	var calls atomic.Int32
+	jobs := []Job[int]{func() (int, error) { calls.Add(1); return 7, nil }}
+	res, err := Run(32, jobs, nil)
+	if err != nil || len(res) != 1 || res[0] != 7 {
+		t.Fatalf("capped run: %v, %v", res, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("job ran %d times", calls.Load())
+	}
+}
