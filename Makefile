@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race bench clean
+.PHONY: build test verify verify-race verify-telemetry bench clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,19 @@ verify: build test
 verify-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+## verify-telemetry: render Figure 2 with and without telemetry and diff
+## the tables — the zero-observable-effect gate for the telemetry layer.
+## Timing lines ("completed in") are nondeterministic and filtered out.
+verify-telemetry:
+	$(GO) build -o /tmp/twbench-vt ./cmd/twbench
+	/tmp/twbench-vt -run figure2 -scale 4000 -trials 2 -q > /tmp/vt-off.txt
+	/tmp/twbench-vt -run figure2 -scale 4000 -trials 2 -q \
+		-metrics /tmp/vt-metrics.json -trace /tmp/vt-trace.jsonl > /tmp/vt-on.txt
+	grep -v 'completed in' /tmp/vt-off.txt > /tmp/vt-off.flt
+	grep -v 'completed in' /tmp/vt-on.txt > /tmp/vt-on.flt
+	diff /tmp/vt-off.flt /tmp/vt-on.flt
+	@echo "verify-telemetry: tables byte-identical with telemetry on/off"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -9,11 +9,13 @@
 //	twbench -parallel 1             # strictly serial execution
 //	twbench -list                   # list experiment IDs
 //	twbench -o report.txt           # also write the report to a file
+//	twbench -metrics m.json -trace t.jsonl   # machine-readable telemetry
 //
 // Each experiment's independent machine runs execute on a worker pool
-// (default GOMAXPROCS workers; -parallel overrides). Results are
-// assembled in submission order, so the report is byte-identical at any
-// parallelism; only progress-line interleaving differs.
+// (default GOMAXPROCS workers; -parallel overrides). Results, progress
+// lines and telemetry commits are all assembled in submission order, so
+// the report, the metrics file and the trace stream are byte-identical
+// at any parallelism.
 package main
 
 import (
@@ -25,19 +27,24 @@ import (
 	"time"
 
 	"tapeworm/internal/experiment"
+	"tapeworm/internal/telemetry"
 )
 
 func main() {
 	var (
-		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		scale   = flag.Float64("scale", 100, "workload scale divisor (100 = standard evaluation)")
-		trials  = flag.Int("trials", 16, "trials for variance tables")
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale    = flag.Float64("scale", 100, "workload scale divisor (100 = standard evaluation)")
+		trials   = flag.Int("trials", 16, "trials for variance tables")
 		seed     = flag.Uint64("seed", 1994, "master seed")
 		frames   = flag.Int("frames", 8192, "physical memory frames")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent runs (0 = GOMAXPROCS, 1 = serial)")
-		outPath = flag.String("o", "", "also write the report to this file")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		outPath  = flag.String("o", "", "also write the report to this file")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
+
+		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
+		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -52,8 +59,33 @@ func main() {
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
 		Parallelism: *parallel,
 	}
+	if err := opts.Validate(); err != nil {
+		fail(err)
+	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "  %s\n", line) }
+	}
+
+	var coll *telemetry.Collector
+	var traceFile *os.File
+	if *metricsPath != "" || *tracePath != "" || *debugAddr != "" {
+		tcfg := telemetry.Config{}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			traceFile, tcfg.Trace = f, f
+		}
+		coll = telemetry.New(tcfg)
+		opts.Telemetry = coll
+	}
+	if *debugAddr != "" {
+		bound, err := telemetry.ServeDebug(*debugAddr, coll)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "twbench: debug server on http://%s/debug/pprof/\n", bound)
 	}
 
 	ids := experiment.IDs()
@@ -65,8 +97,7 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
@@ -75,18 +106,44 @@ func main() {
 	fmt.Fprintf(out, "Tapeworm II evaluation reproduction (scale 1/%.0f, %d trials, seed %d)\n\n",
 		*scale, *trials, *seed)
 	for _, id := range ids {
-		fn, err := experiment.ByID(strings.TrimSpace(id))
+		id := strings.TrimSpace(id)
+		fn, err := experiment.ByID(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
+		coll.SetScope(id)
 		start := time.Now()
 		table, err := fn(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			fail(fmt.Errorf("%s: %w", id, err))
 		}
 		fmt.Fprintln(out, table.Render())
 		fmt.Fprintf(out, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := coll.WriteMetrics(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if traceFile != nil {
+		if err := coll.Err(); err != nil {
+			fail(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "twbench:", err)
+	os.Exit(1)
 }

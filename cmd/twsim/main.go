@@ -27,6 +27,7 @@ import (
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/sched"
+	"tapeworm/internal/telemetry"
 )
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 		simKernel  = flag.Bool("kernel", false, "also simulate the OS kernel")
 		baseline   = flag.Bool("baseline", true, "also run uninstrumented for slowdown")
 		parallel   = flag.Int("parallel", 0, "worker pool size for the baseline/instrumented runs (0 = GOMAXPROCS, 1 = serial)")
+
+		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
+		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -63,9 +68,28 @@ func main() {
 		return
 	}
 
+	check(validateRunFlags(*parallel, *frames, *scale))
 	cfg, err := simConfig(*mode, *size, *line, *assoc, *indexing, *replace,
 		*sample, *tlbEntries, *handler)
 	check(err)
+
+	var coll *telemetry.Collector
+	var traceFile *os.File
+	if *metricsPath != "" || *tracePath != "" || *debugAddr != "" {
+		tcfg := telemetry.Config{}
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			check(err)
+			tcfg.Trace = traceFile
+		}
+		coll = telemetry.New(tcfg)
+		coll.SetScope("twsim")
+	}
+	if *debugAddr != "" {
+		bound, err := telemetry.ServeDebug(*debugAddr, coll)
+		check(err)
+		fmt.Fprintf(os.Stderr, "twsim: debug server on http://%s/debug/pprof/\n", bound)
+	}
 
 	var mc tapeworm.MachineConfig
 	switch *machine {
@@ -87,22 +111,33 @@ func main() {
 		tw  *tapeworm.Simulator
 	}
 	var jobs []sched.Job[simOut]
+	var tels []*telemetry.Run
 	if *baseline {
+		tels = append(tels, nil)
+		i := len(tels) - 1
 		jobs = append(jobs, func() (simOut, error) {
+			tel := coll.StartRun("baseline")
+			tels[i] = tel
 			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-				Machine: mc, Seed: *seed, PageSeed: *pageSeed})
+				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel})
 			if err != nil {
 				return simOut{}, err
 			}
 			if _, err := sys.LoadWorkload(*wl, *scale, *seed, false); err != nil {
 				return simOut{}, err
 			}
-			return simOut{sys: sys}, sys.Run(0)
+			err = sys.Run(0)
+			sys.Kernel().ReportTelemetry()
+			return simOut{sys: sys}, err
 		})
 	}
+	tels = append(tels, nil)
+	instIdx := len(tels) - 1
 	jobs = append(jobs, func() (simOut, error) {
+		tel := coll.StartRun("instrumented")
+		tels[instIdx] = tel
 		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-			Machine: mc, Seed: *seed, PageSeed: *pageSeed})
+			Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel})
 		if err != nil {
 			return simOut{}, err
 		}
@@ -127,10 +162,18 @@ func main() {
 				return simOut{}, err
 			}
 		}
-		return simOut{sys: sys, tw: tw}, sys.Run(0)
+		err = sys.Run(0)
+		sys.Kernel().ReportTelemetry()
+		tw.ReportTelemetry()
+		return simOut{sys: sys, tw: tw}, err
 	})
 	outs, err := sched.Run(*parallel, jobs, nil)
 	check(err)
+	// Commit in submission order so the metrics report and trace stream
+	// are deterministic at any -parallel value.
+	for _, tel := range tels {
+		coll.Commit(tel)
+	}
 
 	var normal tapeworm.Snapshot
 	if *baseline {
@@ -158,6 +201,33 @@ func main() {
 		fmt.Printf("slowdown:   %.2fx over uninstrumented run\n",
 			tapeworm.Slowdown(snap, normal))
 	}
+
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		check(err)
+		check(coll.WriteMetrics(f))
+		check(f.Close())
+	}
+	if traceFile != nil {
+		check(coll.Err())
+		check(traceFile.Close())
+	}
+}
+
+// validateRunFlags rejects flag values that would otherwise panic deep
+// inside a run or be silently reinterpreted (negative -parallel means
+// GOMAXPROCS to the scheduler).
+func validateRunFlags(parallel, frames int, scale float64) error {
+	if parallel < 0 {
+		return fmt.Errorf("-parallel must be non-negative, got %d", parallel)
+	}
+	if err := mem.CheckPhysSize(frames, 4096); err != nil {
+		return fmt.Errorf("-frames invalid: %w", err)
+	}
+	if !(scale > 0) {
+		return fmt.Errorf("-scale must be positive, got %v", scale)
+	}
+	return nil
 }
 
 func simConfig(mode, size string, line, assoc int, indexing, replace,
@@ -252,6 +322,12 @@ func parseSample(s string) (num, den int, err error) {
 	den, err = strconv.Atoi(parts[1])
 	if err != nil {
 		return 0, 0, fmt.Errorf("bad sampling %q", s)
+	}
+	if num < 1 || den < 1 {
+		return 0, 0, fmt.Errorf("bad sampling %q: numerator and denominator must be at least 1", s)
+	}
+	if num > den {
+		return 0, 0, fmt.Errorf("bad sampling %q: fraction exceeds 1", s)
 	}
 	return num, den, nil
 }

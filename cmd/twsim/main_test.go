@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSampleValid(t *testing.T) {
+	for _, tc := range []struct {
+		in       string
+		num, den int
+	}{
+		{"1/1", 1, 1},
+		{"1/8", 1, 8},
+		{"3/4", 3, 4},
+	} {
+		num, den, err := parseSample(tc.in)
+		if err != nil {
+			t.Errorf("parseSample(%q): %v", tc.in, err)
+			continue
+		}
+		if num != tc.num || den != tc.den {
+			t.Errorf("parseSample(%q) = %d/%d, want %d/%d", tc.in, num, den, tc.num, tc.den)
+		}
+	}
+}
+
+func TestParseSampleRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"", "1", "1/", "/8", "a/b", "0/0", "0/8", "1/0", "-1/8", "1/-8", "9/8",
+	} {
+		if _, _, err := parseSample(in); err == nil {
+			t.Errorf("parseSample(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestValidateRunFlags(t *testing.T) {
+	if err := validateRunFlags(0, 8192, 400); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	if err := validateRunFlags(8, 4096, 100); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name     string
+		parallel int
+		frames   int
+		scale    float64
+		want     string
+	}{
+		{"negative parallel", -1, 8192, 400, "-parallel"},
+		{"zero frames", 0, 0, 400, "-frames"},
+		{"negative frames", 0, -4, 400, "-frames"},
+		{"frames beyond 32-bit space", 0, 1 << 21, 400, "-frames"},
+		{"zero scale", 0, 8192, 0, "-scale"},
+		{"negative scale", 0, 8192, -5, "-scale"},
+	} {
+		err := validateRunFlags(tc.parallel, tc.frames, tc.scale)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"tapeworm/internal/mach"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/rng"
+	"tapeworm/internal/telemetry"
 )
 
 // Mode selects what Tapeworm simulates.
@@ -161,6 +162,10 @@ type Tapeworm struct {
 
 	missesByTask map[mem.TaskID]uint64
 	st           Stats
+
+	// tel mirrors the kernel's telemetry run; consulted only on miss
+	// paths, so a disabled run costs one nil test per counted miss.
+	tel *telemetry.Run
 }
 
 // Attach builds a Tapeworm on the booted kernel k and installs it as the
@@ -179,6 +184,7 @@ func Attach(k *kernel.Kernel, cfg Config) (*Tapeworm, error) {
 		pages:        make(map[uint32]*pageState),
 		mapVP:        make(map[vkey]mem.PAddr),
 		missesByTask: make(map[mem.TaskID]uint64),
+		tel:          k.Telemetry(),
 	}
 	for s := pageSize; s > 1; s >>= 1 {
 		tw.pageBits++
@@ -572,6 +578,9 @@ func (tw *Tapeworm) miss(t mem.TaskID, vaLine mem.VAddr, paLine mem.PAddr) {
 	tw.st.Misses++
 	tw.st.MissesByComp[tw.k.ComponentOf(t)]++
 	tw.missesByTask[t]++
+	if tw.tel != nil {
+		tw.tel.Event(telemetry.EvTwMiss, int32(t), uint32(vaLine), uint32(paLine), tw.m.Cycles())
+	}
 
 	tw.mech.ClearTrap(paLine, int(tw.lineSize))
 
@@ -636,6 +645,9 @@ func (tw *Tapeworm) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, ki
 	tw.st.Misses++
 	tw.st.MissesByComp[tw.k.ComponentOf(t)]++
 	tw.missesByTask[t]++
+	if tw.tel != nil {
+		tw.tel.Event(telemetry.EvTLBMiss, int32(t), uint32(va), uint32(pa), tw.m.Cycles())
+	}
 
 	if err := tw.k.SetPageValid(t, va, true); err != nil {
 		return false
@@ -659,6 +671,27 @@ func (tw *Tapeworm) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, ki
 
 // Stats returns the simulator's counters.
 func (tw *Tapeworm) Stats() Stats { return tw.st }
+
+// ReportTelemetry snapshots Tapeworm's self-accounting into the
+// attached telemetry run at end of run. A no-op when telemetry is
+// disabled.
+func (tw *Tapeworm) ReportTelemetry() {
+	if tw.tel == nil {
+		return
+	}
+	tw.tel.SetCounter("tw_misses", tw.st.Misses)
+	tw.tel.SetCounter("tw_misses_user", tw.st.MissesByComp[kernel.CompUser])
+	tw.tel.SetCounter("tw_misses_server", tw.st.MissesByComp[kernel.CompServer])
+	tw.tel.SetCounter("tw_misses_kernel", tw.st.MissesByComp[kernel.CompKernel])
+	tw.tel.SetCounter("tw_cross_kind_clears", tw.st.CrossKindClears)
+	tw.tel.SetCounter("tw_lost_displaced", tw.st.LostDisplaced)
+	tw.tel.SetCounter("tw_registrations", tw.st.Registrations)
+	tw.tel.SetCounter("tw_removals", tw.st.Removals)
+	tw.tel.SetCounter("tw_pages_tracked", uint64(tw.st.PagesTracked))
+	tw.tel.SetCounter("tw_handler_cycles", tw.st.HandlerCycles)
+	tw.tel.SetCounter("tw_setup_cycles", tw.st.SetupCycles)
+	tw.tel.SetCounter("tw_true_errors", tw.st.TrueErrors)
+}
 
 // Misses returns the raw counted misses.
 func (tw *Tapeworm) Misses() uint64 { return tw.st.Misses }

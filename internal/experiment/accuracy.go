@@ -14,6 +14,9 @@ import (
 
 // Table3 summarizes the workload suite (descriptions).
 func Table3(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "table3",
 		Title:   "workload summary",
@@ -33,6 +36,9 @@ func Table3(o Options) (*Table, error) {
 // The paper's fractions are of *time* measured by Monster; instruction
 // shares are the equivalent observable here.
 func Table4(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "table4",
 		Title: "workload and operating system summary (uninstrumented runs)",
@@ -87,6 +93,9 @@ func table6Cache() *core.Config {
 // cache; the excess of the shared run over the sum of dedicated runs is
 // cache interference.
 func Table6(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:    "table6",
 		Title: "miss count (10^6) and miss ratio contributions for different workload components, 4K I-cache",
@@ -239,6 +248,9 @@ func twEsts(results []runResult) []float64 {
 // allocation and the sample pattern vary per trial, as on a real system
 // where the trap sequence is impossible to reproduce.
 func Table7(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "table7",
 		Title:   fmt.Sprintf("variation in measured performance (%d trials, 1/8 sampling, 16K phys-indexed)", o.Trials),
@@ -272,6 +284,9 @@ func Table7(o Options) (*Table, error) {
 // Without sampling the virtually-indexed simulation is exactly
 // reproducible and variance is zero.
 func Table8(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "espresso")
 	if err != nil {
 		return nil, err
@@ -333,6 +348,9 @@ func Table8(o Options) (*Table, error) {
 // (one page) they cannot, because every allocation looks the same to a
 // page-sized cache.
 func Table9(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "mpeg_play")
 	if err != nil {
 		return nil, err
@@ -385,6 +403,9 @@ func Table9(o Options) (*Table, error) {
 // removed: virtually-indexed caches, no sampling. What little remains
 // comes from scheduling interleaving in the shared cache.
 func Table10(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "table10",
 		Title:   fmt.Sprintf("measurement variation removed (virtually-indexed, no sampling, %d trials)", o.Trials),
@@ -417,6 +438,9 @@ func Table10(o Options) (*Table, error) {
 // sampling, exactly as in the paper; the least-dilated run is the 0%
 // baseline.
 func Figure4(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "mpeg_play")
 	if err != nil {
 		return nil, err

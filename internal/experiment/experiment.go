@@ -12,8 +12,12 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+
+	"tapeworm/internal/mem"
+	"tapeworm/internal/telemetry"
 )
 
 // Options control experiment scale. Paper-faithful settings are expensive
@@ -37,10 +41,35 @@ type Options struct {
 	// byte-identical at any parallelism.
 	Parallelism int
 	// Progress, if non-nil, receives one line per completed run. Calls
-	// are serialized by the run scheduler, so the callback needs no
-	// locking of its own, but lines may arrive out of submission order
-	// when Parallelism != 1.
+	// are serialized by the run scheduler and delivered in submission
+	// order at any parallelism (a held-back heap re-sequences early
+	// completions), so terminal output is stable run-to-run.
 	Progress func(string)
+	// Telemetry, if non-nil, collects per-run metrics and trap events.
+	// Each run gets its own telemetry.Run, committed in submission order.
+	// Nothing rendered into tables flows through telemetry, so tables
+	// are byte-identical with it on or off.
+	Telemetry *telemetry.Collector
+}
+
+// Validate rejects option values that would otherwise panic deep inside
+// a run (empty trial sets reaching stats.Summarize, bad frame counts
+// reaching mem.NewPhys). Every experiment driver calls it before
+// scheduling any run.
+func (o Options) Validate() error {
+	if !(o.Scale > 0) || math.IsInf(o.Scale, 0) || math.IsNaN(o.Scale) {
+		return fmt.Errorf("experiment: Scale must be a positive finite number, got %v", o.Scale)
+	}
+	if o.Trials < 1 {
+		return fmt.Errorf("experiment: Trials must be at least 1, got %d", o.Trials)
+	}
+	if err := mem.CheckPhysSize(o.Frames, 4096); err != nil {
+		return fmt.Errorf("experiment: Frames invalid: %w", err)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("experiment: Parallelism must be non-negative, got %d", o.Parallelism)
+	}
+	return nil
 }
 
 // DefaultOptions returns the standard evaluation configuration.

@@ -11,6 +11,7 @@ import (
 	"tapeworm/internal/mem"
 	"tapeworm/internal/pixie"
 	"tapeworm/internal/sched"
+	"tapeworm/internal/telemetry"
 	"tapeworm/internal/workload"
 )
 
@@ -23,6 +24,9 @@ import (
 // Tunnel's 2,500), the optimized assembly handler (246), and hypothetical
 // hardware assistance (~50, "a factor of 5").
 func ExtAblation(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "xlisp")
 	if err != nil {
 		return nil, err
@@ -75,6 +79,9 @@ func ExtAblation(o Options) (*Table, error) {
 // poorly performing caches"; this experiment drives the miss ratio up with
 // pathologically small caches until Tapeworm loses.
 func ExtBreakEven(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "xlisp")
 	if err != nil {
 		return nil, err
@@ -264,6 +271,9 @@ func extBreakEvenStride(o Options) ([]string, error) {
 // 4.2: repeated runs of one workload on a single booted system whose
 // servers fragment their heaps show creeping TLB miss rates.
 func ExtFragmentation(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "ousterhout")
 	if err != nil {
 		return nil, err
@@ -319,12 +329,13 @@ func ExtFragmentation(o Options) (*Table, error) {
 	// Each series is inherently serial (iterations share one booted
 	// system), but the fresh and fragmenting systems are independent.
 	labels := []string{"fresh", "fragmenting"}
+	ord := telemetry.NewOrderer[[]float64](func(i int, _ []float64) {
+		o.progress("ext-fragmentation: %s system done", labels[i])
+	})
 	both, err := sched.Run(o.Parallelism, []sched.Job[[]float64]{
 		func() ([]float64, error) { return series(0) },
 		func() ([]float64, error) { return series(96) },
-	}, func(i int, _ []float64) {
-		o.progress("ext-fragmentation: %s system done", labels[i])
-	})
+	}, ord.Put)
 	if err != nil {
 		return nil, err
 	}
@@ -342,6 +353,9 @@ func ExtFragmentation(o Options) (*Table, error) {
 // degrades to insertion-order (FIFO). The trap-driven miss counts equal a
 // trace-driven FIFO simulation exactly; true LRU differs.
 func ExtReplacement(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "espresso")
 	if err != nil {
 		return nil, err

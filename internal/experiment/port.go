@@ -19,6 +19,9 @@ import (
 // claim — under 5% of Tapeworm is machine-dependent — should survive the
 // port to Go.
 func Table11(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	root, err := findRepoRoot()
 	if err != nil {
 		return nil, err
@@ -151,6 +154,9 @@ func countLines(path string) (int, error) {
 // surveyed microprocessors, plus the trap mechanism each port would select
 // for cache-line-granularity and page-granularity simulation.
 func Table12(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	procs := arch.Table12()
 	t := &Table{
 		ID:      "table12",

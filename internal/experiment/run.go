@@ -12,6 +12,7 @@ import (
 	"tapeworm/internal/monster"
 	"tapeworm/internal/pixie"
 	"tapeworm/internal/sched"
+	"tapeworm/internal/telemetry"
 	"tapeworm/internal/workload"
 )
 
@@ -28,6 +29,8 @@ type runConfig struct {
 	simKernel  bool         // register kernel pages
 
 	trace *cache2000.Config // non-nil: annotate with Pixie feeding Cache2000
+
+	tel *telemetry.Run // non-nil: record this run's metrics and events
 }
 
 // runResult carries everything the experiments read out of a run.
@@ -52,10 +55,14 @@ type runResult struct {
 func run(rc runConfig) (runResult, error) {
 	var res runResult
 	if rc.frames <= 0 {
+		// Callers validate Options.Frames up front (Options.Validate);
+		// this guard only fills the default for internal configs that
+		// leave frames unset on purpose.
 		rc.frames = 8192
 	}
 	kcfg := kernel.DefaultConfig(mach.DECstation5000_200(rc.frames), rc.seed)
 	kcfg.PageSeed = rc.pageSeed
+	kcfg.Telemetry = rc.tel
 	k, err := kernel.Boot(kcfg)
 	if err != nil {
 		return res, err
@@ -130,6 +137,17 @@ func run(rc runConfig) (runResult, error) {
 		res.c2kHits, res.c2kMisses = c2k.Hits(), c2k.Misses()
 		res.pixieRefs = ann.Refs()
 	}
+	if rc.tel != nil {
+		k.ReportTelemetry()
+		if tw != nil {
+			tw.ReportTelemetry()
+		}
+		if c2k != nil {
+			rc.tel.SetCounter("c2k_hits", res.c2kHits)
+			rc.tel.SetCounter("c2k_misses", res.c2kMisses)
+			rc.tel.SetCounter("pixie_refs", res.pixieRefs)
+		}
+	}
 	return res, nil
 }
 
@@ -156,21 +174,35 @@ type runJob struct {
 // simulation booting its own kernel — on a sched worker pool bounded by
 // o.Parallelism, and returns the results in submission order. Because
 // results are index-ordered, every table assembled from them is
-// byte-identical to a serial execution; only the interleaving of progress
-// lines may differ.
+// byte-identical to a serial execution. Progress lines and telemetry
+// commits are re-sequenced into submission order through a held-back
+// heap, so those side channels are deterministic too; when neither is
+// requested the scheduler runs with no completion callback at all.
 func runAll(o Options, jobs []runJob) ([]runResult, error) {
+	tels := make([]*telemetry.Run, len(jobs))
 	sj := make([]sched.Job[runResult], len(jobs))
 	for i := range jobs {
 		rc := jobs[i].cfg
-		sj[i] = func() (runResult, error) { return run(rc) }
+		sj[i] = func() (runResult, error) {
+			rc.tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
+			tels[i] = rc.tel
+			return run(rc)
+		}
 	}
 	var done func(int, runResult)
-	if o.Progress != nil {
-		done = func(i int, r runResult) {
-			if f := jobs[i].progress; f != nil {
-				o.Progress(f(r))
+	if o.Progress != nil || o.Telemetry != nil {
+		// sched serializes done calls under a mutex, which is the external
+		// serialization the Orderer requires; the same mutex makes the
+		// tels[i] write in the worker visible here.
+		ord := telemetry.NewOrderer[runResult](func(i int, r runResult) {
+			o.Telemetry.Commit(tels[i])
+			if o.Progress != nil {
+				if f := jobs[i].progress; f != nil {
+					o.Progress(f(r))
+				}
 			}
-		}
+		})
+		done = ord.Put
 	}
 	return sched.Run(o.Parallelism, sj, done)
 }

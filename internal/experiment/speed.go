@@ -14,6 +14,9 @@ import (
 // per-address cost of the trace-driven baseline, with the break-even
 // hits-per-miss ratio between them (Section 4.1).
 func Table5(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	b := core.Table5Breakdown()
 	perAddr := float64(pixie.GenCyclesPerRef + cache2000.HitCycles)
 	breakEven := float64(b.CyclesPerMiss) / perAddr
@@ -64,6 +67,9 @@ var figure2Sizes = []int{
 // computed against the total wall-clock run time including the X and BSD
 // servers, exactly as in the paper.
 func Figure2(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "mpeg_play")
 	if err != nil {
 		return nil, err
@@ -128,6 +134,9 @@ func Figure2(o Options) (*Table, error) {
 // and set-sampling degrees (the three panels of Figure 3), again for
 // mpeg_play.
 func Figure3(o Options) (*Table, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	spec, err := mustSpec(o, "mpeg_play")
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"tapeworm/internal/mach"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/rng"
+	"tapeworm/internal/telemetry"
 	"tapeworm/internal/textwalk"
 )
 
@@ -42,6 +43,11 @@ type Config struct {
 	// memory-fragmentation effect of Section 4.2. Off by default so the
 	// standard experiments run on a freshly-booted system.
 	ServerFragBytesPerReq int
+
+	// Telemetry, when non-nil, receives trap-level trace events and
+	// end-of-run counter snapshots for this boot. Nil disables telemetry
+	// at zero cost on the reference hot path.
+	Telemetry *telemetry.Run
 }
 
 // DefaultConfig returns a kernel configuration on the given machine model.
@@ -133,6 +139,7 @@ func Boot(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
+	k.m.SetTelemetry(cfg.Telemetry)
 	k.layout = newKernelLayout()
 
 	pageSize := cfg.Machine.PageSize
@@ -188,6 +195,30 @@ func MustBoot(cfg Config) *Kernel {
 
 // Machine returns the underlying machine.
 func (k *Kernel) Machine() *mach.Machine { return k.m }
+
+// Telemetry returns the telemetry run attached at boot (nil when
+// telemetry is disabled). Tapeworm picks it up from here at Attach.
+func (k *Kernel) Telemetry() *telemetry.Run { return k.cfg.Telemetry }
+
+// ReportTelemetry snapshots kernel event totals and the per-component
+// instruction split into the attached telemetry run, and has the
+// machine report its own counters and timing. A no-op when telemetry is
+// disabled.
+func (k *Kernel) ReportTelemetry() {
+	tel := k.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	k.m.ReportTelemetry()
+	tel.SetCounter("instr_kernel", k.compInstr[CompKernel])
+	tel.SetCounter("instr_server", k.compInstr[CompServer])
+	tel.SetCounter("instr_user", k.compInstr[CompUser])
+	tel.SetCounter("kernel_true_ecc_errors", k.trueECCErrs)
+	tel.SetCounter("kernel_page_outs", k.pageOuts)
+	tel.SetCounter("kernel_forks", k.forks)
+	tel.SetCounter("kernel_exits", k.exits)
+	tel.SetCounter("kernel_clock_ticks", k.ticks)
+}
 
 // SetHooks attaches a kernel-resident memory simulator (Tapeworm).
 func (k *Kernel) SetHooks(h MemSimHooks) { k.hooks = h }

@@ -27,6 +27,7 @@ import (
 	"tapeworm/internal/cache"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/rng"
+	"tapeworm/internal/telemetry"
 )
 
 // OS receives machine traps. Package kernel provides the implementation;
@@ -97,8 +98,11 @@ func (c Config) Validate() error {
 	if c.Proc == nil {
 		return fmt.Errorf("mach: config %q lacks a processor", c.Name)
 	}
-	if c.ClockHz == 0 || c.Frames <= 0 || c.PageSize <= 0 {
-		return fmt.Errorf("mach: config %q has zero clock/frames/page size", c.Name)
+	if c.ClockHz == 0 {
+		return fmt.Errorf("mach: config %q has zero clock rate", c.Name)
+	}
+	if err := mem.CheckPhysSize(c.Frames, c.PageSize); err != nil {
+		return fmt.Errorf("mach: config %q: %w", c.Name, err)
 	}
 	if err := c.HostICache.Validate(); err != nil {
 		return fmt.Errorf("mach: host icache: %w", err)
@@ -282,6 +286,11 @@ type Machine struct {
 	bpPages   []uint32
 	pageShift uint
 
+	// tel, when non-nil, receives trap-level trace events. It is consulted
+	// only on trap paths (already rare), so a disabled run pays one nil
+	// test per trap and nothing per reference.
+	tel *telemetry.Run
+
 	// Event counters for bias analysis.
 	eccTraps      uint64 // delivered ECC traps
 	eccLatched    uint64 // ECC traps delivered late from the mask latch
@@ -293,6 +302,8 @@ type Machine struct {
 	clockTicks    uint64
 	pageFaults    uint64
 	hostTLBMisses uint64
+	bpArms        uint64 // breakpoint arm operations
+	bpTraps       uint64 // delivered breakpoint traps
 }
 
 // New builds a machine from cfg with traps vectored into os.
@@ -331,6 +342,11 @@ func MustNew(cfg Config, os OS) *Machine {
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
+
+// SetTelemetry attaches a telemetry run to the machine's trap paths. A
+// nil run (the default) disables tracing at the cost of one pointer
+// test per trap.
+func (m *Machine) SetTelemetry(tel *telemetry.Run) { m.tel = tel }
 
 // Phys returns physical memory (for the kernel's frame allocator and for
 // Tapeworm's trap state queries).
@@ -411,6 +427,9 @@ func (m *Machine) SetIntMasked(on bool) {
 		} else {
 			m.trueErrors++
 		}
+		if m.tel != nil {
+			m.tel.Event(telemetry.EvECCLatched, int32(lt.t), uint32(lt.va), uint32(lt.pa), m.cycles)
+		}
 		m.inHandler++
 		m.os.ECCTrap(lt.t, lt.va, lt.pa, lt.kind)
 		m.inHandler--
@@ -419,6 +438,9 @@ func (m *Machine) SetIntMasked(on bool) {
 	if m.pendingClock {
 		m.pendingClock = false
 		m.clockTicks++
+		if m.tel != nil {
+			m.tel.Event(telemetry.EvClock, 0, 0, 0, m.cycles)
+		}
 		m.os.ClockInterrupt()
 	}
 }
@@ -482,6 +504,7 @@ func (m *Machine) SetBreakpoint(pa mem.PAddr) {
 	if m.breakpoints[w] {
 		return
 	}
+	m.bpArms++
 	m.breakpoints[w] = true
 	if f := int(w >> m.pageShift); f < len(m.bpPages) {
 		m.bpPages[f]++
@@ -502,32 +525,61 @@ func (m *Machine) ClearBreakpoint(pa mem.PAddr) {
 
 // Counters reports machine event totals.
 type Counters struct {
-	ECCTraps      uint64
-	ECCLatched    uint64
-	MaskedDrops   uint64
-	SilentClears  uint64
-	DMAClears     uint64
-	DMAFaults     uint64
-	TrueErrors    uint64
-	ClockTicks    uint64
-	PageFaults    uint64
-	HostTLBMisses uint64
+	ECCTraps        uint64
+	ECCLatched      uint64
+	MaskedDrops     uint64
+	SilentClears    uint64
+	DMAClears       uint64
+	DMAFaults       uint64
+	TrueErrors      uint64
+	ClockTicks      uint64
+	PageFaults      uint64
+	HostTLBMisses   uint64
+	BreakpointArms  uint64
+	BreakpointTraps uint64
 }
 
 // Counters returns a snapshot of the machine's event counters.
 func (m *Machine) Counters() Counters {
 	return Counters{
-		ECCTraps:      m.eccTraps,
-		ECCLatched:    m.eccLatched,
-		MaskedDrops:   m.maskedDrops,
-		SilentClears:  m.silentClears,
-		DMAClears:     m.dmaClears,
-		DMAFaults:     m.dmaFaults,
-		TrueErrors:    m.trueErrors,
-		ClockTicks:    m.clockTicks,
-		PageFaults:    m.pageFaults,
-		HostTLBMisses: m.hostTLBMisses,
+		ECCTraps:        m.eccTraps,
+		ECCLatched:      m.eccLatched,
+		MaskedDrops:     m.maskedDrops,
+		SilentClears:    m.silentClears,
+		DMAClears:       m.dmaClears,
+		DMAFaults:       m.dmaFaults,
+		TrueErrors:      m.trueErrors,
+		ClockTicks:      m.clockTicks,
+		PageFaults:      m.pageFaults,
+		HostTLBMisses:   m.hostTLBMisses,
+		BreakpointArms:  m.bpArms,
+		BreakpointTraps: m.bpTraps,
 	}
+}
+
+// ReportTelemetry snapshots the machine's counters, ECC flip totals, and
+// cycle accounting into the attached telemetry run at end of run. A
+// no-op when no telemetry is attached.
+func (m *Machine) ReportTelemetry() {
+	if m.tel == nil {
+		return
+	}
+	m.tel.SetCounter("ecc_traps", m.eccTraps)
+	m.tel.SetCounter("ecc_latched", m.eccLatched)
+	m.tel.SetCounter("masked_drops", m.maskedDrops)
+	m.tel.SetCounter("silent_clears", m.silentClears)
+	m.tel.SetCounter("dma_clears", m.dmaClears)
+	m.tel.SetCounter("dma_faults", m.dmaFaults)
+	m.tel.SetCounter("true_errors", m.trueErrors)
+	m.tel.SetCounter("clock_ticks", m.clockTicks)
+	m.tel.SetCounter("page_faults", m.pageFaults)
+	m.tel.SetCounter("host_tlb_misses", m.hostTLBMisses)
+	m.tel.SetCounter("breakpoint_arms", m.bpArms)
+	m.tel.SetCounter("breakpoint_traps", m.bpTraps)
+	set, cleared := m.phys.Stats()
+	m.tel.SetCounter("ecc_flips_set", set)
+	m.tel.SetCounter("ecc_flips_cleared", cleared)
+	m.tel.SetTiming(m.cycles, m.overhead, m.instret)
 }
 
 // Execute runs one memory reference for task t. This is the machine's
@@ -557,6 +609,9 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 			if !ok {
 				return // fatal fault; reference abandoned
 			}
+			if m.tel != nil {
+				m.tel.Event(telemetry.EvPageFault, int32(t), uint32(r.VA), uint32(pa), m.cycles)
+			}
 		}
 		if hit, _, _ := m.hostTLB.Access(t, r.VA); !hit {
 			m.hostTLBMisses++
@@ -570,6 +625,10 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 	// runs touch it only for fetches into pages carrying a breakpoint.
 	if r.Kind == mem.IFetch && len(m.breakpoints) != 0 &&
 		m.bpPages[pa>>m.pageShift] != 0 && m.breakpoints[pa&^3] {
+		m.bpTraps++
+		if m.tel != nil {
+			m.tel.Event(telemetry.EvBreakpoint, int32(t), uint32(r.VA), uint32(pa), m.cycles)
+		}
 		m.os.BreakpointTrap(t, r.VA, pa)
 	}
 
@@ -611,6 +670,9 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 			m.pendingClock = true
 		} else {
 			m.clockTicks++
+			if m.tel != nil {
+				m.tel.Event(telemetry.EvClock, int32(t), 0, 0, m.cycles)
+			}
 			m.os.ClockInterrupt()
 		}
 	}
@@ -652,6 +714,9 @@ func (m *Machine) checkECCOnRefill(t mem.TaskID, r mem.Ref, lineAddr mem.PAddr, 
 		m.eccTraps++
 	} else {
 		m.trueErrors++
+	}
+	if m.tel != nil {
+		m.tel.Event(telemetry.EvECC, int32(t), uint32(r.VA), uint32(errAddr), m.cycles)
 	}
 	m.inHandler++
 	m.os.ECCTrap(t, r.VA, errAddr, r.Kind)

@@ -90,14 +90,31 @@ type Phys struct {
 	trapsCleared uint64
 }
 
-// NewPhys creates a physical memory of frames pages of pageSize bytes each.
-// pageSize must be a power of two and a multiple of the word size.
-func NewPhys(frames, pageSize int) *Phys {
+// CheckPhysSize validates a physical memory geometry without building
+// it: frames must be positive, pageSize a power of two and a multiple
+// of the word size, and the total size must fit the machine's 32-bit
+// physical address space. Config validators call this so bad geometry
+// becomes an error at the boundary instead of a panic mid-run.
+func CheckPhysSize(frames, pageSize int) error {
 	if frames <= 0 {
-		panic("mem: frame count must be positive")
+		return fmt.Errorf("mem: frame count must be positive, got %d", frames)
 	}
 	if pageSize <= 0 || pageSize&(pageSize-1) != 0 || pageSize%WordBytes != 0 {
-		panic(fmt.Sprintf("mem: invalid page size %d", pageSize))
+		return fmt.Errorf("mem: invalid page size %d", pageSize)
+	}
+	const maxBytes = 1 << 32
+	if uint64(frames)*uint64(pageSize) > maxBytes {
+		return fmt.Errorf("mem: %d frames of %d bytes exceed the 32-bit physical address space", frames, pageSize)
+	}
+	return nil
+}
+
+// NewPhys creates a physical memory of frames pages of pageSize bytes each.
+// pageSize must be a power of two and a multiple of the word size; callers
+// that need an error instead of a panic should run CheckPhysSize first.
+func NewPhys(frames, pageSize int) *Phys {
+	if err := CheckPhysSize(frames, pageSize); err != nil {
+		panic(err.Error())
 	}
 	total := frames * pageSize
 	words := total / WordBytes

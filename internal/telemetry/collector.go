@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultEventCap is the per-run event buffer bound used when
+// Config.EventCap is zero.
+const DefaultEventCap = 1 << 16
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Trace, when non-nil, receives one JSON object per traced trap
+	// event (JSONL). Events are written when their run is committed, so
+	// a harness that commits runs in submission order (Orderer) gets a
+	// deterministic stream at any parallelism.
+	Trace io.Writer
+	// EventCap bounds the events buffered per run; overflow is dropped
+	// and counted. Zero selects DefaultEventCap.
+	EventCap int
+}
+
+// RunMetrics is the committed, immutable record of one run, as it
+// appears in the metrics report.
+type RunMetrics struct {
+	Name           string            `json:"name"`
+	Index          int               `json:"index"`
+	WallSeconds    float64           `json:"wall_seconds"`
+	SimCycles      uint64            `json:"sim_cycles"`
+	OverheadCycles uint64            `json:"overhead_cycles"`
+	Instructions   uint64            `json:"instructions"`
+	Counters       map[string]uint64 `json:"counters,omitempty"`
+	Events         uint64            `json:"events_recorded"`
+	EventsDropped  uint64            `json:"events_dropped"`
+}
+
+// Totals aggregates the runs of one scope.
+type Totals struct {
+	Runs           int     `json:"runs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	OverheadCycles uint64  `json:"overhead_cycles"`
+	Instructions   uint64  `json:"instructions"`
+	Events         uint64  `json:"events_recorded"`
+	EventsDropped  uint64  `json:"events_dropped"`
+}
+
+func (t *Totals) add(m *RunMetrics) {
+	t.Runs++
+	t.WallSeconds += m.WallSeconds
+	t.SimCycles += m.SimCycles
+	t.OverheadCycles += m.OverheadCycles
+	t.Instructions += m.Instructions
+	t.Events += m.Events
+	t.EventsDropped += m.EventsDropped
+}
+
+// ScopeMetrics groups the runs committed under one scope (typically one
+// experiment ID) with their aggregate totals.
+type ScopeMetrics struct {
+	ID     string        `json:"id"`
+	Totals Totals        `json:"totals"`
+	Runs   []*RunMetrics `json:"runs"`
+}
+
+// Report is the machine-readable metrics document written by
+// WriteMetrics: one entry per scope, in first-seen order.
+type Report struct {
+	Version     int             `json:"version"`
+	Experiments []*ScopeMetrics `json:"experiments"`
+}
+
+// Collector aggregates committed runs into a metrics report and streams
+// their buffered events to the configured JSONL writer. A nil
+// *Collector is the disabled state: StartRun returns a nil *Run and
+// every other method is a no-op. Collector methods are safe for
+// concurrent use.
+type Collector struct {
+	mu       sync.Mutex
+	cfg      Config
+	scope    string
+	scopes   []*ScopeMetrics
+	byID     map[string]*ScopeMetrics
+	traceErr error
+}
+
+// New creates a Collector.
+func New(cfg Config) *Collector {
+	if cfg.EventCap == 0 {
+		cfg.EventCap = DefaultEventCap
+	}
+	return &Collector{cfg: cfg, byID: make(map[string]*ScopeMetrics)}
+}
+
+// SetScope tags subsequently started runs with the given scope
+// (typically the experiment ID about to execute); each scope aggregates
+// separately in the metrics report.
+func (c *Collector) SetScope(scope string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.scope = scope
+	c.mu.Unlock()
+}
+
+// StartRun begins recording one run under the current scope. On a nil
+// Collector it returns a nil Run, whose methods all no-op.
+func (c *Collector) StartRun(name string) *Run {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	scope := c.scope
+	c.mu.Unlock()
+	return &Run{c: c, scope: scope, name: name, cap: c.cfg.EventCap, start: time.Now()}
+}
+
+// Commit finalizes a run: its wall time is stamped, its metrics join the
+// report under the run's scope, and its buffered events are written to
+// the trace stream. Callers that run jobs in parallel should commit in
+// submission order (see Orderer) to keep the stream deterministic.
+// Committing a nil run, or to a nil collector, is a no-op.
+func (c *Collector) Commit(r *Run) {
+	if c == nil || r == nil {
+		return
+	}
+	wall := time.Since(r.start).Seconds()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sc := c.byID[r.scope]
+	if sc == nil {
+		sc = &ScopeMetrics{ID: r.scope}
+		c.byID[r.scope] = sc
+		c.scopes = append(c.scopes, sc)
+	}
+	m := &RunMetrics{
+		Name:           r.name,
+		Index:          len(sc.Runs),
+		WallSeconds:    wall,
+		SimCycles:      r.simCycles,
+		OverheadCycles: r.overheadCycles,
+		Instructions:   r.instructions,
+		Counters:       r.counters,
+		Events:         uint64(len(r.events)),
+		EventsDropped:  r.dropped,
+	}
+	sc.Runs = append(sc.Runs, m)
+	sc.Totals.add(m)
+
+	if c.cfg.Trace != nil {
+		label := r.scope
+		if label == "" {
+			label = r.name
+		} else {
+			label = label + "/" + r.name
+		}
+		for i := range r.events {
+			r.events[i].Run = label
+			line, err := json.Marshal(&r.events[i])
+			if err == nil {
+				line = append(line, '\n')
+				_, err = c.cfg.Trace.Write(line)
+			}
+			if err != nil && c.traceErr == nil {
+				c.traceErr = fmt.Errorf("telemetry: trace stream: %w", err)
+			}
+		}
+	}
+	r.events = nil
+	r.c = nil
+}
+
+// Err returns the first error encountered writing the trace stream, if
+// any, so CLI drivers can fail loudly instead of silently truncating.
+func (c *Collector) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceErr
+}
+
+// Snapshot returns the report built from the runs committed so far.
+func (c *Collector) Snapshot() Report {
+	if c == nil {
+		return Report{Version: 1}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Report{Version: 1, Experiments: c.scopes}
+}
+
+// WriteMetrics writes the metrics report as indented JSON.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	rep := c.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// DebugTotals summarizes the collector's live state for the expvar
+// debug endpoint. Safe on a nil collector.
+func (c *Collector) DebugTotals() map[string]uint64 {
+	out := map[string]uint64{"runs": 0, "events_recorded": 0, "events_dropped": 0}
+	if c == nil {
+		return out
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range c.scopes {
+		out["runs"] += uint64(sc.Totals.Runs)
+		out["events_recorded"] += sc.Totals.Events
+		out["events_dropped"] += sc.Totals.EventsDropped
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var (
+	debugMu   sync.Mutex
+	debugColl *Collector
+	debugOnce sync.Once
+)
+
+// ServeDebug starts an HTTP server on addr exposing the standard
+// net/http/pprof profiles under /debug/pprof/ and expvar counters under
+// /debug/vars, including the collector's live run/event totals as the
+// "telemetry" variable. It returns the bound address (useful with a
+// ":0" listener) and serves until the process exits. A nil collector
+// still serves profiling and expvar; the telemetry variable then
+// reports zeros.
+func ServeDebug(addr string, c *Collector) (string, error) {
+	debugMu.Lock()
+	debugColl = c
+	debugMu.Unlock()
+	debugOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			debugMu.Lock()
+			cur := debugColl
+			debugMu.Unlock()
+			return cur.DebugTotals()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: debug server: %w", err)
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

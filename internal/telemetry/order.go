@@ -1,0 +1,82 @@
+package telemetry
+
+// Orderer re-sequences index-tagged completions into submission order.
+//
+// The run scheduler (internal/sched) invokes its onDone callback in
+// completion order, which is nondeterministic at parallelism > 1. An
+// Orderer placed between the scheduler and any order-sensitive sink —
+// progress lines on a terminal, telemetry commits feeding the JSONL
+// event stream — holds early completions back in a min-heap and
+// releases each one exactly when every lower-indexed item has been
+// delivered, so the sink observes indexes 0, 1, 2, … regardless of
+// execution order.
+//
+// Put calls must be externally serialized; the scheduler's onDone
+// already is, so no additional locking is needed there.
+type Orderer[T any] struct {
+	deliver func(int, T)
+	next    int
+	heap    []ordEntry[T]
+}
+
+type ordEntry[T any] struct {
+	i int
+	v T
+}
+
+// NewOrderer returns an Orderer that forwards items to deliver in
+// ascending index order, starting at 0.
+func NewOrderer[T any](deliver func(int, T)) *Orderer[T] {
+	return &Orderer[T]{deliver: deliver}
+}
+
+// Put accepts the completion of item i and delivers every item that has
+// become consecutive with the already-delivered prefix.
+func (o *Orderer[T]) Put(i int, v T) {
+	o.push(ordEntry[T]{i: i, v: v})
+	for len(o.heap) > 0 && o.heap[0].i == o.next {
+		e := o.pop()
+		o.next++
+		o.deliver(e.i, e.v)
+	}
+}
+
+// Pending reports how many completions are held back waiting for a
+// lower-indexed item.
+func (o *Orderer[T]) Pending() int { return len(o.heap) }
+
+func (o *Orderer[T]) push(e ordEntry[T]) {
+	o.heap = append(o.heap, e)
+	c := len(o.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if o.heap[p].i <= o.heap[c].i {
+			break
+		}
+		o.heap[p], o.heap[c] = o.heap[c], o.heap[p]
+		c = p
+	}
+}
+
+func (o *Orderer[T]) pop() ordEntry[T] {
+	top := o.heap[0]
+	last := len(o.heap) - 1
+	o.heap[0] = o.heap[last]
+	o.heap = o.heap[:last]
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= len(o.heap) {
+			break
+		}
+		if c+1 < len(o.heap) && o.heap[c+1].i < o.heap[c].i {
+			c++
+		}
+		if o.heap[p].i <= o.heap[c].i {
+			break
+		}
+		o.heap[p], o.heap[c] = o.heap[c], o.heap[p]
+		p = c
+	}
+	return top
+}

@@ -1,0 +1,133 @@
+// Package telemetry is the structured metrics and event-tracing layer
+// for simulation runs: typed per-run counters, an optional JSONL stream
+// of trap-level events, and per-run timing that the experiment harness
+// aggregates into a machine-readable report alongside each rendered
+// table.
+//
+// The design constraint is zero overhead when disabled. A disabled
+// collector is a nil *Collector, whose StartRun returns a nil *Run; every
+// recording method is a no-op on a nil receiver, so the instrumented
+// layers (mach, kernel, core) pay exactly one pointer test per trap —
+// and traps are already the rare path. Nothing consulted by table
+// rendering flows through this package, so rendered tables are
+// byte-identical whether telemetry is on or off, at any parallelism.
+//
+// Events are buffered per run with a hard bound (Config.EventCap);
+// overflow is dropped and counted rather than blocking or reallocating
+// without limit. Buffers are flushed to the JSONL writer only when the
+// run is committed, and the experiment harness commits runs in
+// submission order (see Orderer), which keeps the event stream — like
+// the tables — deterministic under the parallel run scheduler.
+package telemetry
+
+import "time"
+
+// EventKind labels one traced trap event.
+type EventKind string
+
+// Event kinds emitted by the instrumented layers.
+const (
+	// EvECC is a delivered memory-error (ECC) trap.
+	EvECC EventKind = "ecc"
+	// EvECCLatched is an ECC trap delivered late from the interrupt-mask
+	// latch.
+	EvECCLatched EventKind = "ecc-latched"
+	// EvBreakpoint is a delivered instruction-breakpoint trap.
+	EvBreakpoint EventKind = "breakpoint"
+	// EvPageFault is a serviced demand page fault.
+	EvPageFault EventKind = "page-fault"
+	// EvClock is a delivered clock interrupt.
+	EvClock EventKind = "clock"
+	// EvTwMiss is a simulated cache miss counted by Tapeworm.
+	EvTwMiss EventKind = "tw-miss"
+	// EvTLBMiss is a simulated TLB miss counted by Tapeworm.
+	EvTLBMiss EventKind = "tlb-miss"
+)
+
+// Event is one traced trap-level event: what kind of trap, on behalf of
+// which task, at which virtual and physical address, at which simulated
+// cycle. The Run label is attached when the owning run is committed.
+type Event struct {
+	Run   string    `json:"run,omitempty"`
+	Kind  EventKind `json:"kind"`
+	Task  int32     `json:"task"`
+	VA    uint32    `json:"va"`
+	PA    uint32    `json:"pa"`
+	Cycle uint64    `json:"cycle"`
+}
+
+// Run records one simulation run's telemetry: counters, timing, and a
+// bounded event buffer. A nil *Run (telemetry disabled) accepts every
+// call as a no-op. A Run's methods are not safe for concurrent use —
+// each simulation run is single-threaded, which is all the scheduler
+// guarantees anyway.
+type Run struct {
+	c     *Collector
+	scope string
+	name  string
+	start time.Time
+
+	cap     int
+	events  []Event
+	dropped uint64
+
+	counters map[string]uint64
+
+	simCycles      uint64
+	overheadCycles uint64
+	instructions   uint64
+}
+
+// Event appends one trap-level event to the run's bounded buffer;
+// events beyond the buffer bound are dropped and counted.
+func (r *Run) Event(kind EventKind, task int32, va, pa uint32, cycle uint64) {
+	if r == nil {
+		return
+	}
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{Kind: kind, Task: task, VA: va, PA: pa, Cycle: cycle})
+}
+
+// Count adds delta to the named counter.
+func (r *Run) Count(name string, delta uint64) {
+	if r == nil || delta == 0 {
+		return
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	r.counters[name] += delta
+}
+
+// SetCounter snapshots the named counter to an absolute value. The
+// instrumented layers use this at end of run to publish counters they
+// already maintain, keeping their hot paths untouched.
+func (r *Run) SetCounter(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]uint64)
+	}
+	r.counters[name] = v
+}
+
+// SetTiming records the run's simulated-time totals: elapsed machine
+// cycles, the subset charged as instrumentation overhead, and retired
+// instructions.
+func (r *Run) SetTiming(simCycles, overheadCycles, instructions uint64) {
+	if r == nil {
+		return
+	}
+	r.simCycles = simCycles
+	r.overheadCycles = overheadCycles
+	r.instructions = instructions
+}
+
+// Enabled reports whether the run actually records anything (false for
+// the nil no-op run), letting callers skip argument construction that
+// is itself expensive.
+func (r *Run) Enabled() bool { return r != nil }

@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestOrdererDeliversInSubmissionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1994))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		perm := rng.Perm(n)
+		var got []int
+		ord := NewOrderer[string](func(i int, v string) {
+			got = append(got, i)
+			if want := fmt.Sprintf("v%d", i); v != want {
+				t.Fatalf("index %d delivered value %q, want %q", i, v, want)
+			}
+		})
+		for _, i := range perm {
+			ord.Put(i, fmt.Sprintf("v%d", i))
+		}
+		if ord.Pending() != 0 {
+			t.Fatalf("trial %d: %d items still pending after all Puts", trial, ord.Pending())
+		}
+		for i, idx := range got {
+			if idx != i {
+				t.Fatalf("trial %d: delivery order %v not ascending", trial, got)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: delivered %d of %d items", trial, len(got), n)
+		}
+	}
+}
+
+func TestOrdererHoldsBackGaps(t *testing.T) {
+	var got []int
+	ord := NewOrderer[int](func(i, _ int) { got = append(got, i) })
+	ord.Put(2, 0)
+	ord.Put(1, 0)
+	if len(got) != 0 {
+		t.Fatalf("delivered %v before index 0 arrived", got)
+	}
+	if ord.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", ord.Pending())
+	}
+	ord.Put(0, 0)
+	if want := []int{0, 1, 2}; len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+}
+
+func TestNilRunAndCollectorAreNoOps(t *testing.T) {
+	var c *Collector
+	r := c.StartRun("x")
+	if r != nil {
+		t.Fatal("nil collector returned non-nil run")
+	}
+	if r.Enabled() {
+		t.Fatal("nil run reports enabled")
+	}
+	// None of these may panic.
+	r.Event(EvECC, 1, 2, 3, 4)
+	r.Count("a", 1)
+	r.SetCounter("b", 2)
+	r.SetTiming(1, 2, 3)
+	c.Commit(r)
+	c.SetScope("s")
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil collector Err = %v", err)
+	}
+	if got := c.Snapshot(); got.Version != 1 || len(got.Experiments) != 0 {
+		t.Fatalf("nil collector snapshot = %+v", got)
+	}
+	if got := c.DebugTotals(); got["runs"] != 0 {
+		t.Fatalf("nil collector DebugTotals = %v", got)
+	}
+}
+
+func TestEventBufferBound(t *testing.T) {
+	c := New(Config{EventCap: 3})
+	r := c.StartRun("bounded")
+	for i := 0; i < 10; i++ {
+		r.Event(EvTwMiss, 0, uint32(i), uint32(i), uint64(i))
+	}
+	c.Commit(r)
+	rep := c.Snapshot()
+	if len(rep.Experiments) != 1 || len(rep.Experiments[0].Runs) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	m := rep.Experiments[0].Runs[0]
+	if m.Events != 3 || m.EventsDropped != 7 {
+		t.Fatalf("events=%d dropped=%d, want 3/7", m.Events, m.EventsDropped)
+	}
+}
+
+func TestCountersAndTiming(t *testing.T) {
+	c := New(Config{})
+	c.SetScope("figure2")
+	r := c.StartRun("run0")
+	r.Count("traps", 2)
+	r.Count("traps", 3)
+	r.SetCounter("ecc_flips_set", 41)
+	r.SetCounter("ecc_flips_set", 42)
+	r.SetTiming(1000, 100, 900)
+	c.Commit(r)
+
+	rep := c.Snapshot()
+	sc := rep.Experiments[0]
+	if sc.ID != "figure2" {
+		t.Fatalf("scope = %q", sc.ID)
+	}
+	m := sc.Runs[0]
+	if m.Counters["traps"] != 5 || m.Counters["ecc_flips_set"] != 42 {
+		t.Fatalf("counters = %v", m.Counters)
+	}
+	if m.SimCycles != 1000 || m.OverheadCycles != 100 || m.Instructions != 900 {
+		t.Fatalf("timing = %d/%d/%d", m.SimCycles, m.OverheadCycles, m.Instructions)
+	}
+	if m.Index != 0 || sc.Totals.Runs != 1 {
+		t.Fatalf("index=%d totals.runs=%d", m.Index, sc.Totals.Runs)
+	}
+}
+
+func TestTraceStreamJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(Config{Trace: &buf})
+	c.SetScope("table7")
+	r := c.StartRun("trial0")
+	r.Event(EvBreakpoint, 4, 0x1000, 0x2000, 77)
+	r.Event(EvTLBMiss, 5, 0x3000, 0x4000, 99)
+	c.Commit(r)
+	if err := c.Err(); err != nil {
+		t.Fatalf("trace error: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev.Run != "table7/trial0" || ev.Kind != EvBreakpoint || ev.Task != 4 || ev.VA != 0x1000 || ev.PA != 0x2000 || ev.Cycle != 77 {
+		t.Fatalf("event 0 = %+v", ev)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if ev.Kind != EvTLBMiss || ev.Cycle != 99 {
+		t.Fatalf("event 1 = %+v", ev)
+	}
+}
+
+func TestTraceErrorSurfaced(t *testing.T) {
+	c := New(Config{Trace: failWriter{}})
+	r := c.StartRun("r")
+	r.Event(EvECC, 0, 0, 0, 0)
+	c.Commit(r)
+	if err := c.Err(); err == nil {
+		t.Fatal("trace write error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	c := New(Config{})
+	c.SetScope("figure2")
+	for i := 0; i < 3; i++ {
+		r := c.StartRun(fmt.Sprintf("run%d", i))
+		r.SetTiming(uint64(100*(i+1)), 10, 90)
+		c.Commit(r)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("metrics output not valid JSON: %v", err)
+	}
+	if rep.Version != 1 || len(rep.Experiments) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	sc := rep.Experiments[0]
+	if sc.Totals.Runs != 3 || sc.Totals.SimCycles != 600 {
+		t.Fatalf("totals = %+v", sc.Totals)
+	}
+	for i, m := range sc.Runs {
+		if m.Index != i {
+			t.Fatalf("run %d has index %d", i, m.Index)
+		}
+	}
+}
+
+func TestCommitAssignsIndexesInCommitOrder(t *testing.T) {
+	// Runs started in any order get indexes in the order they are
+	// committed — the harness commits via an Orderer, so indexes match
+	// submission order deterministically.
+	c := New(Config{})
+	r1 := c.StartRun("b")
+	r0 := c.StartRun("a")
+	c.Commit(r0)
+	c.Commit(r1)
+	runs := c.Snapshot().Experiments[0].Runs
+	if runs[0].Name != "a" || runs[0].Index != 0 || runs[1].Name != "b" || runs[1].Index != 1 {
+		t.Fatalf("runs = %+v, %+v", runs[0], runs[1])
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	c := New(Config{})
+	r := c.StartRun("r")
+	r.Event(EvClock, 0, 0, 0, 1)
+	c.Commit(r)
+
+	addr, err := ServeDebug("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode vars: %v", err)
+	}
+	raw, ok := vars["telemetry"]
+	if !ok {
+		t.Fatalf("no telemetry var in %v", vars)
+	}
+	var tot map[string]uint64
+	if err := json.Unmarshal(raw, &tot); err != nil {
+		t.Fatalf("telemetry var: %v", err)
+	}
+	if tot["runs"] != 1 || tot["events_recorded"] != 1 {
+		t.Fatalf("telemetry totals = %v", tot)
+	}
+
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d", resp2.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tapeworm/internal/mem"
 	"tapeworm/internal/monster"
 	"tapeworm/internal/pixie"
+	"tapeworm/internal/telemetry"
 	"tapeworm/internal/trace"
 	"tapeworm/internal/workload"
 )
@@ -142,6 +143,25 @@ type SystemConfig struct {
 	// PageSeed drives only physical frame allocation; varying it between
 	// runs reproduces the paper's page-allocation measurement variance.
 	PageSeed uint64
+	// Telemetry, if non-nil, records this system's trap events and
+	// end-of-run counters (see TelemetryCollector / internal/telemetry).
+	Telemetry *TelemetryRun
+}
+
+// Telemetry re-exports: a collector aggregates runs into a metrics
+// report; a run records one booted system's counters and trap events.
+type (
+	// TelemetryCollector aggregates committed telemetry runs.
+	TelemetryCollector = telemetry.Collector
+	// TelemetryConfig parameterizes a collector.
+	TelemetryConfig = telemetry.Config
+	// TelemetryRun records one run's counters, timing, and events.
+	TelemetryRun = telemetry.Run
+)
+
+// NewTelemetryCollector creates a telemetry collector.
+func NewTelemetryCollector(cfg TelemetryConfig) *TelemetryCollector {
+	return telemetry.New(cfg)
 }
 
 // System is a booted machine + kernel ready to run workloads.
@@ -158,6 +178,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.PageSeed != 0 {
 		kcfg.PageSeed = cfg.PageSeed
 	}
+	kcfg.Telemetry = cfg.Telemetry
 	k, err := kernel.Boot(kcfg)
 	if err != nil {
 		return nil, err
