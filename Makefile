@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race verify-telemetry bench clean
+.PHONY: build test verify verify-race verify-telemetry verify-fastpath bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -32,8 +32,42 @@ verify-telemetry:
 	diff /tmp/vt-off.flt /tmp/vt-on.flt
 	@echo "verify-telemetry: tables byte-identical with telemetry on/off"
 
+## verify-fastpath: render Figure 2 with the batched hit fast path on and
+## off, serial and parallel, with and without telemetry, and diff every
+## table — the byte-identity gate for the execution fast path. Timing
+## lines ("completed in") are nondeterministic and filtered out.
+verify-fastpath:
+	$(GO) build -o /tmp/twbench-vf ./cmd/twbench
+	/tmp/twbench-vf -run figure2 -scale 4000 -trials 2 -q -parallel 1 \
+		> /tmp/vf-fast-p1.txt
+	/tmp/twbench-vf -run figure2 -scale 4000 -trials 2 -q -parallel 1 \
+		-fastpath=false > /tmp/vf-slow-p1.txt
+	/tmp/twbench-vf -run figure2 -scale 4000 -trials 2 -q -parallel 8 \
+		-fastpath=false > /tmp/vf-slow-p8.txt
+	/tmp/twbench-vf -run figure2 -scale 4000 -trials 2 -q -parallel 8 \
+		-metrics /tmp/vf-metrics-fast.json > /tmp/vf-fast-p8t.txt
+	/tmp/twbench-vf -run figure2 -scale 4000 -trials 2 -q -parallel 8 \
+		-fastpath=false -metrics /tmp/vf-metrics-slow.json > /tmp/vf-slow-p8t.txt
+	grep -v 'completed in' /tmp/vf-fast-p1.txt > /tmp/vf-ref.flt
+	for f in vf-slow-p1 vf-slow-p8 vf-fast-p8t vf-slow-p8t; do \
+		grep -v 'completed in' /tmp/$$f.txt > /tmp/$$f.flt && \
+		diff /tmp/vf-ref.flt /tmp/$$f.flt || exit 1; done
+	grep -v 'wall_seconds' /tmp/vf-metrics-fast.json > /tmp/vf-metrics-fast.flt
+	grep -v 'wall_seconds' /tmp/vf-metrics-slow.json > /tmp/vf-metrics-slow.flt
+	diff /tmp/vf-metrics-fast.flt /tmp/vf-metrics-slow.flt
+	@echo "verify-fastpath: tables and metrics byte-identical, fast path on/off"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+## bench-json: record the fast-vs-baseline perf trajectory for Figure 2 at
+## the bench_test.go conditions, writing BENCH_<label>.json (label defaults
+## to "pr3"; override with BENCH_LABEL=...).
+BENCH_LABEL ?= pr3
+bench-json:
+	$(GO) build -o /tmp/twbench-bj ./cmd/twbench
+	/tmp/twbench-bj -bench-json $(BENCH_LABEL) -run figure2 \
+		-scale 1000 -trials 4 -frames 4096
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tapeworm"
+	"tapeworm/internal/experiment"
+)
+
+// benchVersion identifies the BENCH_<label>.json schema. Bump it when a
+// field changes meaning so downstream tooling can refuse mismatches.
+const benchVersion = 1
+
+// benchReport is the machine-readable perf trajectory emitted by
+// -bench-json: wall-clock per experiment with the fast path on and off,
+// plus an isolated hot-loop measurement in simulated instruction fetches
+// per second.
+type benchReport struct {
+	Version     int               `json:"version"`
+	Label       string            `json:"label"`
+	Scale       float64           `json:"scale"`
+	Trials      int               `json:"trials"`
+	Seed        uint64            `json:"seed"`
+	Parallelism int               `json:"parallelism"`
+	Experiments []benchExperiment `json:"experiments"`
+	HotLoop     benchHotLoop      `json:"hot_loop"`
+}
+
+// benchExperiment times one experiment's full regeneration. Baseline is
+// the per-reference path (NoFastPath); the outputs are byte-identical, so
+// the ratio is pure execution overhead.
+type benchExperiment struct {
+	ID              string  `json:"id"`
+	FastSeconds     float64 `json:"fast_seconds"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// benchHotLoop isolates the simulation core on one uninstrumented
+// workload run; refs counts instruction-fetch references.
+type benchHotLoop struct {
+	Workload           string  `json:"workload"`
+	Instructions       uint64  `json:"instructions"`
+	FastSeconds        float64 `json:"fast_seconds"`
+	BaselineSeconds    float64 `json:"baseline_seconds"`
+	FastRefsPerSec     float64 `json:"fast_refs_per_sec"`
+	BaselineRefsPerSec float64 `json:"baseline_refs_per_sec"`
+	Speedup            float64 `json:"speedup"`
+}
+
+// writeBenchJSON runs every experiment in ids twice (fast path and
+// per-reference baseline), times the hot loop, and writes
+// BENCH_<label>.json to the current directory.
+func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
+	rep := benchReport{
+		Version: benchVersion, Label: label,
+		Scale: opts.Scale, Trials: opts.Trials, Seed: opts.Seed,
+		Parallelism: opts.Parallelism,
+	}
+
+	timeOne := func(id string, noFast bool) (float64, error) {
+		fn, err := experiment.ByID(id)
+		if err != nil {
+			return 0, err
+		}
+		o := opts
+		o.Progress = nil
+		o.Telemetry = nil
+		o.NoFastPath = noFast
+		start := time.Now()
+		if _, err := fn(o); err != nil {
+			return 0, fmt.Errorf("%s: %w", id, err)
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fast, err := timeOne(id, false)
+		if err != nil {
+			return err
+		}
+		base, err := timeOne(id, true)
+		if err != nil {
+			return err
+		}
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			ID: id, FastSeconds: fast, BaselineSeconds: base,
+			Speedup: base / fast,
+		})
+		fmt.Fprintf(os.Stderr, "  bench %-9s fast %6.2fs  baseline %6.2fs  speedup %.2fx\n",
+			id, fast, base, base/fast)
+	}
+
+	hot, err := benchHot(opts.Seed)
+	if err != nil {
+		return err
+	}
+	rep.HotLoop = hot
+	fmt.Fprintf(os.Stderr, "  bench hot-loop  fast %6.2fs  baseline %6.2fs  speedup %.2fx  (%.0f refs/s fast)\n",
+		hot.FastSeconds, hot.BaselineSeconds, hot.Speedup, hot.FastRefsPerSec)
+
+	path := fmt.Sprintf("BENCH_%s.json", label)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "twbench: wrote %s\n", path)
+	return nil
+}
+
+// benchHot times one uninstrumented workload run end to end, fast path on
+// and off. The runs are identical simulations (the verify-fastpath
+// invariant), so instructions are counted once.
+func benchHot(seed uint64) (benchHotLoop, error) {
+	const workload, scale = "eqntott", 2000
+	run := func(noFast bool) (uint64, float64, error) {
+		cfg := tapeworm.SystemConfig{Seed: seed, Machine: tapeworm.DECstation(4096)}
+		cfg.Machine.NoFastPath = noFast
+		sys, err := tapeworm.NewSystem(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := sys.LoadWorkload(workload, scale, seed, false); err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if err := sys.Run(0); err != nil {
+			return 0, 0, err
+		}
+		return sys.Monitor().Instructions, time.Since(start).Seconds(), nil
+	}
+	instr, fast, err := run(false)
+	if err != nil {
+		return benchHotLoop{}, err
+	}
+	baseInstr, base, err := run(true)
+	if err != nil {
+		return benchHotLoop{}, err
+	}
+	if baseInstr != instr {
+		return benchHotLoop{}, fmt.Errorf(
+			"bench: fast and baseline runs diverged: %d vs %d instructions", instr, baseInstr)
+	}
+	return benchHotLoop{
+		Workload: workload, Instructions: instr,
+		FastSeconds: fast, BaselineSeconds: base,
+		FastRefsPerSec:     float64(instr) / fast,
+		BaselineRefsPerSec: float64(instr) / base,
+		Speedup:            base / fast,
+	}, nil
+}

@@ -10,6 +10,8 @@
 //	twbench -list                   # list experiment IDs
 //	twbench -o report.txt           # also write the report to a file
 //	twbench -metrics m.json -trace t.jsonl   # machine-readable telemetry
+//	twbench -fastpath=false         # force the per-reference execution path
+//	twbench -bench-json pr3         # time fast vs. baseline, write BENCH_pr3.json
 //
 // Each experiment's independent machine runs execute on a worker pool
 // (default GOMAXPROCS workers; -parallel overrides). Results, progress
@@ -45,6 +47,9 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
 		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+
+		fastpath   = flag.Bool("fastpath", true, "use the batched hit fast path (results are byte-identical either way)")
+		benchLabel = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark, and write BENCH_<label>.json")
 	)
 	flag.Parse()
 
@@ -57,13 +62,24 @@ func main() {
 
 	opts := experiment.Options{
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
-		Parallelism: *parallel,
+		Parallelism: *parallel, NoFastPath: !*fastpath,
 	}
 	if err := opts.Validate(); err != nil {
 		fail(err)
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "  %s\n", line) }
+	}
+
+	if *benchLabel != "" {
+		ids := experiment.IDs()
+		if *runIDs != "" {
+			ids = strings.Split(*runIDs, ",")
+		}
+		if err := writeBenchJSON(*benchLabel, ids, opts); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	var coll *telemetry.Collector

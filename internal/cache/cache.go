@@ -139,8 +139,13 @@ type line struct {
 // Cache is a set-associative simulated cache. The zero value is unusable;
 // construct with New.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
+	cfg Config
+	// lines is the tag store, sets laid out back to back (set i occupies
+	// lines[i*ways : (i+1)*ways]). A flat array spares the per-access
+	// slice-header load a [][]line would add in front of every tag probe.
+	lines    []line
+	ways     int
+	lru      bool // cfg.Replace == LRU, hoisted off the hot path
 	setMask  uint32
 	lineMask uint32
 	shift    uint
@@ -170,14 +175,11 @@ func New(cfg Config, rnd *rng.Source) (*Cache, error) {
 		return nil, fmt.Errorf("cache: Random replacement requires a random source")
 	}
 	nsets := cfg.Sets()
-	sets := make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways())
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Ways():cfg.Ways()], backing[cfg.Ways():]
-	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
+		lines:    make([]line, nsets*cfg.Ways()),
+		ways:     cfg.Ways(),
+		lru:      cfg.Replace == LRU,
 		setMask:  uint32(nsets - 1),
 		lineMask: ^uint32(cfg.LineSize - 1),
 		shift:    log2(uint32(cfg.LineSize)),
@@ -230,11 +232,17 @@ func (c *Cache) key(task mem.TaskID, addr uint32) Key {
 	return k
 }
 
+// set returns the tag-store slice for the set addr maps to.
+func (c *Cache) set(addr uint32) []line {
+	i := int((addr>>c.shift)&c.setMask) * c.ways
+	return c.lines[i : i+c.ways]
+}
+
 // Probe reports whether (task, addr) currently hits, without updating
 // replacement state or statistics.
 func (c *Cache) Probe(task mem.TaskID, addr uint32) bool {
 	k := c.key(task, addr)
-	set := c.sets[c.SetIndex(addr)]
+	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].key == k {
 			return true
@@ -251,27 +259,75 @@ func (c *Cache) Access(task mem.TaskID, addr uint32) (hit bool, displaced Key, e
 	c.tick++
 	k := c.key(task, addr)
 	if m := c.mru; m != nil && m.valid && m.key == k {
-		if c.cfg.Replace == LRU {
+		if c.lru {
 			m.stamp = c.tick
 		}
 		c.hits++
 		return true, Key{}, false
 	}
-	set := c.sets[c.SetIndex(addr)]
-	for i := range set {
-		if set[i].valid && set[i].key == k {
-			if c.cfg.Replace == LRU {
-				set[i].stamp = c.tick
+	// Index into the flat tag store directly; building the set sub-slice
+	// costs more than the probe itself on the direct-mapped hot path.
+	base := int((addr>>c.shift)&c.setMask) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.key == k {
+			if c.lru {
+				l.stamp = c.tick
 			}
-			c.mru = &set[i]
+			c.mru = l
 			c.hits++
 			return true, Key{}, false
 		}
 	}
 	c.misses++
-	displaced, evicted = c.insert(set, k)
+	displaced, evicted = c.insert(c.lines[base:base+c.ways], k)
 	return false, displaced, evicted
 }
+
+// AccessIfHit performs a reference that never allocates: on a hit it
+// updates replacement state and statistics exactly as Access does; on a
+// miss it leaves the cache untouched — no insertion, no miss count, not
+// even a tick. This is the single-lookup form of a probe-then-access pair
+// (the no-allocate-on-write store path), which previously searched the
+// same set twice.
+func (c *Cache) AccessIfHit(task mem.TaskID, addr uint32) bool {
+	k := c.key(task, addr)
+	if m := c.mru; m != nil && m.valid && m.key == k {
+		c.tick++
+		if c.lru {
+			m.stamp = c.tick
+		}
+		c.hits++
+		return true
+	}
+	base := int((addr>>c.shift)&c.setMask) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.key == k {
+			c.tick++
+			if c.lru {
+				l.stamp = c.tick
+			}
+			c.mru = l
+			c.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// NoteHits records n references that are architecturally guaranteed to hit
+// without touching the tag store. The caller asserts the references are
+// consecutive accesses to a line it just observed resident, with nothing
+// else touching the cache in between; under that contract skipping the
+// tick and stamp updates cannot change any future eviction decision:
+// stamps are compared only for relative order, every stamp assigned later
+// is still strictly greater than every stamp assigned earlier (each
+// stamping access pre-increments the tick), and within the skipped streak
+// no other line's stamp changes while the streak's line remains the most
+// recently used in its set. Random replacement draws from its source only
+// when an insertion evicts, so the skip consumes no randomness either.
+func (c *Cache) NoteHits(n int) { c.hits += uint64(n) }
 
 // Insert places (task, addr) into the cache without a prior search,
 // returning any displaced line. This is tw_replace(): Tapeworm already
@@ -280,10 +336,10 @@ func (c *Cache) Access(task mem.TaskID, addr uint32) (hit bool, displaced Key, e
 func (c *Cache) Insert(task mem.TaskID, addr uint32) (displaced Key, evicted bool) {
 	c.tick++
 	k := c.key(task, addr)
-	set := c.sets[c.SetIndex(addr)]
+	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].key == k {
-			if c.cfg.Replace == LRU {
+			if c.lru {
 				set[i].stamp = c.tick
 			}
 			return Key{}, false
@@ -326,7 +382,7 @@ func (c *Cache) insert(set []line, k Key) (displaced Key, evicted bool) {
 // whether a line was removed. Used by tw_remove_page-driven flushes.
 func (c *Cache) Invalidate(task mem.TaskID, addr uint32) bool {
 	k := c.key(task, addr)
-	set := c.sets[c.SetIndex(addr)]
+	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].key == k {
 			set[i] = line{}
@@ -345,7 +401,7 @@ func (c *Cache) InvalidateRange(task mem.TaskID, addr uint32, size int) []Key {
 	first := c.LineAddr(addr)
 	for a := first; a < addr+uint32(size); a += uint32(c.cfg.LineSize) {
 		k := c.key(task, a)
-		set := c.sets[c.SetIndex(a)]
+		set := c.set(a)
 		for i := range set {
 			if set[i].valid && set[i].key == k {
 				removed = append(removed, set[i].key)
@@ -362,14 +418,12 @@ func (c *Cache) InvalidateRange(task mem.TaskID, addr uint32, size int) []Key {
 // removed keys.
 func (c *Cache) InvalidateTask(task mem.TaskID) []Key {
 	var removed []Key
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			l := &c.sets[s][i]
-			if l.valid && l.key.Task == task {
-				removed = append(removed, l.key)
-				*l = line{}
-				c.occupied--
-			}
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.valid && l.key.Task == task {
+			removed = append(removed, l.key)
+			*l = line{}
+			c.occupied--
 		}
 	}
 	return removed
@@ -377,10 +431,8 @@ func (c *Cache) InvalidateTask(task mem.TaskID) []Key {
 
 // Flush empties the cache entirely.
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.occupied = 0
 }
@@ -400,11 +452,9 @@ func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
 // Keys returns the keys of all valid lines, for invariant checks in tests.
 func (c *Cache) Keys() []Key {
 	out := make([]Key, 0, c.occupied)
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid {
-				out = append(out, c.sets[s][i].key)
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			out = append(out, c.lines[i].key)
 		}
 	}
 	return out

@@ -120,6 +120,16 @@ func (t *TLB) Access(task mem.TaskID, va mem.VAddr) (hit bool, displaced Key, ev
 	return hit, displaced, evicted
 }
 
+// NoteHits records n translations that are guaranteed to hit without
+// consulting the tag store, under the same contract as Cache.NoteHits:
+// consecutive references to a mapping the caller just observed resident,
+// with no intervening TLB activity. Both the TLB's and the inner store's
+// hit counters advance so Stats stays exact.
+func (t *TLB) NoteHits(n int) {
+	t.hits += uint64(n)
+	t.inner.hits += uint64(n)
+}
+
 // Insert is the tw_replace path: the miss is already known (a page-valid
 // trap fired), so insert without searching. Returns the displaced mapping.
 func (t *TLB) Insert(task mem.TaskID, va mem.VAddr) (displaced Key, evicted bool) {

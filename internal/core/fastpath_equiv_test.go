@@ -1,0 +1,253 @@
+package core
+
+import (
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+)
+
+// These tests pin the byte-identity contract of the batched hit fast path
+// (mach.Config.NoFastPath) at its invalidation edges. Each scenario is
+// built to stress one way a memoized translation or a batched run can go
+// stale — fork-time text sharing, frame reuse after exit, valid-bit
+// flips by the page-valid mechanism, DMA destroying traps mid-buffer,
+// breakpoints armed and cleared under the program's feet — and is run
+// twice, fast path on and off. Every architecturally visible observable
+// must match exactly; a single divergent counter means the fast path took
+// a shortcut the reference path would not have.
+
+// fpState is the full observable state of a finished simulation. It is a
+// comparable struct so scenarios can be checked with a single !=.
+type fpState struct {
+	cycles   uint64
+	instret  uint64
+	counters mach.Counters
+	comp     [kernel.NumComponents]uint64
+	misses   uint64
+	tw       Stats
+}
+
+// snapshot collects the observable state of k (and tw, when attached).
+func snapshot(k *kernel.Kernel, tw *Tapeworm) fpState {
+	s := fpState{
+		cycles:   k.Machine().Cycles(),
+		instret:  k.Machine().Instructions(),
+		counters: k.Machine().Counters(),
+		comp:     k.ComponentInstructions(),
+	}
+	if tw != nil {
+		s.misses = tw.Misses()
+		s.tw = tw.Stats()
+	}
+	return s
+}
+
+// runBoth runs scenario under both fast-path settings and requires
+// identical outcomes. The fast run goes first so a scenario that panics
+// only on the batched path fails loudly rather than vacuously passing.
+func runBoth(t *testing.T, scenario func(t *testing.T, noFast bool) fpState) {
+	t.Helper()
+	fast := scenario(t, false)
+	slow := scenario(t, true)
+	if fast != slow {
+		t.Fatalf("fast path changed observable state:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+	// A scenario that simulated nothing proves nothing.
+	if fast.instret == 0 || fast.cycles == 0 {
+		t.Fatalf("scenario executed nothing: %+v", fast)
+	}
+}
+
+// TestFastPathEquivForkSharedText covers the fork edge: sharing text gives
+// the child mappings to frames the parent's translations were memoized
+// against, so fork must invalidate or the child would inherit stale
+// entries under a different task ID.
+func TestFastPathEquivForkSharedText(t *testing.T) {
+	runBoth(t, func(t *testing.T, noFast bool) fpState {
+		cfg := kernel.DefaultConfig(mach.DECstation5000_200(4096), 11)
+		cfg.Machine.NoFastPath = noFast
+		k := kernel.MustBoot(cfg)
+		tw := MustAttach(k, dmICache(4, cache.VirtIndexed))
+
+		// Parent runs long enough to warm the translation memo, forks a
+		// text-sharing child mid-stream, then keeps running interleaved
+		// with it under the scheduler.
+		child := &scriptedRefs{base: kernel.TextBase, n: 4000}
+		parent := &forkAfter{base: kernel.TextBase, before: 3000, after: 3000,
+			child: child, shareText: true}
+		k.Spawn("parent", parent, true, true)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		st := snapshot(k, tw)
+		if st.misses == 0 {
+			t.Fatal("no simulated misses; traps never exercised")
+		}
+		return st
+	})
+}
+
+// TestFastPathEquivExitFrameReuse covers the exit edge under memory
+// pressure: the first hog's frames are freed at exit and reallocated to
+// the second, while eviction recycles frames within each run — any
+// translation memoized against the old owner must be gone.
+func TestFastPathEquivExitFrameReuse(t *testing.T) {
+	runBoth(t, func(t *testing.T, noFast bool) fpState {
+		cfg := kernel.DefaultConfig(mach.DECstation5000_200(200), 13)
+		cfg.TapewormFrames = 8
+		cfg.Machine.NoFastPath = noFast
+		k := kernel.MustBoot(cfg)
+
+		// Two hogs, spawned together: each touches more distinct data
+		// pages than there are free frames, forcing page-outs while both
+		// run and wholesale frame reuse when the first exits.
+		k.Spawn("hog1", &pageHog{pages: 300}, true, false)
+		k.Spawn("hog2", &pageHog{pages: 300}, true, false)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if k.Stats().PageOuts == 0 {
+			t.Fatal("no page-outs; eviction edge not exercised")
+		}
+		return snapshot(k, nil)
+	})
+}
+
+// TestFastPathEquivValidBitTraps covers the page-valid mechanism: TLB-mode
+// simulation plants traps by clearing valid bits (tw_set_trap), so every
+// simulated TLB displacement flips a PTE out from under possibly-memoized
+// translations, and every refill flips one back.
+func TestFastPathEquivValidBitTraps(t *testing.T) {
+	runBoth(t, func(t *testing.T, noFast bool) fpState {
+		cfg := kernel.DefaultConfig(mach.DECstation5000_200(4096), 17)
+		cfg.Machine.NoFastPath = noFast
+		k := kernel.MustBoot(cfg)
+		tw := MustAttach(k, Config{
+			Mode:     ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 16, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling(),
+		})
+		spawnWorkload(t, k, "mpeg_play", 19, true)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		st := snapshot(k, tw)
+		if st.misses == 0 {
+			t.Fatal("no TLB misses; valid-bit edge not exercised")
+		}
+		return st
+	})
+}
+
+// TestFastPathEquivDMATrapDestruction covers the 5000/240 hazard: DMA
+// writes silently rewrite ECC on the I/O buffer, destroying traps with no
+// kernel hook — the fast path must observe the destruction through the
+// host-line flush, not skip past it inside a batched run.
+func TestFastPathEquivDMATrapDestruction(t *testing.T) {
+	runBoth(t, func(t *testing.T, noFast bool) fpState {
+		cfg := kernel.DefaultConfig(mach.DECstation5000_240(4096), 23)
+		cfg.Machine.NoFastPath = noFast
+		k := kernel.MustBoot(cfg)
+		tw := MustAttach(k, Config{
+			Mode: ModeDCache,
+			Cache: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1,
+				Indexing: cache.VirtIndexed},
+			Sampling:         FullSampling(),
+			AllowWriteClears: true,
+		})
+		k.Spawn("victim", &dmaVictim{rounds: 50}, true, false)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		st := snapshot(k, tw)
+		if st.counters.DMAClears == 0 {
+			t.Fatal("no DMA trap destruction; hazard not exercised")
+		}
+		return st
+	})
+}
+
+// TestFastPathEquivBreakpointArmClear covers the breakpoint mechanism (the
+// 486 port): tw_replace arms breakpoint registers on miss and clears them
+// on displacement while the measured program runs, so batched runs must
+// abort at every arm/clear boundary.
+func TestFastPathEquivBreakpointArmClear(t *testing.T) {
+	runBoth(t, func(t *testing.T, noFast bool) fpState {
+		cfg := kernel.DefaultConfig(mach.Gateway486(4096), 29)
+		cfg.Machine.NoFastPath = noFast
+		k := kernel.MustBoot(cfg)
+		tw := MustAttach(k, dmICache(2, cache.VirtIndexed))
+		spawnWorkload(t, k, "espresso", 31, true)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		st := snapshot(k, tw)
+		if st.counters.BreakpointArms == 0 || st.counters.BreakpointTraps == 0 {
+			t.Fatalf("breakpoints not exercised: %+v", st.counters)
+		}
+		return st
+	})
+}
+
+// scriptedRefs issues n sequential ifetches from base, then exits.
+type scriptedRefs struct {
+	base mem.VAddr
+	n    int
+	pos  int
+}
+
+func (p *scriptedRefs) Next() kernel.Event {
+	if p.pos >= p.n {
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	va := p.base + mem.VAddr(p.pos*4)
+	p.pos++
+	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+}
+
+// forkAfter runs `before` ifetches, forks child, then runs `after` more.
+type forkAfter struct {
+	base          mem.VAddr
+	before, after int
+	child         kernel.Program
+	shareText     bool
+	pos           int
+	forked        bool
+}
+
+func (p *forkAfter) Next() kernel.Event {
+	if p.pos == p.before && !p.forked {
+		p.forked = true
+		return kernel.Event{Kind: kernel.EvFork, Child: p.child, ShareText: p.shareText}
+	}
+	if p.pos >= p.before+p.after {
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	va := p.base + mem.VAddr(p.pos*4)
+	p.pos++
+	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+}
+
+// pageHog loads one word from each of `pages` distinct data pages, with a
+// short ifetch run between loads so text stays hot while data churns.
+type pageHog struct {
+	pages int
+	pos   int
+}
+
+func (p *pageHog) Next() kernel.Event {
+	if p.pos >= p.pages*4 {
+		return kernel.Event{Kind: kernel.EvExit}
+	}
+	s := p.pos
+	p.pos++
+	if s%4 == 3 { // every fourth event touches a fresh data page
+		va := kernel.DataBase + mem.VAddr((s/4)*4096)
+		return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.Load}}
+	}
+	va := kernel.TextBase + mem.VAddr((s%64)*4)
+	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+}

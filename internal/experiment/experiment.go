@@ -50,6 +50,11 @@ type Options struct {
 	// Nothing rendered into tables flows through telemetry, so tables
 	// are byte-identical with it on or off.
 	Telemetry *telemetry.Collector
+	// NoFastPath forces every simulated reference through the
+	// per-reference path, disabling the machine's batched hit fast path.
+	// Results are byte-identical either way (the `make verify-fastpath`
+	// gate); this exists for that gate and for benchmarking the speedup.
+	NoFastPath bool
 }
 
 // Validate rejects option values that would otherwise panic deep inside

@@ -190,6 +190,7 @@ func extBreakEvenStride(o Options) ([]string, error) {
 
 	boot := func() (*kernel.Kernel, *kernel.Task, error) {
 		kcfg := kernel.DefaultConfig(mach.DECstation5000_200(o.Frames), o.Seed)
+		kcfg.Machine.NoFastPath = o.NoFastPath
 		k, err := kernel.Boot(kcfg)
 		if err != nil {
 			return nil, nil, err
@@ -290,6 +291,7 @@ func ExtFragmentation(o Options) (*Table, error) {
 	series := func(fragBytes int) ([]float64, error) {
 		kcfg := kernel.DefaultConfig(mach.DECstation5000_200(o.Frames), o.Seed)
 		kcfg.ServerFragBytesPerReq = fragBytes
+		kcfg.Machine.NoFastPath = o.NoFastPath
 		k, err := kernel.Boot(kcfg)
 		if err != nil {
 			return nil, err

@@ -27,6 +27,7 @@ type runConfig struct {
 	simUser    bool         // register workload fork tree
 	simServers bool         // register X/BSD server pages
 	simKernel  bool         // register kernel pages
+	noFastPath bool         // force the per-reference execution path
 
 	trace *cache2000.Config // non-nil: annotate with Pixie feeding Cache2000
 
@@ -63,6 +64,7 @@ func run(rc runConfig) (runResult, error) {
 	kcfg := kernel.DefaultConfig(mach.DECstation5000_200(rc.frames), rc.seed)
 	kcfg.PageSeed = rc.pageSeed
 	kcfg.Telemetry = rc.tel
+	kcfg.Machine.NoFastPath = rc.noFastPath
 	k, err := kernel.Boot(kcfg)
 	if err != nil {
 		return res, err
@@ -183,6 +185,7 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 	sj := make([]sched.Job[runResult], len(jobs))
 	for i := range jobs {
 		rc := jobs[i].cfg
+		rc.noFastPath = o.NoFastPath
 		sj[i] = func() (runResult, error) {
 			rc.tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
 			tels[i] = rc.tel

@@ -81,11 +81,24 @@ type Kernel struct {
 	fa       *frameAllocator
 	resident residentQueue
 
+	// rngKernel drives process-level kernel code (syscall paths, fork,
+	// exit, scheduling). rngIntr and rngVM are separate streams for
+	// interrupt-level code and the VM fault path: both can preempt
+	// process-level kexec mid-run, and giving them their own sources keeps
+	// a handler's draws from perturbing the stream of the code it
+	// interrupted.
 	rngKernel *rng.Source
+	rngIntr   *rng.Source
+	rngVM     *rng.Source
 
 	entryW, clockW, schedW, vmW, forkW *textwalk.Walker
-	svcW                               [numServices]*textwalk.Walker
-	kdata                              *dataGen
+	// softVmW and softSchedW are dedicated softclock walkers: the deferred
+	// tick half runs at interrupt level and may fire while a process-level
+	// kexec is mid-way through vmW or schedW; separate walkers keep the
+	// interrupted walk's position intact.
+	softVmW, softSchedW *textwalk.Walker
+	svcW                [numServices]*textwalk.Walker
+	kdata               *dataGen
 
 	servers map[ServerKind]*server
 
@@ -152,6 +165,8 @@ func Boot(cfg Config) (*Kernel, error) {
 	k.fa = newFrameAllocator(cfg.Machine.Frames, reserved, rng.New(cfg.PageSeed).Split("frames"))
 
 	k.rngKernel = rng.New(cfg.Seed).Split("kernel")
+	k.rngIntr = rng.New(cfg.Seed).Split("kintr")
+	k.rngVM = rng.New(cfg.Seed).Split("kvm")
 	params := textwalk.DefaultParams()
 	params.CallProb = 0.05
 	mk := func(region textwalk.Region, label string) *textwalk.Walker {
@@ -162,6 +177,8 @@ func Boot(cfg Config) (*Kernel, error) {
 	k.schedW = mk(k.layout.sched, "sched")
 	k.vmW = mk(k.layout.vmFault, "vm")
 	k.forkW = mk(k.layout.fork, "fork")
+	k.softVmW = mk(k.layout.vmFault, "softvm")
+	k.softSchedW = mk(k.layout.sched, "softsched")
 	for i := range serviceTable {
 		k.svcW[i] = mk(k.layout.services[i], fmt.Sprintf("svc-%d", i))
 	}
@@ -335,6 +352,13 @@ func (k *Kernel) SetAttributes(id mem.TaskID, simulate, inherit bool) error {
 // UserTasksAlive reports the number of live workload tasks.
 func (k *Kernel) UserTasksAlive() int { return len(k.runq) }
 
+// userRunCap bounds how many user instructions the Run loop hands to
+// ExecuteRun per scheduling decision. It trades batching efficiency
+// against context-switch latency: a reschedule requested mid-run takes
+// effect at the next run boundary, at most userRunCap instructions later
+// (a few dozen instructions against a 10⁵-cycle quantum).
+const userRunCap = 64
+
 // Run executes workload tasks until they all exit or maxInstr total
 // instructions have retired (0 = no limit). It returns an error only on
 // unrecoverable conditions (out of memory with nothing evictable).
@@ -344,7 +368,24 @@ func (k *Kernel) Run(maxInstr uint64) error {
 			return nil
 		}
 		t := k.pick()
-		ev := t.prog.Next()
+		var ev Event
+		if bp, ok := t.prog.(BatchProgram); ok && maxInstr == 0 &&
+			(k.tracer == nil || t.ID != k.traceTask) {
+			// Batched path: take whole sequential fetch runs. Bypassed
+			// under an instruction limit (a bulk charge could overshoot
+			// the per-reference stop point) and for a traced task (the
+			// tracer must observe every reference).
+			base, n, bev := bp.NextRun(userRunCap)
+			if n > 0 {
+				t.Instructions += uint64(n)
+				k.compInstr[CompUser] += uint64(n)
+				k.m.ExecuteRun(t.ID, base, n)
+				continue
+			}
+			ev = bev
+		} else {
+			ev = t.prog.Next()
+		}
 		switch ev.Kind {
 		case EvRef:
 			if ev.Ref.Kind == mem.IFetch {
@@ -380,6 +421,10 @@ func (k *Kernel) pick() *Task {
 	if k.resched && len(k.runq) > 1 {
 		k.resched = false
 		k.cur = (k.cur + 1) % len(k.runq)
+		// No translation invalidation: memo entries are task-keyed and a
+		// switch changes no page table; the host TLB is task-tagged too,
+		// so residency guarantees survive. Any line or TLB eviction the
+		// switch code below causes is caught by the displaced-key drops.
 		k.kexec(k.schedW, kSwitchLen)
 	} else {
 		k.resched = false
@@ -387,14 +432,60 @@ func (k *Kernel) pick() *Task {
 	return k.runq[k.cur]
 }
 
-// kexec executes n kernel instructions from walker w, with the configured
-// kernel data-reference mix.
+// kexecRunCap bounds the walker run length pulled per NextRun call in the
+// kernel execution loops, so a long straight-line stretch still interleaves
+// its data references at a realistic cadence.
+const kexecRunCap = 64
+
+// kexec executes n process-level kernel instructions from walker w, with
+// the configured kernel data-reference mix.
 func (k *Kernel) kexec(w *textwalk.Walker, n int) {
-	for i := 0; i < n; i++ {
-		k.compInstr[CompKernel]++
-		k.m.Execute(mem.KernelTask, mem.Ref{VA: w.Next(), Kind: mem.IFetch})
-		if k.cfg.KernelDataRefs > 0 && k.rngKernel.Bool(k.cfg.KernelDataRefs) {
-			k.m.Execute(mem.KernelTask, k.kdata.next())
+	k.kexecSrc(w, n, k.rngKernel)
+}
+
+// kexecIntr is kexec at interrupt level, drawing the data mix from the
+// interrupt stream so a handler never perturbs the draws of the code it
+// preempted.
+func (k *Kernel) kexecIntr(w *textwalk.Walker, n int) {
+	k.kexecSrc(w, n, k.rngIntr)
+}
+
+// kexecVM is kexec on the VM fault path (page fault and page-out), which
+// nests inside user and server execution the same way.
+func (k *Kernel) kexecVM(w *textwalk.Walker, n int) {
+	k.kexecSrc(w, n, k.rngVM)
+}
+
+// kexecSrc executes n kernel instructions from walker w, drawing the data
+// reference mix from src. Sequential fetch stretches go to ExecuteRun in
+// one call; each stretch ends where a data reference fires so the
+// instruction/data interleaving is preserved per instruction.
+func (k *Kernel) kexecSrc(w *textwalk.Walker, n int, src *rng.Source) {
+	p := k.cfg.KernelDataRefs
+	for n > 0 {
+		lim := n
+		if lim > kexecRunCap {
+			lim = kexecRunCap
+		}
+		base, run := w.NextRun(lim)
+		n -= run
+		for run > 0 {
+			d := 0
+			data := false
+			for d < run {
+				d++
+				if p > 0 && src.Bool(p) {
+					data = true
+					break
+				}
+			}
+			k.compInstr[CompKernel] += uint64(d)
+			k.m.ExecuteRun(mem.KernelTask, base, d)
+			base += mem.VAddr(4 * d)
+			run -= d
+			if data {
+				k.m.Execute(mem.KernelTask, k.kdata.next())
+			}
 		}
 	}
 }
@@ -447,6 +538,10 @@ func (k *Kernel) deviceDMA(t *Task, svc ServiceID) {
 	if !ok {
 		return // no buffer established yet
 	}
+	// DMA moves data, not page tables: no memoized translation goes
+	// stale here. Host-cache effects (destroyed lines, destroyed traps)
+	// are handled inside DMAWrite via FlushHostLine, which aborts any
+	// batched run through the generation counter.
 	bracket := k.cfg.Machine.PredictableDMA && t.Simulate && k.hooks != nil
 	if bracket {
 		k.hooks.PageRemoved(t.ID, pa, va)
@@ -470,13 +565,31 @@ func (k *Kernel) serverHandle(s *server, svc ServiceID, n int) {
 	if k.cfg.ServerFragBytesPerReq > 0 {
 		s.data.grow(uint32(k.cfg.ServerFragBytesPerReq))
 	}
-	for i := 0; i < n; i++ {
-		s.task.Instructions++
-		k.compInstr[CompServer]++
-		k.m.Execute(s.task.ID, mem.Ref{VA: w.Next(), Kind: mem.IFetch})
-		if k.rngKernel.Bool(s.dataP) {
-			r := s.data.next()
-			k.m.Execute(s.task.ID, r)
+	for n > 0 {
+		lim := n
+		if lim > kexecRunCap {
+			lim = kexecRunCap
+		}
+		base, run := w.NextRun(lim)
+		n -= run
+		for run > 0 {
+			d := 0
+			data := false
+			for d < run {
+				d++
+				if k.rngKernel.Bool(s.dataP) {
+					data = true
+					break
+				}
+			}
+			s.task.Instructions += uint64(d)
+			k.compInstr[CompServer] += uint64(d)
+			k.m.ExecuteRun(s.task.ID, base, d)
+			base += mem.VAddr(4 * d)
+			run -= d
+			if data {
+				k.m.Execute(s.task.ID, s.data.next())
+			}
 		}
 	}
 }
@@ -499,6 +612,7 @@ func (k *Kernel) fork(parent *Task, childProg Program, shareText bool) {
 		// simulator so it can reference-count shared entries (Section
 		// 3.2) — a new task benefits from lines brought into a
 		// physically-indexed cache by its sibling, as on a real system.
+		k.m.InvalidateTranslation()
 		pageSize := uint32(k.cfg.Machine.PageSize)
 		parent.space.pages(func(vpn uint32, p pte) {
 			va := mem.VAddr(vpn) * mem.VAddr(pageSize)
@@ -529,6 +643,9 @@ func (k *Kernel) fork(parent *Task, childProg Program, shareText bool) {
 // run queue.
 func (k *Kernel) exit(t *Task) {
 	k.kexec(k.entryW, kExitTaskLen)
+	// The exiting task's frames return to the allocator; its memoized
+	// translations must die before any frame is handed to another task.
+	k.m.InvalidateTranslation()
 	pageSize := uint32(k.cfg.Machine.PageSize)
 	t.space.pages(func(vpn uint32, p pte) {
 		if !p.resident() {
@@ -599,7 +716,7 @@ func (k *Kernel) PageFault(t mem.TaskID, va mem.VAddr, kind mem.RefKind) (mem.PA
 	}
 
 	// Demand fill through the VM fault path.
-	k.kexec(k.vmW, kFaultLen)
+	k.kexecVM(k.vmW, kFaultLen)
 	frame, ok := k.fa.alloc()
 	for !ok {
 		if !k.evictOnePage() {
@@ -638,9 +755,12 @@ func (k *Kernel) evictOnePage() bool {
 		if !p.resident() {
 			continue
 		}
-		k.kexec(k.vmW, kPageOutLen)
+		k.kexecVM(k.vmW, kPageOutLen)
 		pa := mem.PAddr(p.frame() * pageSize)
 		va := mem.VAddr(e.vpn) * mem.VAddr(pageSize)
+		// Only this task's mapping of this page changes; every other
+		// memoized translation still matches its page-table entry.
+		k.m.InvalidatePage(e.tid, va)
 		if k.hooks != nil {
 			k.hooks.PageRemoved(e.tid, pa, va)
 		}
@@ -681,7 +801,7 @@ func (k *Kernel) ClockInterrupt() {
 	k.inClock = true
 	k.ticks++
 	k.m.SetIntMasked(true)
-	k.kexec(k.clockW, kIntrLen)
+	k.kexecIntr(k.clockW, kIntrLen)
 	k.m.SetIntMasked(false)
 	// Softclock: every few ticks the deferred half runs — callout queues,
 	// statistics, page-ager scans — touching a broader slice of kernel
@@ -689,8 +809,8 @@ func (k *Kernel) ClockInterrupt() {
 	// system pays proportionally more of it; it is the dominant term in
 	// the time-dilation bias of Figure 4.
 	if k.ticks%2 == 0 {
-		k.kexec(k.vmW, kSoftclockLen)
-		k.kexec(k.schedW, kSoftclockLen/2)
+		k.kexecIntr(k.softVmW, kSoftclockLen)
+		k.kexecIntr(k.softSchedW, kSoftclockLen/2)
 	}
 	if k.cfg.QuantumTicks > 0 && k.ticks%uint64(k.cfg.QuantumTicks) == 0 {
 		k.resched = true
@@ -727,6 +847,12 @@ func (k *Kernel) SetPageValid(t mem.TaskID, va mem.VAddr, valid bool) error {
 	if !p.resident() {
 		return fmt.Errorf("kernel: task %d page %#x not resident", t, va)
 	}
+	// A cleared valid bit is a planted trap; a memoized translation would
+	// let the fast path sail past it. Setting it changes translations too.
+	// The flip touches exactly one page-table entry, and the simulator
+	// replants a trap on every simulated miss — a full memo flush here
+	// would fire thousands of times per instrumented run.
+	k.m.InvalidatePage(t, va)
 	if valid {
 		task.space.set(vpn, p|pteValid)
 	} else {

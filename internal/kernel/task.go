@@ -53,6 +53,18 @@ type Program interface {
 	Next() Event
 }
 
+// BatchProgram is an optional extension of Program for batched execution.
+// NextRun returns either a sequential instruction-fetch run — base and n
+// with fetches at base, base+4, ..., base+4(n-1), n in [1, max] — or,
+// when n is 0, the next non-run event exactly as Next would produce it.
+// Implementations must consume randomness such that the event stream is
+// identical whether the program is driven through Next or NextRun:
+// batching is a transport optimization, never a different program.
+type BatchProgram interface {
+	Program
+	NextRun(max int) (base mem.VAddr, n int, ev Event)
+}
+
 // TaskState tracks a task through its lifetime.
 type TaskState uint8
 

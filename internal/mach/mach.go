@@ -88,9 +88,17 @@ type Config struct {
 
 	// DMAChecksECC reports whether the DMA engine checks ECC as it reads
 	// memory. When true, a device reading a Tapeworm-trapped buffer takes
-	// a spurious memory fault that the kernel must absorb by clearing
+	// a spurious memory fault that the kernel can only absorb by clearing
 	// the trap (losing the miss).
 	DMAChecksECC bool
+
+	// NoFastPath disables the batched hit fast path (the translation
+	// micro-cache and ExecuteRun's run-length execution), forcing every
+	// reference through the per-reference path. The fast path is exact —
+	// cycle counts, trap sequences and telemetry are byte-identical either
+	// way (the `make verify-fastpath` gate) — so this exists only for that
+	// gate, for equivalence tests, and for benchmarking the speedup.
+	NoFastPath bool
 }
 
 // Validate checks the configuration.
@@ -285,6 +293,36 @@ type Machine struct {
 	// for fetches into pages that actually carry one.
 	bpPages   []uint32
 	pageShift uint
+	pageMask  uint32
+	// Host cache line sizes, hoisted out of the per-reference path
+	// (Cache.Config returns the whole config struct by value).
+	lineI, lineD int
+
+	// gen counts state perturbations that can invalidate a batched run's
+	// standing assumptions (trap handlers, flushes, DMA, breakpoint and
+	// translation changes, tick delivery). runFast snapshots it before
+	// charging guaranteed-hit words and falls back to per-reference
+	// execution the moment it moves.
+	gen uint64
+
+	// Translation micro-cache: the last few (task, virtual page) → frame
+	// resolutions, each carrying the guarantee that the page's host-TLB
+	// entry is still resident. A hit short-circuits both the os.Translate
+	// interface call (a page-table map walk) and the host-TLB simulation;
+	// see Execute for why the skip is exact. xlOn gates the whole memo
+	// (fast path enabled and the host TLB maps machine-sized pages);
+	// xlSingle degrades it to one live entry when the host TLB uses LRU
+	// replacement, whose stamps would go stale under a multi-entry skip.
+	xl       [xlSlots]xlEntry
+	xlLive   int // xlSingle mode: index of the one live entry
+	xlOn     bool
+	xlSingle bool
+
+	// Fast-path self-counters, exposed via FastPathStats for tests and
+	// benchmarks. Deliberately kept out of ReportTelemetry: telemetry
+	// metrics must be byte-identical with the fast path on and off.
+	xlHits   uint64 // references resolved through the micro-cache
+	runWords uint64 // instructions charged in bulk by runFast
 
 	// tel, when non-nil, receives trap-level trace events. It is consulted
 	// only on trap paths (already rare), so a disabled run pays one nil
@@ -304,6 +342,22 @@ type Machine struct {
 	hostTLBMisses uint64
 	bpArms        uint64 // breakpoint arm operations
 	bpTraps       uint64 // delivered breakpoint traps
+}
+
+// xlSlots sizes the translation micro-cache, direct-mapped on the low
+// virtual page number bits. Live entries are bounded by the host TLB's
+// capacity regardless (every fill follows a host-TLB access and every
+// host-TLB eviction drops its entry); the extra slots only spread the
+// TLB-resident pages out so data and instruction pages with clashing low
+// VPN bits stop thrashing each other.
+const xlSlots = 256
+
+// xlEntry is one translation micro-cache slot.
+type xlEntry struct {
+	ok   bool
+	task mem.TaskID
+	vpn  uint32
+	pa   mem.PAddr // page-aligned physical address of the frame
 }
 
 // New builds a machine from cfg with traps vectored into os.
@@ -327,7 +381,15 @@ func New(cfg Config, os OS) (*Machine, error) {
 		breakpoints: make(map[mem.PAddr]bool),
 		bpPages:     make([]uint32, cfg.Frames),
 		pageShift:   uint(bits.TrailingZeros(uint(cfg.PageSize))),
+		pageMask:    uint32(cfg.PageSize - 1),
 	}
+	// The micro-cache's host-TLB-hit guarantee only makes sense when one
+	// TLB entry covers exactly one machine page; exotic configs fall back
+	// to the per-reference path.
+	m.xlOn = !cfg.NoFastPath && cfg.HostTLB.PageSize == cfg.PageSize
+	m.xlSingle = cfg.HostTLB.Replace == cache.LRU
+	m.lineI = m.hostI.Config().LineSize
+	m.lineD = m.hostD.Config().LineSize
 	return m, nil
 }
 
@@ -410,6 +472,7 @@ const eccLatchDepth = 256
 // latch (bounded) and clock ticks defer; both deliver on unmask.
 func (m *Machine) SetIntMasked(on bool) {
 	m.intMasked = on
+	m.gen++ // mask changes and drained handlers void batch assumptions
 	if on {
 		return
 	}
@@ -457,6 +520,7 @@ func (m *Machine) FlushHostLine(pa mem.PAddr, size int) {
 	}
 	m.hostI.InvalidateRange(0, uint32(pa), size)
 	m.hostD.InvalidateRange(0, uint32(pa), size)
+	m.gen++ // resident lines just lost their guaranteed-hit status
 }
 
 // DMAWrite models a device writing [pa, pa+size): the transfer recomputes
@@ -505,6 +569,7 @@ func (m *Machine) SetBreakpoint(pa mem.PAddr) {
 		return
 	}
 	m.bpArms++
+	m.gen++
 	m.breakpoints[w] = true
 	if f := int(w >> m.pageShift); f < len(m.bpPages) {
 		m.bpPages[f]++
@@ -517,6 +582,7 @@ func (m *Machine) ClearBreakpoint(pa mem.PAddr) {
 	if !m.breakpoints[w] {
 		return
 	}
+	m.gen++
 	delete(m.breakpoints, w)
 	if f := int(w >> m.pageShift); f < len(m.bpPages) {
 		m.bpPages[f]--
@@ -593,18 +659,31 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 	m.cycles++ // base cost of the operation itself
 
 	// Translation. Kernel segment addresses map directly and bypass the
-	// TLB; user addresses go through the OS page tables and the host TLB.
+	// TLB; user addresses go through the OS page tables and the host TLB,
+	// unless the translation micro-cache still holds the page. A memo hit
+	// is exact: the entry is invalidated on every page-table update
+	// (InvalidateTranslation) and whenever the host TLB evicts the page
+	// (the displaced-key check below), so on a hit the full path would
+	// have resolved the same frame and the host TLB would have hit — the
+	// skipped Access is reproduced by NoteHits (see cache.Cache.NoteHits
+	// for why skipping the stamp update preserves replacement behaviour).
 	var pa mem.PAddr
 	if IsKernelVA(r.VA) {
 		pa = mem.PAddr(r.VA - KernelBase)
 		if !m.phys.Contains(pa) {
 			panic(fmt.Sprintf("mach: kernel VA %#x beyond physical memory", r.VA))
 		}
+	} else if e := m.xlFind(t, uint32(r.VA)>>m.pageShift); e != nil {
+		pa = e.pa | mem.PAddr(uint32(r.VA)&m.pageMask)
+		m.xlHits++
+		m.hostTLB.NoteHits(1)
 	} else {
 		var ok bool
+		memoizable := true
 		pa, ok = m.os.Translate(t, r.VA, r.Kind)
 		if !ok {
 			m.pageFaults++
+			m.gen++
 			pa, ok = m.os.PageFault(t, r.VA, r.Kind)
 			if !ok {
 				return // fatal fault; reference abandoned
@@ -612,10 +691,22 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 			if m.tel != nil {
 				m.tel.Event(telemetry.EvPageFault, int32(t), uint32(r.VA), uint32(pa), m.cycles)
 			}
+			// Fault service may have replanted a trap on this very page
+			// (TLB mode arms a fresh valid-bit trap inside
+			// PageRegistered); the reference proceeds, but the
+			// translation must not be memoized past a cleared valid bit.
+			_, memoizable = m.os.Translate(t, r.VA, r.Kind)
 		}
-		if hit, _, _ := m.hostTLB.Access(t, r.VA); !hit {
+		hit, displaced, evicted := m.hostTLB.Access(t, r.VA)
+		if !hit {
 			m.hostTLBMisses++
 			m.cycles += uint64(m.cfg.TLBRefillCycles)
+		}
+		if evicted {
+			m.xlDropTLB(displaced)
+		}
+		if memoizable {
+			m.xlFill(t, uint32(r.VA)>>m.pageShift, pa&^mem.PAddr(m.pageMask))
 		}
 	}
 
@@ -629,16 +720,16 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 		if m.tel != nil {
 			m.tel.Event(telemetry.EvBreakpoint, int32(t), uint32(r.VA), uint32(pa), m.cycles)
 		}
+		m.gen++
 		m.os.BreakpointTrap(t, r.VA, pa)
 	}
 
 	// Host cache access; ECC is checked only when a line is refilled.
 	hc := m.hostI
+	lineSize := m.lineI
 	if r.Kind != mem.IFetch {
-		hc = m.hostD
+		hc, lineSize = m.hostD, m.lineD
 	}
-	lineSize := hc.Config().LineSize
-	lineAddr := mem.PAddr(hc.LineAddr(uint32(pa)))
 
 	if r.Kind == mem.Store && !m.cfg.Proc.AllocateOnWrite {
 		// No-allocate-on-write: a store miss writes around the cache.
@@ -646,9 +737,7 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 		// destroying any Tapeworm trap there without a handler call —
 		// the exact effect that defeated data-cache simulation on the
 		// DECstation (Section 4.4).
-		if hc.Probe(0, uint32(pa)) {
-			hc.Access(0, uint32(pa))
-		} else {
+		if !hc.AccessIfHit(0, uint32(pa)) {
 			m.cycles += uint64(m.cfg.WritePenalty)
 			if m.phys.TrappedWord(pa) && m.phys.Classify(pa&^3) == mem.SynTapeworm {
 				m.ctl.ClearTrap(pa&^3, mem.WordBytes)
@@ -659,23 +748,221 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 		hit, _, _ := hc.Access(0, uint32(pa))
 		if !hit {
 			m.cycles += uint64(m.cfg.MissPenalty)
-			m.checkECCOnRefill(t, r, lineAddr, lineSize)
+			m.checkECCOnRefill(t, r, mem.PAddr(hc.LineAddr(uint32(pa))), lineSize)
 		}
 	}
 
 	// Clock interrupt delivery.
 	if m.cycles >= m.nextTick {
-		m.nextTick = m.cycles + m.cfg.ClockTickCycles
-		if m.intMasked {
-			m.pendingClock = true
-		} else {
-			m.clockTicks++
-			if m.tel != nil {
-				m.tel.Event(telemetry.EvClock, int32(t), 0, 0, m.cycles)
-			}
-			m.os.ClockInterrupt()
+		m.deliverTick(t)
+	}
+}
+
+// deliverTick rearms the clock and delivers (or defers) the interrupt; the
+// tail of both Execute and runFast, so tick timing is one code path.
+func (m *Machine) deliverTick(t mem.TaskID) {
+	m.nextTick = m.cycles + m.cfg.ClockTickCycles
+	if m.intMasked {
+		m.pendingClock = true
+		return
+	}
+	m.gen++
+	m.clockTicks++
+	if m.tel != nil {
+		m.tel.Event(telemetry.EvClock, int32(t), 0, 0, m.cycles)
+	}
+	m.os.ClockInterrupt()
+}
+
+// ExecuteRun executes n sequential instruction fetches for task t at base,
+// base+4, ..., base+4(n-1). It is exactly equivalent to n Execute calls
+// with IFetch references — same cycles, same trap sequence, same telemetry
+// — but charges guaranteed-hit streaks in bulk through runFast, falling
+// back to per-reference Execute at the first hazard. Callers (textwalk
+// consumers) supply runs that are sequential by construction; runs that
+// cross a page boundary are simply split at it.
+func (m *Machine) ExecuteRun(t mem.TaskID, base mem.VAddr, n int) {
+	for n > 0 {
+		done := m.runFast(t, base, n)
+		if done == 0 {
+			m.Execute(t, mem.Ref{VA: base, Kind: mem.IFetch})
+			done = 1
+		}
+		base += mem.VAddr(4 * done)
+		n -= done
+	}
+}
+
+// runFast charges up to n sequential instruction fetches starting at base,
+// returning how many it completed (0 = caller must take the per-reference
+// path for the first one). The batch is exact, not approximate:
+//
+//   - The first word of each host cache line goes through a real
+//     cache.Access — misses pay the refill and check ECC with the precise
+//     per-word VA, just like Execute.
+//   - The remaining words of a line are charged in bulk only while they are
+//     provably hits: the line was just observed resident, the page's
+//     translation is pinned by the micro-cache (user) or direct mapping
+//     (kernel), the page carries no armed breakpoint, and no trap handler
+//     has run since (gen unchanged — every handler dispatch bumps gen).
+//   - Bulk charging is clamped so the clock tick fires at the exact cycle
+//     the per-reference path would fire it.
+func (m *Machine) runFast(t mem.TaskID, base mem.VAddr, n int) int {
+	if uint32(base)&3 != 0 {
+		return 0
+	}
+	var pa mem.PAddr
+	user := !IsKernelVA(base)
+	if user {
+		e := m.xlFind(t, uint32(base)>>m.pageShift)
+		if e == nil {
+			return 0
+		}
+		pa = e.pa | mem.PAddr(uint32(base)&m.pageMask)
+	} else {
+		if m.cfg.NoFastPath {
+			return 0
+		}
+		pa = mem.PAddr(base - KernelBase)
+		if !m.phys.Contains(pa) {
+			return 0 // let Execute report the bad address
 		}
 	}
+	// The memo guarantee and the direct mapping both end at the page
+	// boundary; ExecuteRun re-enters for the rest of the run.
+	if pageLeft := int(uint32(m.cfg.PageSize)-(uint32(pa)&m.pageMask)) / 4; n > pageLeft {
+		n = pageLeft
+	}
+	if len(m.breakpoints) != 0 && m.bpPages[pa>>m.pageShift] != 0 {
+		return 0
+	}
+	lineSize := m.lineI
+	done := 0
+	for done < n {
+		gen := m.gen
+		m.instret++
+		m.cycles++
+		if user {
+			m.xlHits++
+			m.hostTLB.NoteHits(1)
+		}
+		hit, _, _ := m.hostI.Access(0, uint32(pa))
+		if !hit {
+			m.cycles += uint64(m.cfg.MissPenalty)
+			m.checkECCOnRefill(t, mem.Ref{VA: base + mem.VAddr(4*done), Kind: mem.IFetch},
+				mem.PAddr(m.hostI.LineAddr(uint32(pa))), lineSize)
+		}
+		done++
+		pa += mem.PAddr(4)
+		if m.cycles >= m.nextTick {
+			m.deliverTick(t)
+			return done
+		}
+		if m.gen != gen {
+			return done // a handler ran; batch assumptions void
+		}
+		// Words to the end of this host line are guaranteed hits now.
+		w := (int(m.hostI.LineAddr(uint32(pa-4))) + lineSize - int(pa)) / 4
+		if left := n - done; w > left {
+			w = left
+		}
+		if tickLeft := int(m.nextTick - m.cycles); w > tickLeft {
+			w = tickLeft
+		}
+		if w > 0 {
+			m.instret += uint64(w)
+			m.cycles += uint64(w)
+			m.hostI.NoteHits(w)
+			if user {
+				m.hostTLB.NoteHits(w)
+				m.xlHits += uint64(w)
+			}
+			m.runWords += uint64(w)
+			done += w
+			pa += mem.PAddr(4 * w)
+			if m.cycles >= m.nextTick {
+				m.deliverTick(t)
+				return done
+			}
+		}
+	}
+	return done
+}
+
+// xlFind returns the micro-cache entry for (task, vpn), or nil.
+func (m *Machine) xlFind(t mem.TaskID, vpn uint32) *xlEntry {
+	if !m.xlOn {
+		return nil
+	}
+	if e := &m.xl[vpn&(xlSlots-1)]; e.ok && e.task == t && e.vpn == vpn {
+		return e
+	}
+	return nil
+}
+
+// xlFill installs a translation the full path just resolved. The host-TLB
+// Access that precedes every call is what establishes the entry's
+// guarantee: the page is TLB-resident right now, and it stays memoized
+// only until InvalidateTranslation or an observed displacement drops it.
+func (m *Machine) xlFill(t mem.TaskID, vpn uint32, framePA mem.PAddr) {
+	if !m.xlOn {
+		return
+	}
+	slot := int(vpn & (xlSlots - 1))
+	if m.xlSingle {
+		// LRU host TLB: a multi-entry memo would let interleaved pages
+		// skip the stamp updates that order evictions, so keep exactly
+		// one live entry — same-page streaks still win, and every
+		// cross-page access goes through the full stamping path.
+		m.xl[m.xlLive].ok = false
+		m.xlLive = slot
+	}
+	m.xl[slot] = xlEntry{ok: true, task: t, vpn: vpn, pa: framePA}
+}
+
+// xlDropTLB invalidates memo entries whose page the host TLB just evicted;
+// their TLB-residency guarantee is void, so the next reference must take
+// the full path (and charge the TLB miss) exactly as the slow path would.
+func (m *Machine) xlDropTLB(k cache.Key) {
+	vpn := k.Addr >> m.pageShift
+	if e := &m.xl[vpn&(xlSlots-1)]; e.ok && e.task == k.Task && e.vpn == vpn {
+		e.ok = false
+	}
+}
+
+// InvalidateTranslation flushes the translation micro-cache and aborts any
+// in-flight batched run. The kernel calls it on every event that can
+// change established translations behind the fast path's back and touches
+// more than one page (or an unbounded set): task exit (frame reuse), fork
+// text sharing, and TLB shootdown. Single-page updates use InvalidatePage
+// instead; task switches and DMA invalidate nothing (task-tagged entries
+// survive a switch, and DMA moves data, not page tables).
+func (m *Machine) InvalidateTranslation() {
+	m.xl = [xlSlots]xlEntry{}
+	m.gen++
+}
+
+// InvalidatePage drops the memoized translation for one (task, page) and
+// aborts any in-flight batched run, without disturbing the rest of the
+// memo. It is the targeted form of InvalidateTranslation for kernel
+// operations that change exactly one page-table entry — valid-bit flips
+// (tw_set_trap replants a trap on every simulated miss) and single-page
+// eviction — where a full flush would empty the memo thousands of times
+// per run and drag the fast path back to full-path refill costs.
+func (m *Machine) InvalidatePage(t mem.TaskID, va mem.VAddr) {
+	vpn := uint32(va) >> m.pageShift
+	if e := &m.xl[vpn&(xlSlots-1)]; e.ok && e.task == t && e.vpn == vpn {
+		e.ok = false
+	}
+	m.gen++
+}
+
+// FastPathStats reports the fast path's self-counters: references resolved
+// through the translation micro-cache, and instructions charged in bulk by
+// runFast. Deliberately not part of ReportTelemetry — telemetry must be
+// byte-identical with the fast path on and off.
+func (m *Machine) FastPathStats() (xlHits, runWords uint64) {
+	return m.xlHits, m.runWords
 }
 
 // checkECCOnRefill scans the words of a refilled host line for inconsistent
@@ -718,6 +1005,7 @@ func (m *Machine) checkECCOnRefill(t mem.TaskID, r mem.Ref, lineAddr mem.PAddr, 
 	if m.tel != nil {
 		m.tel.Event(telemetry.EvECC, int32(t), uint32(r.VA), uint32(errAddr), m.cycles)
 	}
+	m.gen++
 	m.inHandler++
 	m.os.ECCTrap(t, r.VA, errAddr, r.Kind)
 	m.inHandler--

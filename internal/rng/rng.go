@@ -13,6 +13,8 @@
 // algorithms by Blackman and Vigna.
 package rng
 
+import "math/bits"
+
 // Source is a deterministic random number generator. The zero value is not
 // usable; obtain one from New or by splitting an existing Source.
 type Source struct {
@@ -116,15 +118,7 @@ func (r *Source) Uint64n(n uint64) uint64 {
 
 // mul64 returns the 128-bit product of x and y as (hi, lo).
 func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t&mask32 + x0*y1
-	hi = x1*y1 + t>>32 + w1>>32
-	lo = x * y
-	return
+	return bits.Mul64(x, y)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -114,33 +114,69 @@ func (w *Walker) JumpTo(offset uint32) {
 	w.inHelper = false
 }
 
-// Next returns the next instruction-fetch address.
+// Next returns the next instruction-fetch address. It is exactly
+// NextRun(1): same addresses, same randomness consumed.
 func (w *Walker) Next() mem.VAddr {
+	va, _ := w.NextRun(1)
+	return va
+}
+
+// NextRun returns the next sequential instruction-fetch run: a base
+// address and a count n in [1, max] such that the fetches are base,
+// base+4, ..., base+4(n-1). Calling NextRun(max) consumes exactly the
+// randomness that n calls to Next would, and leaves the walker in the
+// same state — it is Next batched, not a different stream. The run ends
+// early at a taken branch, a region wrap, or a helper return, so callers
+// can hand whole runs to mach.ExecuteRun without changing the simulated
+// address sequence.
+func (w *Walker) NextRun(max int) (mem.VAddr, int) {
+	if max <= 0 {
+		return 0, 0
+	}
 	if w.inHelper {
-		va := w.helper.Base + mem.VAddr(w.helperPC)
-		w.helperPC += 4
+		// Helper bodies run straight-line: no draws per instruction, so
+		// the whole remaining stretch (to the helper return or the region
+		// wrap) is one run.
+		base := w.helper.Base + mem.VAddr(w.helperPC)
+		n := max
+		if n > w.helperRem {
+			n = w.helperRem
+		}
+		if left := int(w.helper.Size-w.helperPC) / 4; n > left {
+			n = left
+		}
+		w.helperPC += uint32(4 * n)
 		if w.helperPC >= w.helper.Size {
 			w.helperPC = 0
 		}
-		w.helperRem--
+		w.helperRem -= n
 		if w.helperRem <= 0 {
 			w.inHelper = false // return from helper
 		}
-		return va
+		return base, n
 	}
 
-	va := w.region.Base + mem.VAddr(w.pc)
-
-	// Advance: usually fall through; at block boundaries, branch.
-	if w.r.Intn(w.params.BlockLen) != 0 {
-		w.pc += 4
-		if w.pc >= w.region.Size {
-			w.pc = 0
+	base := w.region.Base + mem.VAddr(w.pc)
+	n := 0
+	for n < max {
+		n++
+		// Advance: usually fall through; at block boundaries, branch.
+		if w.r.Intn(w.params.BlockLen) != 0 {
+			w.pc += 4
+			if w.pc >= w.region.Size {
+				w.pc = 0
+				break // wrapped: the next fetch is non-sequential
+			}
+			continue
 		}
-		return va
+		w.branch()
+		break
 	}
+	return base, n
+}
 
-	// Taken control transfer.
+// branch performs one taken control transfer from the current pc.
+func (w *Walker) branch() {
 	if len(w.helpers) > 0 && w.r.Bool(w.params.CallProb) {
 		h := w.helpers[w.r.Intn(len(w.helpers))]
 		w.inHelper = true
@@ -154,7 +190,7 @@ func (w *Walker) Next() mem.VAddr {
 		}
 		w.helperPC = uint32(w.r.Intn(entries)) * 2048 % h.Size
 		w.helperRem = w.params.HelperLen
-		return va
+		return
 	}
 	if w.r.Bool(w.params.BackProb) {
 		back := uint32(w.r.Intn(w.params.LoopSpan)+1) * 4
@@ -169,5 +205,4 @@ func (w *Walker) Next() mem.VAddr {
 			w.pc = 0
 		}
 	}
-	return va
 }

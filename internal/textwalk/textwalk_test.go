@@ -178,3 +178,32 @@ func BenchmarkWalkerNext(b *testing.B) {
 		_ = w.Next()
 	}
 }
+
+// TestNextRunEquivalentToNext pins the NextRun contract: batching is a
+// transport optimization, not a different walk. Two same-seeded walkers —
+// one stepped per-instruction, one pulled in runs of varying width — must
+// produce the identical fetch stream, because ExecuteRun relies on runs
+// being exactly the per-reference sequence.
+func TestNextRunEquivalentToNext(t *testing.T) {
+	helper := Region{Base: 0x50_0000, Size: 1024}
+	mk := func() *Walker {
+		return MustNew(rng.New(99), Region{Base: 0x40_0000, Size: 8192},
+			DefaultParams(), []Region{helper})
+	}
+	single, batched := mk(), mk()
+	widths := []int{1, 2, 3, 7, 16, 64, 1024}
+	step := 0
+	for step < 50000 {
+		base, n := batched.NextRun(widths[step%len(widths)])
+		if n < 1 {
+			t.Fatalf("NextRun returned n=%d at step %d", n, step)
+		}
+		for i := 0; i < n; i++ {
+			want := single.Next()
+			if got := base + mem.VAddr(4*i); got != want {
+				t.Fatalf("step %d: run fetch %#x, per-instruction fetch %#x", step+i, got, want)
+			}
+		}
+		step += n
+	}
+}

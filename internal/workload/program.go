@@ -36,6 +36,14 @@ type program struct {
 	pending     mem.Ref
 	streamPos   uint32
 
+	// Current pre-drawn walker run (see NextRun): the walker has already
+	// committed to these sequential fetches; slots consume them one
+	// address at a time. pendingSvc defers a syscall event whose
+	// probability draw fired while a run was open.
+	runBase    mem.VAddr
+	runLeft    int
+	pendingSvc bool
+
 	// Syscalls occur with probability syscallProb per user instruction —
 	// probabilistic rather than counted, so tasks shorter than the mean
 	// interval still issue their expected share (the sdet/kenbus fork
@@ -216,54 +224,112 @@ func identity(n int) []int {
 
 // Next implements kernel.Program.
 func (p *program) Next() kernel.Event {
+	base, n, ev := p.NextRun(1)
+	if n > 0 {
+		return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: base, Kind: mem.IFetch}}
+	}
+	return ev
+}
+
+// NextRun implements kernel.BatchProgram. The stream is identical to
+// driving the program through Next: every per-instruction draw (syscall,
+// data reference) stays in slot order on its own source, and walker runs
+// are pre-committed from the walker's private source, whose draw sequence
+// batching does not reorder. Runs end at taken branches, visit switches,
+// pending data references and events, so the returned fetches are
+// sequential and the interleaving with data references is preserved
+// exactly.
+func (p *program) NextRun(max int) (mem.VAddr, int, kernel.Event) {
 	if p.pendingData {
 		p.pendingData = false
-		return kernel.Event{Kind: kernel.EvRef, Ref: p.pending}
+		return 0, 0, kernel.Event{Kind: kernel.EvRef, Ref: p.pending}
 	}
-	if p.remaining == 0 {
-		if !p.exited {
-			p.exited = true
+	if p.pendingSvc {
+		p.pendingSvc = false
+		return 0, 0, kernel.Event{Kind: kernel.EvSyscall, Service: p.pickService()}
+	}
+	var base mem.VAddr
+	n := 0
+	for n < max {
+		if p.remaining == 0 {
+			if n > 0 {
+				return base, n, kernel.Event{}
+			}
+			if !p.exited {
+				p.exited = true
+			}
+			return 0, 0, kernel.Event{Kind: kernel.EvExit}
 		}
-		return kernel.Event{Kind: kernel.EvExit}
-	}
-	if p.forksLeft > 0 && p.sinceFork >= p.forkEvery {
-		p.sinceFork = 0
-		p.forksLeft--
-		i := p.childIndex
-		p.childIndex++
-		return kernel.Event{
-			Kind:      kernel.EvFork,
-			Child:     p.makeChild(i),
-			ShareText: p.spec.ChildShareText,
+		if p.forksLeft > 0 && p.sinceFork >= p.forkEvery {
+			if n > 0 {
+				return base, n, kernel.Event{}
+			}
+			p.sinceFork = 0
+			p.forksLeft--
+			i := p.childIndex
+			p.childIndex++
+			return 0, 0, kernel.Event{
+				Kind:      kernel.EvFork,
+				Child:     p.makeChild(i),
+				ShareText: p.spec.ChildShareText,
+			}
 		}
-	}
-	if p.syscallProb > 0 && p.dataR.Bool(p.syscallProb) {
-		return kernel.Event{Kind: kernel.EvSyscall, Service: p.pickService()}
-	}
+		if p.syscallProb > 0 && p.dataR.Bool(p.syscallProb) {
+			if n > 0 {
+				// The event is deferred to the next call, but its service
+				// draw happens there, after this Bool on the same source —
+				// the same order Next alone would produce.
+				p.pendingSvc = true
+				return base, n, kernel.Event{}
+			}
+			return 0, 0, kernel.Event{Kind: kernel.EvSyscall, Service: p.pickService()}
+		}
 
-	// One user instruction.
-	p.remaining--
-	p.sinceFork++
-	if p.visitLeft <= 0 {
-		p.cur = p.procs[p.perm[p.zipf.Draw()]]
-		p.cur.JumpTo(0)
-		p.visitLeft = p.spec.VisitLen
-	}
-	p.visitLeft--
-	if p.phaseLeft > 0 {
-		p.phaseLeft--
-		if p.phaseLeft == 0 {
-			p.perm = p.r.Perm(p.spec.Procs)
-			p.phaseLeft = p.spec.PhaseLen
+		// One user instruction.
+		p.remaining--
+		p.sinceFork++
+		if p.visitLeft <= 0 {
+			p.cur = p.procs[p.perm[p.zipf.Draw()]]
+			p.cur.JumpTo(0)
+			p.visitLeft = p.spec.VisitLen
+			p.runLeft = 0
+		}
+		p.visitLeft--
+		if p.phaseLeft > 0 {
+			p.phaseLeft--
+			if p.phaseLeft == 0 {
+				p.perm = p.r.Perm(p.spec.Procs)
+				p.phaseLeft = p.spec.PhaseLen
+			}
+		}
+		if p.runLeft == 0 {
+			// Pre-draw the walker's next sequential run, clamped so it
+			// cannot span a visit switch or the task's last instruction.
+			lim := p.visitLeft + 1
+			if r := p.remaining + 1; uint64(lim) > r {
+				lim = int(r)
+			}
+			p.runBase, p.runLeft = p.cur.NextRun(lim)
+		}
+		va := p.runBase
+		p.runBase += 4
+		p.runLeft--
+		if n == 0 {
+			base = va
+		}
+		n++
+
+		if p.spec.DataRefsPerInstr > 0 && p.dataR.Bool(p.spec.DataRefsPerInstr) {
+			p.pending = p.dataRef()
+			p.pendingData = true
+			return base, n, kernel.Event{}
+		}
+		if p.runLeft == 0 {
+			// Taken branch or visit end: the next fetch is non-sequential.
+			return base, n, kernel.Event{}
 		}
 	}
-	va := p.cur.Next()
-
-	if p.spec.DataRefsPerInstr > 0 && p.dataR.Bool(p.spec.DataRefsPerInstr) {
-		p.pending = p.dataRef()
-		p.pendingData = true
-	}
-	return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: va, Kind: mem.IFetch}}
+	return base, n, kernel.Event{}
 }
 
 // pickService draws a service from the workload's syscall mix.

@@ -337,3 +337,51 @@ func TestChildSpecConfinesData(t *testing.T) {
 		t.Fatal("childSpec mutated the parent spec")
 	}
 }
+
+// TestNextRunEquivalentToNext pins the BatchProgram contract for workload
+// programs: the event stream is identical whether the program is driven
+// per-instruction through Next or in runs through NextRun, fork trees
+// included. Children surfaced by matching fork events are paired up and
+// drained the same two ways.
+func TestNextRunEquivalentToNext(t *testing.T) {
+	for _, wl := range []string{"espresso", "ousterhout", "sdet"} {
+		spec, err := ByName(wl, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pair struct{ single, batched kernel.Program }
+		queue := []pair{{MustNew(spec, 17), MustNew(spec, 17)}}
+		widths := []int{1, 5, 32, 500}
+		for len(queue) > 0 {
+			pr := queue[0]
+			queue = queue[1:]
+			bp := pr.batched.(kernel.BatchProgram)
+			for step := 0; step < 10_000_000; {
+				base, n, ev := bp.NextRun(widths[step%len(widths)])
+				if n > 0 {
+					for i := 0; i < n; i++ {
+						want := pr.single.Next()
+						ref := mem.Ref{VA: base + mem.VAddr(4*i), Kind: mem.IFetch}
+						if want.Kind != kernel.EvRef || want.Ref != ref {
+							t.Fatalf("%s step %d: run fetch %+v, Next gave %+v", wl, step+i, ref, want)
+						}
+					}
+					step += n
+					continue
+				}
+				want := pr.single.Next()
+				if want.Kind != ev.Kind || want.Ref != ev.Ref ||
+					want.Service != ev.Service || want.ShareText != ev.ShareText {
+					t.Fatalf("%s step %d: NextRun event %+v, Next event %+v", wl, step, ev, want)
+				}
+				step++
+				if ev.Kind == kernel.EvFork {
+					queue = append(queue, pair{want.Child, ev.Child})
+				}
+				if ev.Kind == kernel.EvExit {
+					break
+				}
+			}
+		}
+	}
+}
