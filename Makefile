@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race verify-telemetry verify-fastpath bench bench-json clean
+.PHONY: build test verify verify-race verify-telemetry verify-fastpath verify-gang bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -57,13 +57,41 @@ verify-fastpath:
 	diff /tmp/vf-metrics-fast.flt /tmp/vf-metrics-slow.flt
 	@echo "verify-fastpath: tables and metrics byte-identical, fast path on/off"
 
+## verify-gang: render every gang-eligible experiment (the accuracy tables
+## and Figure 3) ganged and solo, serial and parallel, with and without
+## telemetry, and diff every table — the byte-identity gate for ganged
+## multi-configuration simulation. Timing lines ("completed in") are
+## nondeterministic and filtered out. Per-run metrics files are not
+## diffed ganged-vs-solo: machine-level counters ride on a gang's first
+## member by design, so only the rendered tables are identical.
+VG_EXPS = table6,table7,table8,table9,table10,figure3
+verify-gang:
+	$(GO) build -o /tmp/twbench-vg ./cmd/twbench
+	/tmp/twbench-vg -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 1 \
+		> /tmp/vg-gang-p1.txt
+	/tmp/twbench-vg -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 1 \
+		-gang=false > /tmp/vg-solo-p1.txt
+	/tmp/twbench-vg -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 8 \
+		-gang=false > /tmp/vg-solo-p8.txt
+	/tmp/twbench-vg -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 8 \
+		-metrics /tmp/vg-metrics-gang.json > /tmp/vg-gang-p8t.txt
+	/tmp/twbench-vg -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 8 \
+		-gang=false -metrics /tmp/vg-metrics-solo.json > /tmp/vg-solo-p8t.txt
+	grep -v 'completed in' /tmp/vg-gang-p1.txt > /tmp/vg-ref.flt
+	for f in vg-solo-p1 vg-solo-p8 vg-gang-p8t vg-solo-p8t; do \
+		grep -v 'completed in' /tmp/$$f.txt > /tmp/$$f.flt && \
+		diff /tmp/vg-ref.flt /tmp/$$f.flt || exit 1; done
+	@echo "verify-gang: tables byte-identical, ganged vs solo, telemetry on/off"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## bench-json: record the fast-vs-baseline perf trajectory for Figure 2 at
-## the bench_test.go conditions, writing BENCH_<label>.json (label defaults
-## to "pr3"; override with BENCH_LABEL=...).
-BENCH_LABEL ?= pr3
+## the bench_test.go conditions, plus the ganged accuracy-sweep suite
+## (figure3/table8/table9 ganged vs solo, with allocation counts), writing
+## BENCH_<label>.json (label defaults to "pr4"; override with
+## BENCH_LABEL=...).
+BENCH_LABEL ?= pr4
 bench-json:
 	$(GO) build -o /tmp/twbench-bj ./cmd/twbench
 	/tmp/twbench-bj -bench-json $(BENCH_LABEL) -run figure2 \

@@ -4,21 +4,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"tapeworm"
 	"tapeworm/internal/experiment"
+	"tapeworm/internal/mem"
 )
 
 // benchVersion identifies the BENCH_<label>.json schema. Bump it when a
 // field changes meaning so downstream tooling can refuse mismatches.
-const benchVersion = 1
+// Version 2 adds the ganged accuracy-sweep suite and allocation counts.
+const benchVersion = 2
 
 // benchReport is the machine-readable perf trajectory emitted by
 // -bench-json: wall-clock per experiment with the fast path on and off,
-// plus an isolated hot-loop measurement in simulated instruction fetches
-// per second.
+// the ganged accuracy-sweep suite against its solo baseline, plus an
+// isolated hot-loop measurement in simulated instruction fetches per
+// second.
 type benchReport struct {
 	Version     int               `json:"version"`
 	Label       string            `json:"label"`
@@ -27,6 +31,7 @@ type benchReport struct {
 	Seed        uint64            `json:"seed"`
 	Parallelism int               `json:"parallelism"`
 	Experiments []benchExperiment `json:"experiments"`
+	Gang        benchGangSuite    `json:"gang"`
 	HotLoop     benchHotLoop      `json:"hot_loop"`
 }
 
@@ -38,6 +43,41 @@ type benchExperiment struct {
 	FastSeconds     float64 `json:"fast_seconds"`
 	BaselineSeconds float64 `json:"baseline_seconds"`
 	Speedup         float64 `json:"speedup"`
+}
+
+// gangSuiteIDs is the ganged accuracy-sweep suite: the experiments whose
+// runs are keyed purely on miss counts, so ganging collapses entire
+// sweeps (figure3) or per-trial configuration sets (tables 8 and 9) into
+// shared executions. Tables 6, 7 and 10 are gang-eligible but excluded
+// here: their jobs differ in simulated components or frame counts, so
+// grouping degenerates to gangs of one by design and times nothing.
+var gangSuiteIDs = []string{"figure3", "table8", "table9"}
+
+// benchGangSuite compares the ganged accuracy sweeps against their solo
+// baselines. Outputs are byte-identical (the `make verify-gang` gate), so
+// the speedup is pure execution sharing.
+type benchGangSuite struct {
+	Experiments        []benchGang `json:"experiments"`
+	SoloSecondsTotal   float64     `json:"solo_seconds_total"`
+	GangedSecondsTotal float64     `json:"ganged_seconds_total"`
+	Speedup            float64     `json:"speedup"`
+}
+
+// benchGang times one accuracy-sweep experiment ganged and solo, and
+// records allocator traffic: Mallocs deltas for the solo run, the ganged
+// run, and the ganged run with the backing-array pools disabled (the
+// before/after view of per-run allocation pooling), plus how many
+// backing-array requests the pooled ganged run served by reuse.
+type benchGang struct {
+	ID                  string  `json:"id"`
+	SoloSeconds         float64 `json:"solo_seconds"`
+	GangedSeconds       float64 `json:"ganged_seconds"`
+	Speedup             float64 `json:"speedup"`
+	SoloMallocs         uint64  `json:"solo_mallocs"`
+	GangedMallocs       uint64  `json:"ganged_mallocs"`
+	GangedMallocsNoPool uint64  `json:"ganged_mallocs_no_pool"`
+	PoolGets            uint64  `json:"pool_gets"`
+	PoolReuses          uint64  `json:"pool_reuses"`
 }
 
 // benchHotLoop isolates the simulation core on one uninstrumented
@@ -95,6 +135,12 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 			id, fast, base, base/fast)
 	}
 
+	gangSuite, err := benchGangSuiteRun(opts)
+	if err != nil {
+		return err
+	}
+	rep.Gang = gangSuite
+
 	hot, err := benchHot(opts.Seed)
 	if err != nil {
 		return err
@@ -119,6 +165,67 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 	}
 	fmt.Fprintf(os.Stderr, "twbench: wrote %s\n", path)
 	return nil
+}
+
+// benchGangSuiteRun times the ganged accuracy-sweep suite. Each
+// experiment runs three times: solo (NoGang, pools on), ganged with the
+// backing-array pools disabled, and ganged with pools on — in that order,
+// so the pooled run measures steady-state reuse rather than cold pools.
+func benchGangSuiteRun(opts experiment.Options) (benchGangSuite, error) {
+	var suite benchGangSuite
+	timeRun := func(id string, noGang, pool bool) (seconds float64, mallocs, gets, reuses uint64, err error) {
+		fn, err := experiment.ByID(id)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		o := opts
+		o.Progress = nil
+		o.Telemetry = nil
+		o.NoGang = noGang
+		mem.SetPoolEnabled(pool)
+		defer mem.SetPoolEnabled(true)
+		var before, after runtime.MemStats
+		g0, r0 := mem.PoolStats()
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := fn(o); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("%s: %w", id, err)
+		}
+		seconds = time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		g1, r1 := mem.PoolStats()
+		return seconds, after.Mallocs - before.Mallocs, g1 - g0, r1 - r0, nil
+	}
+	for _, id := range gangSuiteIDs {
+		solo, soloMallocs, _, _, err := timeRun(id, true, true)
+		if err != nil {
+			return suite, err
+		}
+		_, noPoolMallocs, _, _, err := timeRun(id, false, false)
+		if err != nil {
+			return suite, err
+		}
+		ganged, gangedMallocs, gets, reuses, err := timeRun(id, false, true)
+		if err != nil {
+			return suite, err
+		}
+		suite.Experiments = append(suite.Experiments, benchGang{
+			ID: id, SoloSeconds: solo, GangedSeconds: ganged,
+			Speedup:     solo / ganged,
+			SoloMallocs: soloMallocs, GangedMallocs: gangedMallocs,
+			GangedMallocsNoPool: noPoolMallocs,
+			PoolGets:            gets, PoolReuses: reuses,
+		})
+		suite.SoloSecondsTotal += solo
+		suite.GangedSecondsTotal += ganged
+		fmt.Fprintf(os.Stderr, "  bench %-9s solo %6.2fs  ganged %6.2fs  speedup %.2fx  mallocs %d -> %d (no-pool %d, %d/%d pool reuses)\n",
+			id, solo, ganged, solo/ganged, soloMallocs, gangedMallocs, noPoolMallocs, reuses, gets)
+	}
+	suite.Speedup = suite.SoloSecondsTotal / suite.GangedSecondsTotal
+	fmt.Fprintf(os.Stderr, "  bench gang-suite  solo %6.2fs  ganged %6.2fs  speedup %.2fx\n",
+		suite.SoloSecondsTotal, suite.GangedSecondsTotal, suite.Speedup)
+	return suite, nil
 }
 
 // benchHot times one uninstrumented workload run end to end, fast path on

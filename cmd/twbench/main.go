@@ -11,7 +11,8 @@
 //	twbench -o report.txt           # also write the report to a file
 //	twbench -metrics m.json -trace t.jsonl   # machine-readable telemetry
 //	twbench -fastpath=false         # force the per-reference execution path
-//	twbench -bench-json pr3         # time fast vs. baseline, write BENCH_pr3.json
+//	twbench -gang=false             # run every configuration as its own execution
+//	twbench -bench-json pr4         # time fast vs. baseline and ganged vs. solo, write BENCH_pr4.json
 //
 // Each experiment's independent machine runs execute on a worker pool
 // (default GOMAXPROCS workers; -parallel overrides). Results, progress
@@ -49,7 +50,8 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
 		fastpath   = flag.Bool("fastpath", true, "use the batched hit fast path (results are byte-identical either way)")
-		benchLabel = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark, and write BENCH_<label>.json")
+		gang       = flag.Bool("gang", true, "group gang-eligible runs into shared executions (results are byte-identical either way)")
+		benchLabel = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark and the ganged accuracy-sweep suite, and write BENCH_<label>.json")
 	)
 	flag.Parse()
 
@@ -62,7 +64,7 @@ func main() {
 
 	opts := experiment.Options{
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
-		Parallelism: *parallel, NoFastPath: !*fastpath,
+		Parallelism: *parallel, NoFastPath: !*fastpath, NoGang: !*gang,
 	}
 	if err := opts.Validate(); err != nil {
 		fail(err)

@@ -166,12 +166,67 @@ type Tapeworm struct {
 	// tel mirrors the kernel's telemetry run; consulted only on miss
 	// paths, so a disabled run costs one nil test per counted miss.
 	tel *telemetry.Run
+
+	// Gang attach state (nil/zero for solo simulators). gang links back to
+	// the Gang this member belongs to; ledger accumulates the overhead
+	// cycles a solo run would have charged to the machine clock (gang
+	// members must never dilate the shared clock — the Figure 4 leak);
+	// intent is the member's own armed-word bitset (cache modes), the
+	// member-local view of the union trap set; tlbInvalid is the set of
+	// (task, page) mappings this member currently holds invalid (TLB mode).
+	gang       *Gang
+	ledger     uint64
+	intent     []uint64
+	tlbInvalid map[vkey]bool
+}
+
+// charge accounts overhead cycles: a solo simulator dilates the machine
+// clock (time dilation is real and deliberate, Figure 4); a gang member
+// charges its private ledger so its overhead never perturbs the shared
+// stream the other members observe.
+func (tw *Tapeworm) charge(c uint64) {
+	if tw.gang != nil {
+		tw.ledger += c
+		return
+	}
+	tw.m.ChargeOverhead(c)
+}
+
+// LedgerCycles returns the overhead cycles accumulated on this member's
+// private ledger (zero for solo simulators, whose overhead goes to the
+// machine clock).
+func (tw *Tapeworm) LedgerCycles() uint64 { return tw.ledger }
+
+// SetTelemetry redirects this simulator's miss events and counters to tel.
+// Gang members get per-member runs; solo simulators inherit the kernel's.
+func (tw *Tapeworm) SetTelemetry(tel *telemetry.Run) { tw.tel = tel }
+
+// setPV flips one mapping's page valid bit (TLB mode). Solo simulators own
+// the bit outright; gang members route through the gang's union refcounts
+// so the physical bit flips only when the union validity transitions.
+func (tw *Tapeworm) setPV(t mem.TaskID, va mem.VAddr, valid bool) error {
+	if tw.gang != nil {
+		return tw.gang.memberSetPageValid(tw, t, va, valid)
+	}
+	return tw.k.SetPageValid(t, va, valid)
 }
 
 // Attach builds a Tapeworm on the booted kernel k and installs it as the
 // kernel's memory-simulation hooks. It fails when the host machine cannot
 // express the requested simulation (Table 12 capability checks).
 func Attach(k *kernel.Kernel, cfg Config) (*Tapeworm, error) {
+	tw, err := build(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k.SetHooks(tw)
+	return tw, nil
+}
+
+// build constructs and validates a Tapeworm without installing kernel
+// hooks; Attach installs the simulator directly, AttachGang wraps N of
+// them behind one demultiplexing hook set.
+func build(k *kernel.Kernel, cfg Config) (*Tapeworm, error) {
 	m := k.Machine()
 	proc := m.Config().Proc
 	pageSize := m.Config().PageSize
@@ -282,7 +337,6 @@ func Attach(k *kernel.Kernel, cfg Config) (*Tapeworm, error) {
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
 
-	k.SetHooks(tw)
 	return tw, nil
 }
 
@@ -434,8 +488,8 @@ func (tw *Tapeworm) PageRegistered(t mem.TaskID, pa mem.PAddr, va mem.VAddr, kin
 			return
 		}
 		if tw.cfg.Sampling.Sampled(tw.tlb.SetIndex(va)) {
-			if err := tw.k.SetPageValid(t, va, false); err == nil {
-				tw.m.ChargeOverhead(12)
+			if err := tw.setPV(t, va, false); err == nil {
+				tw.charge(12)
 				tw.st.SetupCycles += 12
 			}
 		}
@@ -457,7 +511,7 @@ func (tw *Tapeworm) PageRegistered(t mem.TaskID, pa mem.PAddr, va mem.VAddr, kin
 		}
 	}
 	c := tw.mech.SetupCycles(armedWords)
-	tw.m.ChargeOverhead(c)
+	tw.charge(c)
 	tw.st.SetupCycles += c
 }
 
@@ -487,6 +541,12 @@ func (tw *Tapeworm) PageRemoved(t mem.TaskID, pa mem.PAddr, va mem.VAddr) {
 
 	if tw.cfg.Mode == ModeTLB {
 		if t != mem.KernelTask {
+			if tw.gang != nil {
+				// Release this member's invalid-intent so the union
+				// refcount balances; the last holder's release revalidates
+				// a pte the VM is about to destroy anyway.
+				_ = tw.setPV(t, va, true)
+			}
 			tw.tlb.InvalidatePage(t, va)
 			// Leave the pte alone: the VM system is about to destroy it.
 		}
@@ -510,7 +570,7 @@ func (tw *Tapeworm) PageRemoved(t mem.TaskID, pa mem.PAddr, va mem.VAddr) {
 		}
 		tw.mech.ClearTrap(pa, int(tw.pageSize))
 		c := tw.mech.SetupCycles(int(tw.pageSize) / mem.WordBytes)
-		tw.m.ChargeOverhead(c)
+		tw.charge(c)
 		tw.st.SetupCycles += c
 		delete(tw.pages, frame)
 		tw.st.PagesTracked--
@@ -537,6 +597,14 @@ func (tw *Tapeworm) ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.R
 		tw.st.TrueErrors++
 		return false
 	}
+	tw.deliverTrap(t, va, pa, kind)
+	return true
+}
+
+// deliverTrap handles one already-classified Tapeworm trap at word pa.
+// Solo simulators reach it through ECCTrap; the gang demultiplexer calls
+// it directly on every member whose intent set covers the word.
+func (tw *Tapeworm) deliverTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.RefKind) {
 	// The trapped word and the referenced word share a page; reconstruct
 	// the trapped word's virtual address from the page offset.
 	off := uint32(pa) & (tw.pageSize - 1)
@@ -549,22 +617,18 @@ func (tw *Tapeworm) ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.R
 		// a page tracked by an I-cache simulation): clear and move on
 		// without counting.
 		tw.mech.ClearTrap(paLine, int(tw.lineSize))
-		tw.m.ChargeOverhead(crossKindClearCycles)
+		tw.charge(crossKindClearCycles)
 		tw.st.CrossKindClears++
-		return true
+		return
 	}
 
 	tw.miss(t, vaLine, paLine)
-	return true
 }
 
 // BreakpointTrap is the miss path for the breakpoint trap mechanism
 // (instruction-cache simulation on hosts without ECC diagnostics).
 func (tw *Tapeworm) BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr) {
-	if tw.cfg.Mode != ModeICache {
-		return
-	}
-	if _, isBP := tw.mech.(*breakpointMech); !isBP {
+	if tw.cfg.Mode != ModeICache || !tw.usesBreakpoints() {
 		return
 	}
 	paLine := pa &^ mem.PAddr(tw.lineSize-1)
@@ -593,7 +657,7 @@ func (tw *Tapeworm) miss(t mem.TaskID, vaLine mem.VAddr, paLine mem.PAddr) {
 		}
 	}
 
-	tw.m.ChargeOverhead(tw.missCost)
+	tw.charge(tw.missCost)
 	tw.st.HandlerCycles += tw.missCost
 }
 
@@ -634,12 +698,16 @@ func (tw *Tapeworm) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, ki
 	if _, tracked := tw.mapVP[vkey{t, uint32(va) >> tw.pageBits}]; !tracked {
 		return false
 	}
+	if tw.gang != nil && !tw.tlbInvalid[vkey{t, uint32(va) >> tw.pageBits}] {
+		// Another gang member holds this page invalid; not our miss.
+		return false
+	}
 	if tw.tlb.Probe(t, va) {
 		// With simulated pages larger than host pages (superpages, R4000
 		// variable page size), a sibling base page's miss already brought
 		// the covering translation in; revalidate without counting.
-		_ = tw.k.SetPageValid(t, va, true)
-		tw.m.ChargeOverhead(tw.tlbCost / 4)
+		_ = tw.setPV(t, va, true)
+		tw.charge(tw.tlbCost / 4)
 		return true
 	}
 	tw.st.Misses++
@@ -649,20 +717,20 @@ func (tw *Tapeworm) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, ki
 		tw.tel.Event(telemetry.EvTLBMiss, int32(t), uint32(va), uint32(pa), tw.m.Cycles())
 	}
 
-	if err := tw.k.SetPageValid(t, va, true); err != nil {
+	if err := tw.setPV(t, va, true); err != nil {
 		return false
 	}
 	displaced, evicted := tw.tlb.Insert(t, va)
 	if evicted {
 		if _, still := tw.mapVP[vkey{displaced.Task, displaced.Addr >> tw.pageBits}]; still {
 			if tw.cfg.Sampling.Sampled(tw.tlb.SetIndex(mem.VAddr(displaced.Addr))) {
-				_ = tw.k.SetPageValid(displaced.Task, mem.VAddr(displaced.Addr), false)
+				_ = tw.setPV(displaced.Task, mem.VAddr(displaced.Addr), false)
 			}
 		} else {
 			tw.st.LostDisplaced++
 		}
 	}
-	tw.m.ChargeOverhead(tw.tlbCost)
+	tw.charge(tw.tlbCost)
 	tw.st.HandlerCycles += tw.tlbCost
 	return true
 }
@@ -747,7 +815,7 @@ func (tw *Tapeworm) CheckInvariant(toleratedLeaks uint64) error {
 		if !ok {
 			continue // page removed; lines flushed lazily is a violation
 		}
-		if phys.Trapped(pa, int(tw.lineSize)) && phys.Classify(pa) == mem.SynTapeworm {
+		if tw.trapArmed(pa, int(tw.lineSize)) {
 			return fmt.Errorf("core: line %+v resident in simulated cache but trapped at %#x", k, pa)
 		}
 	}
@@ -764,6 +832,10 @@ func (tw *Tapeworm) CheckInvariant(toleratedLeaks uint64) error {
 				continue
 			}
 			trapped := phys.Trapped(pa+mem.PAddr(off), int(tw.lineSize))
+			if tw.gang != nil {
+				// A member's view is its own intent set, not the union.
+				trapped = tw.intentOverlaps(pa+mem.PAddr(off), int(tw.lineSize))
+			}
 			resident := tw.residentAnywhere(ps, pa+mem.PAddr(off), off)
 			if !trapped && !resident {
 				leaks++
@@ -809,6 +881,11 @@ func (tw *Tapeworm) checkTLBInvariant() error {
 			return fmt.Errorf("core: tracked page (%d, %#x) not resident", key.t, va)
 		}
 		_, valid := tw.k.Task(key.t).Space().Translate(va)
+		if tw.gang != nil {
+			// The pte holds the union validity; this member's view is
+			// whether it holds an invalid-intent itself.
+			valid = !tw.tlbInvalid[key]
+		}
 		if inTLB && !valid {
 			return fmt.Errorf("core: (%d, %#x) in simulated TLB but page invalid", key.t, va)
 		}

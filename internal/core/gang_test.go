@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"tapeworm/internal/cache"
+	"tapeworm/internal/mem"
+)
+
+// gangConfigs is a deliberately diverse panel: sizes, associativities,
+// line sizes, indexing, sampling degrees, and a two-level hierarchy.
+func gangConfigs() []Config {
+	l2 := cache.Config{Size: 64 << 10, LineSize: 32, Assoc: 2, Indexing: cache.PhysIndexed}
+	return []Config{
+		{Mode: ModeICache,
+			Cache:    cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1, Indexing: cache.PhysIndexed},
+			Sampling: FullSampling()},
+		{Mode: ModeICache,
+			Cache:    cache.Config{Size: 16 << 10, LineSize: 32, Assoc: 2, Indexing: cache.VirtIndexed},
+			Sampling: FullSampling()},
+		{Mode: ModeICache,
+			Cache:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1, Indexing: cache.VirtIndexed},
+			Sampling: Sampling{Num: 1, Den: 8}},
+		{Mode: ModeICache,
+			Cache:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 4, Indexing: cache.PhysIndexed},
+			Sampling: FullSampling(),
+			L2:       &l2},
+	}
+}
+
+type memberResult struct {
+	stats  Stats
+	byTask map[mem.TaskID]uint64
+	ledger uint64
+}
+
+// runGangOf boots a fresh machine with the given seeds, attaches cfgs as
+// one gang, runs the workload to completion, and returns per-member
+// results plus the machine's final cycle count.
+func runGangOf(t *testing.T, cfgs []Config, wl string, seed uint64) ([]memberResult, uint64) {
+	t.Helper()
+	k := bootDEC(t, 11, 13)
+	g := MustAttachGang(k, cfgs)
+	spawnWorkload(t, k, wl, seed, true)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var out []memberResult
+	for _, tw := range g.Members() {
+		if err := tw.CheckInvariant(tw.Stats().CrossKindClears); err != nil {
+			t.Errorf("invariant: %v", err)
+		}
+		out = append(out, memberResult{tw.Stats(), tw.MissesByTask(), tw.LedgerCycles()})
+	}
+	return out, k.Machine().Cycles()
+}
+
+// TestGangByteIdentity is the tentpole invariant: every member of a
+// gang-of-N produces statistics identical to its own gang-of-1 run, and
+// the shared execution stream (machine cycles) is identical regardless of
+// which simulators ride on it.
+func TestGangByteIdentity(t *testing.T) {
+	cfgs := gangConfigs()
+	ganged, gangCycles := runGangOf(t, cfgs, "espresso", 42)
+	for i, cfg := range cfgs {
+		solo, soloCycles := runGangOf(t, []Config{cfg}, "espresso", 42)
+		if !reflect.DeepEqual(solo[0], ganged[i]) {
+			t.Errorf("member %d diverged from solo run:\nsolo:   %+v\nganged: %+v",
+				i, solo[0], ganged[i])
+		}
+		if soloCycles != gangCycles {
+			t.Errorf("member %d: shared stream dilated: solo %d cycles, ganged %d",
+				i, soloCycles, gangCycles)
+		}
+		if ganged[i].stats.Misses == 0 {
+			t.Errorf("member %d counted no misses", i)
+		}
+	}
+}
+
+// TestGangTLBByteIdentity runs the same invariant for TLB-mode members,
+// whose traps share page-valid bits through the union refcounts.
+func TestGangTLBByteIdentity(t *testing.T) {
+	cfgs := []Config{
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 8, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling()},
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096, Replace: cache.Random},
+			Sampling: FullSampling()},
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 16, Assoc: 2, PageSize: 4096, Replace: cache.LRU},
+			Sampling: Sampling{Num: 1, Den: 2}},
+	}
+	ganged, gangCycles := runGangOf(t, cfgs, "espresso", 42)
+	for i, cfg := range cfgs {
+		solo, soloCycles := runGangOf(t, []Config{cfg}, "espresso", 42)
+		if !reflect.DeepEqual(solo[0], ganged[i]) {
+			t.Errorf("TLB member %d diverged from solo run:\nsolo:   %+v\nganged: %+v",
+				i, solo[0], ganged[i])
+		}
+		if soloCycles != gangCycles {
+			t.Errorf("TLB member %d: shared stream dilated: solo %d, ganged %d",
+				i, soloCycles, gangCycles)
+		}
+	}
+}
+
+// TestGangMixedModes gangs cache and TLB simulators over one execution:
+// the two trap mechanisms (ECC bits, page valid bits) coexist without
+// cross-talk.
+func TestGangMixedModes(t *testing.T) {
+	cfgs := []Config{
+		{Mode: ModeICache,
+			Cache:    cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1, Indexing: cache.PhysIndexed},
+			Sampling: FullSampling()},
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 16, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling()},
+	}
+	ganged, _ := runGangOf(t, cfgs, "eqntott", 7)
+	for i, cfg := range cfgs {
+		solo, _ := runGangOf(t, []Config{cfg}, "eqntott", 7)
+		if !reflect.DeepEqual(solo[0], ganged[i]) {
+			t.Errorf("mixed member %d diverged:\nsolo:   %+v\nganged: %+v",
+				i, solo[0], ganged[i])
+		}
+	}
+}
+
+// TestGangDetachMidRun detaches one member partway through a run: the
+// survivor must finish with statistics identical to its gang-of-1 run, the
+// detached member's statistics must freeze, and the union trap set must
+// shrink to exactly the survivor's intent.
+func TestGangDetachMidRun(t *testing.T) {
+	cfgs := gangConfigs()[:2]
+	k := bootDEC(t, 11, 13)
+	g := MustAttachGang(k, cfgs)
+	spawnWorkload(t, k, "espresso", 42, true)
+	if err := k.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	detached := g.Members()[1]
+	if err := g.Detach(detached); err != nil {
+		t.Fatal(err)
+	}
+	frozen := detached.Stats()
+	if err := g.Detach(detached); err == nil {
+		t.Fatal("second detach of the same member should fail")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := detached.Stats(); !reflect.DeepEqual(got, frozen) {
+		t.Errorf("detached member kept accumulating: %+v vs %+v", got, frozen)
+	}
+
+	survivor := g.Members()[0]
+	solo, _ := runGangOf(t, cfgs[:1], "espresso", 42)
+	got := memberResult{survivor.Stats(), survivor.MissesByTask(), survivor.LedgerCycles()}
+	if !reflect.DeepEqual(solo[0], got) {
+		t.Errorf("survivor diverged after detach:\nsolo:   %+v\nafter:  %+v", solo[0], got)
+	}
+
+	// Workload exit removed the survivor's pages; whatever traps remain
+	// must be exactly the survivor's intent — the detached member's share
+	// of the union is gone.
+	want := 0
+	for _, w := range survivor.intent {
+		want += bits.OnesCount64(w)
+	}
+	if got := k.Machine().Phys().TrapCount(); got != want {
+		t.Errorf("union trap count %d != survivor intent %d after detach", got, want)
+	}
+}
+
+// TestGangSharedWordRefcounts exercises the satellite edge cases directly:
+// two members arming the same word, one clearing while the other holds,
+// and the micro-cache invalidation firing only on union transitions.
+func TestGangSharedWordRefcounts(t *testing.T) {
+	k := bootDEC(t, 3, 3)
+	g := MustAttachGang(k, gangConfigs()[:2])
+	a, b := g.Members()[0], g.Members()[1]
+	ma, mb := a.mech.(*gangMech), b.mech.(*gangMech)
+	phys := k.Machine().Phys()
+
+	// Pick a word inside the Tapeworm-reserved frames: never registered,
+	// so the workload cannot interfere.
+	pa := mem.PAddr(phys.Bytes() - 4096)
+
+	ma.SetTrap(pa, 16)
+	mb.SetTrap(pa, 16) // overlapping arm: refcount 2, one physical set
+	if got := phys.TrapRefCount(pa); got != 2 {
+		t.Fatalf("refcount %d after two arms, want 2", got)
+	}
+	set0, cleared0 := phys.Stats()
+
+	ma.ClearTrap(pa, 16) // clear while the other holds
+	if !phys.Trapped(pa, 16) {
+		t.Fatal("word untrapped while another member still holds it")
+	}
+	if a.trapArmed(pa, 16) {
+		t.Fatal("member A still considers the word armed after its clear")
+	}
+	if !b.trapArmed(pa, 16) {
+		t.Fatal("member B lost its trap to member A's clear")
+	}
+	ma.ClearTrap(pa, 16) // double clear: must not release B's reference
+	if got := phys.TrapRefCount(pa); got != 1 {
+		t.Fatalf("refcount %d after A's redundant clear, want 1", got)
+	}
+
+	mb.ClearTrap(pa, 16) // last holder releases: physical trap goes
+	if phys.Trapped(pa, 16) || phys.TrapRefCount(pa) != 0 {
+		t.Fatal("trap survived the last holder's release")
+	}
+	set1, cleared1 := phys.Stats()
+	if set1 != set0 || cleared1 != cleared0+4 {
+		t.Errorf("physical flips: set %d->%d cleared %d->%d; want set unchanged, cleared +4",
+			set0, set1, cleared0, cleared1)
+	}
+}
+
+// TestGangUnionPageValid checks the TLB-side union: the physical valid bit
+// (and with it mach.InvalidatePage, the PR 3 micro-cache protocol) flips
+// only when the count of members holding the page invalid crosses zero.
+func TestGangUnionPageValid(t *testing.T) {
+	cfgs := []Config{
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 8, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling()},
+		{Mode: ModeTLB,
+			TLB:      cache.TLBConfig{Entries: 64, PageSize: 4096, Replace: cache.LRU},
+			Sampling: FullSampling()},
+	}
+	k := bootDEC(t, 5, 5)
+	g := MustAttachGang(k, cfgs)
+	spawnWorkload(t, k, "eqntott", 9, true)
+	if err := k.Run(3000); err != nil { // stop mid-run: pages still mapped
+		t.Fatal(err)
+	}
+	a, b := g.Members()[0], g.Members()[1]
+
+	// Find a mapping both members track, currently valid for both.
+	var (
+		key   vkey
+		found bool
+	)
+	for kk := range a.mapVP {
+		if kk.t == mem.KernelTask || a.tlbInvalid[kk] || b.tlbInvalid[kk] {
+			continue
+		}
+		if _, ok := b.mapVP[kk]; ok {
+			key, found = kk, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no shared valid mapping found mid-run")
+	}
+	va := mem.VAddr(key.vpn) << g.pageBits
+	m := k.Machine()
+
+	inv0 := m.PageInvalidations()
+	step := func(tw *Tapeworm, valid bool, wantFlip bool, label string) {
+		before := m.PageInvalidations()
+		if err := g.memberSetPageValid(tw, key.t, va, valid); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		flipped := m.PageInvalidations() != before
+		if flipped != wantFlip {
+			t.Errorf("%s: InvalidatePage fired=%v, want %v", label, flipped, wantFlip)
+		}
+	}
+	step(a, false, true, "A invalidates (union 0->1)")
+	step(b, false, false, "B invalidates (union 1->2)")
+	step(a, true, false, "A revalidates (union 2->1)")
+	if _, valid := k.Task(key.t).Space().Translate(va); valid {
+		t.Error("pte became valid while B still holds the page invalid")
+	}
+	step(b, true, true, "B revalidates (union 1->0)")
+	if _, valid := k.Task(key.t).Space().Translate(va); !valid {
+		t.Error("pte still invalid after the last holder released")
+	}
+	if m.PageInvalidations() != inv0+2 {
+		t.Errorf("union cycle caused %d invalidations, want 2", m.PageInvalidations()-inv0)
+	}
+}

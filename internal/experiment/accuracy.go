@@ -134,6 +134,7 @@ func Table6(o Options) (*Table, error) {
 				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
 				tw:      table6Cache(),
 				simUser: comp.user, simServers: comp.servers, simKernel: comp.kern,
+				gang: true,
 			}})
 		}
 		layouts[i].all = len(jobs)
@@ -142,6 +143,7 @@ func Table6(o Options) (*Table, error) {
 				spec: spec, seed: o.Seed, pageSeed: o.Seed, frames: o.Frames,
 				tw:      table6Cache(),
 				simUser: true, simServers: true, simKernel: true,
+				gang: true,
 			},
 			progress: func(runResult) string {
 				return fmt.Sprintf("table6: %s done", name)
@@ -225,6 +227,7 @@ func trialJobs(o Options, spec workload.Spec, mkCfg func(trial int) *core.Config
 			frames:   o.Frames,
 			tw:       mkCfg(trial),
 			simUser:  true, simServers: all, simKernel: all,
+			gang: true, // keyed on miss counts: configs of a trial share one execution
 		}}
 	}
 	if progress != "" {

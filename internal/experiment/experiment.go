@@ -55,6 +55,11 @@ type Options struct {
 	// Results are byte-identical either way (the `make verify-fastpath`
 	// gate); this exists for that gate and for benchmarking the speedup.
 	NoFastPath bool
+	// NoGang suppresses the grouping of gang-eligible runs into shared
+	// executions; each then runs as a gang of one. Results are
+	// byte-identical either way (the `make verify-gang` gate); this exists
+	// for that gate and for benchmarking the ganged speedup.
+	NoGang bool
 }
 
 // Validate rejects option values that would otherwise panic deep inside

@@ -29,6 +29,13 @@ type runConfig struct {
 	simKernel  bool         // register kernel pages
 	noFastPath bool         // force the per-reference execution path
 
+	// gang opts this run into the ganged execution path: it runs as a
+	// core.AttachGang member (ledgered traps) even when alone, so its
+	// results are identical whether or not runAll groups it with others.
+	// Only runs keyed on miss counts opt in; measured-slowdown runs
+	// (Figures 2 and 4) need the real dilating machine and stay solo.
+	gang bool
+
 	trace *cache2000.Config // non-nil: annotate with Pixie feeding Cache2000
 
 	tel *telemetry.Run // non-nil: record this run's metrics and events
@@ -150,7 +157,105 @@ func run(rc runConfig) (runResult, error) {
 			rc.tel.SetCounter("pixie_refs", res.pixieRefs)
 		}
 	}
+	k.ReleaseBuffers()
 	return res, nil
+}
+
+// runGang executes a group of runs that share one workload execution: one
+// booted machine in ledgered-trap mode, one core.Gang of simulators, one
+// pass over the reference stream. Every rcs[i] must agree on everything
+// but tw (the grouping key runAll builds). Each member's statistics are
+// identical to what a group of one would produce; the per-member snapshot
+// adds the member's private overhead ledger to the shared (undilated)
+// machine clock, which is exactly the clock its solo ledgered run shows.
+func runGang(rcs []runConfig) ([]runResult, error) {
+	rc0 := rcs[0]
+	if rc0.frames <= 0 {
+		rc0.frames = 8192
+	}
+	kcfg := kernel.DefaultConfig(mach.DECstation5000_200(rc0.frames), rc0.seed)
+	kcfg.PageSeed = rc0.pageSeed
+	// Kernel- and machine-level telemetry (trap events, machine counters)
+	// describe the shared execution; they ride on the first member's run.
+	kcfg.Telemetry = rc0.tel
+	kcfg.Machine.NoFastPath = rc0.noFastPath
+	k, err := kernel.Boot(kcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	cfgs := make([]core.Config, len(rcs))
+	for i, rc := range rcs {
+		cfgs[i] = *rc.tw
+	}
+	g, err := core.AttachGang(k, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, tw := range g.Members() {
+		tw.SetTelemetry(rcs[i].tel)
+		if rc0.simServers {
+			for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+				if st := k.Server(kind); st != nil {
+					if err := tw.Attributes(st.ID, true, false); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if rc0.simKernel {
+			if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	prog, err := workload.New(rc0.spec, rc0.seed)
+	if err != nil {
+		return nil, err
+	}
+	k.Spawn(rc0.spec.Name, prog, rc0.simUser, rc0.simUser)
+
+	if err := k.Run(0); err != nil {
+		return nil, err
+	}
+
+	m := k.Machine()
+	base := monster.Snap(m)
+	shared := runResult{
+		comp:     k.ComponentInstructions(),
+		tasks:    k.Stats().UserSpawned,
+		counters: m.Counters(),
+	}
+	if t := k.Server(kernel.BSDServer); t != nil {
+		shared.bsdInstr = t.Instructions
+	}
+	if t := k.Server(kernel.XServer); t != nil {
+		shared.xInstr = t.Instructions
+	}
+	if rc0.tel != nil {
+		k.ReportTelemetry()
+	}
+
+	out := make([]runResult, len(rcs))
+	for i, tw := range g.Members() {
+		res := shared
+		ledger := tw.LedgerCycles()
+		res.snap = base
+		res.snap.Cycles += ledger
+		res.snap.OverheadCycles += ledger
+		res.seconds = m.Seconds(res.snap.Cycles)
+		res.twStats = tw.Stats()
+		res.twByComp = tw.MissesByComponent()
+		res.twEst = tw.EstimatedMisses()
+		if tel := rcs[i].tel; tel != nil {
+			tw.ReportTelemetry()
+			tel.SetTiming(res.snap.Cycles, res.snap.OverheadCycles, res.snap.Instructions)
+		}
+		out[i] = res
+	}
+	k.ReleaseBuffers()
+	return out, nil
 }
 
 // normalConfig describes an uninstrumented run of the workload,
@@ -172,31 +277,84 @@ type runJob struct {
 	progress func(runResult) string
 }
 
-// runAll executes the jobs' machine runs — each a fully independent
-// simulation booting its own kernel — on a sched worker pool bounded by
-// o.Parallelism, and returns the results in submission order. Because
-// results are index-ordered, every table assembled from them is
+// gangKey is the grouping key for ganged execution: jobs agreeing on all
+// of it observe the same reference stream and can share one machine run.
+type gangKey struct {
+	spec           string
+	seed, pageSeed uint64
+	frames         int
+	simUser        bool
+	simServers     bool
+	simKernel      bool
+}
+
+// runAll executes the jobs' machine runs on a sched worker pool bounded by
+// o.Parallelism, and returns the results in submission order. Jobs whose
+// configs opt into ganging (runConfig.gang) and share a gangKey run as ONE
+// machine execution driving all their simulators (core.AttachGang); gangs
+// are the unit of scheduling. A gang-opted job always takes the ganged
+// path — alone when o.NoGang suppresses grouping — so its results are
+// byte-identical whether grouping is on or off, at any parallelism.
+// Because results are index-ordered, every table assembled from them is
 // byte-identical to a serial execution. Progress lines and telemetry
-// commits are re-sequenced into submission order through a held-back
-// heap, so those side channels are deterministic too; when neither is
-// requested the scheduler runs with no completion callback at all.
+// commits are re-sequenced into original submission order through a
+// held-back heap — one line per configuration even when a gang completes
+// many at once; when neither is requested the scheduler runs with no
+// completion callback at all.
 func runAll(o Options, jobs []runJob) ([]runResult, error) {
+	// Partition into execution groups preserving original job indices.
+	groups := make([][]int, 0, len(jobs))
+	byKey := make(map[gangKey]int)
+	for i, j := range jobs {
+		rc := j.cfg
+		if !rc.gang || rc.tw == nil || rc.trace != nil {
+			groups = append(groups, []int{i})
+			continue
+		}
+		key := gangKey{rc.spec.Name, rc.seed, rc.pageSeed, rc.frames,
+			rc.simUser, rc.simServers, rc.simKernel}
+		if o.NoGang {
+			groups = append(groups, []int{i})
+			continue
+		}
+		if gi, ok := byKey[key]; ok {
+			groups[gi] = append(groups[gi], i)
+			continue
+		}
+		byKey[key] = len(groups)
+		groups = append(groups, []int{i})
+	}
+
 	tels := make([]*telemetry.Run, len(jobs))
-	sj := make([]sched.Job[runResult], len(jobs))
-	for i := range jobs {
-		rc := jobs[i].cfg
-		rc.noFastPath = o.NoFastPath
-		sj[i] = func() (runResult, error) {
-			rc.tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
-			tels[i] = rc.tel
-			return run(rc)
+	sj := make([]sched.Job[[]runResult], len(groups))
+	for gi := range groups {
+		idx := groups[gi]
+		sj[gi] = func() ([]runResult, error) {
+			// Telemetry runs are named by original job index, so solo and
+			// ganged runs of the same sweep produce the same run names.
+			rcs := make([]runConfig, len(idx))
+			for mi, i := range idx {
+				rcs[mi] = jobs[i].cfg
+				rcs[mi].noFastPath = o.NoFastPath
+				rcs[mi].tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
+				tels[i] = rcs[mi].tel
+			}
+			if !rcs[0].gang {
+				r, err := run(rcs[0])
+				return []runResult{r}, err
+			}
+			return runGang(rcs)
 		}
 	}
-	var done func(int, runResult)
+
+	var done func(int, []runResult)
 	if o.Progress != nil || o.Telemetry != nil {
 		// sched serializes done calls under a mutex, which is the external
 		// serialization the Orderer requires; the same mutex makes the
-		// tels[i] write in the worker visible here.
+		// tels[i] writes in the workers visible here. The Orderer runs
+		// over original job indices: a finished gang Puts one entry per
+		// member, and each member's progress line and telemetry commit
+		// still appear in submission order.
 		ord := telemetry.NewOrderer[runResult](func(i int, r runResult) {
 			o.Telemetry.Commit(tels[i])
 			if o.Progress != nil {
@@ -205,9 +363,23 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 				}
 			}
 		})
-		done = ord.Put
+		done = func(gi int, rs []runResult) {
+			for mi, i := range groups[gi] {
+				ord.Put(i, rs[mi])
+			}
+		}
 	}
-	return sched.Run(o.Parallelism, sj, done)
+	grs, err := sched.Run(o.Parallelism, sj, done)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]runResult, len(jobs))
+	for gi, idx := range groups {
+		for mi, i := range idx {
+			out[i] = grs[gi][mi]
+		}
+	}
+	return out, nil
 }
 
 // slowdown implements the paper's definition against a matching normal

@@ -240,6 +240,17 @@ func (k *Kernel) ReportTelemetry() {
 // SetHooks attaches a kernel-resident memory simulator (Tapeworm).
 func (k *Kernel) SetHooks(h MemSimHooks) { k.hooks = h }
 
+// ReleaseBuffers recycles this boot's pooled backing arrays — the frame
+// allocator's tables and the machine's physical-memory arrays — once all
+// results have been read out. The kernel must not be used afterwards.
+func (k *Kernel) ReleaseBuffers() {
+	if k.fa != nil {
+		mem.PutFrameTables(k.fa.free, k.fa.refcount)
+		k.fa = nil
+	}
+	k.m.ReleaseBuffers()
+}
+
 // Tracer observes the user-mode memory references of one annotated task,
 // the way a Pixie-rewritten binary emits its own address trace. Like
 // Pixie, a tracer sees a single task and no kernel or server activity.

@@ -149,11 +149,14 @@ type frameAllocator struct {
 }
 
 func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAllocator {
-	fa := &frameAllocator{refcount: make([]uint16, totalFrames)}
+	// Backing arrays come from the per-size pool (sweeps boot hundreds of
+	// machines with identical geometry); GetFrameTables hands them back
+	// reset, so the fill and shuffle below see a fresh-boot state.
+	freeBuf, refcount := mem.GetFrameTables(totalFrames)
+	fa := &frameAllocator{free: freeBuf, refcount: refcount}
 	n := totalFrames - reservedFrames
-	fa.free = make([]uint32, n)
-	for i := range fa.free {
-		fa.free[i] = uint32(reservedFrames + i)
+	for i := 0; i < n; i++ {
+		fa.free = append(fa.free, uint32(reservedFrames+i))
 	}
 	// Fisher-Yates with the allocator's own stream.
 	for i := n - 1; i > 0; i-- {

@@ -285,7 +285,20 @@ type Machine struct {
 	latchedECC   []latchedTrap // ECC events raised while masked
 	inHandler    int           // trap-handler nesting depth
 
-	breakpoints map[mem.PAddr]bool
+	// ledgered selects gang trap physics (see SetLedgeredTraps): memory
+	// traps are checked per referenced word instead of on host cache
+	// refills, arming a trap does not flush host lines, and delivery is
+	// immediate even while interrupts are masked. Together these make the
+	// executed reference stream — cycles, ticks, scheduling — independent
+	// of which traps are armed, which is what lets N ganged simulators
+	// observe byte-identical streams regardless of the union trap set.
+	ledgered bool
+
+	// breakpoints maps word address -> arm count. Counts (rather than a
+	// set) let several ganged simulators arm the same word: the word traps
+	// while any simulator holds it, and one simulator's clear never
+	// disarms another's breakpoint.
+	breakpoints map[mem.PAddr]uint32
 	// bpPages counts armed breakpoints per physical page frame. Together
 	// with the empty-map guard it keeps the per-instruction breakpoint
 	// check off the map on the hot path: a run with no breakpoints pays
@@ -321,8 +334,9 @@ type Machine struct {
 	// Fast-path self-counters, exposed via FastPathStats for tests and
 	// benchmarks. Deliberately kept out of ReportTelemetry: telemetry
 	// metrics must be byte-identical with the fast path on and off.
-	xlHits   uint64 // references resolved through the micro-cache
-	runWords uint64 // instructions charged in bulk by runFast
+	xlHits    uint64 // references resolved through the micro-cache
+	runWords  uint64 // instructions charged in bulk by runFast
+	pageInval uint64 // InvalidatePage calls (union valid-bit transitions)
 
 	// tel, when non-nil, receives trap-level trace events. It is consulted
 	// only on trap paths (already rare), so a disabled run pays one nil
@@ -378,7 +392,7 @@ func New(cfg Config, os OS) (*Machine, error) {
 		hostD:       cache.MustNew(cfg.HostDCache, nil),
 		hostTLB:     cache.MustNewTLB(cfg.HostTLB, rng.New(0x7457)),
 		nextTick:    cfg.ClockTickCycles,
-		breakpoints: make(map[mem.PAddr]bool),
+		breakpoints: make(map[mem.PAddr]uint32),
 		bpPages:     make([]uint32, cfg.Frames),
 		pageShift:   uint(bits.TrailingZeros(uint(cfg.PageSize))),
 		pageMask:    uint32(cfg.PageSize - 1),
@@ -511,6 +525,48 @@ func (m *Machine) SetIntMasked(on bool) {
 // IntMasked reports the current interrupt mask.
 func (m *Machine) IntMasked() bool { return m.intMasked }
 
+// SetLedgeredTraps switches the machine to gang trap physics. Solo
+// simulation reproduces the real DECstation's refill-coupled ECC checking,
+// whose delivered stream depends on host cache residency, line flushes on
+// arming, and the interrupt mask — all functions of the *union* trap set,
+// which would let one ganged simulator's traps perturb another's observed
+// stream (the Figure 4 dilation leak, in event form). In ledgered mode the
+// machine instead checks the referenced word itself on every access,
+// arming needs no host-line flush, and delivery is immediate even while
+// interrupts are masked; handler overhead is charged to per-simulator
+// ledgers (core), never to this clock. The executed stream is then
+// provably independent of the trap set, so each member observes the exact
+// stream of its solo run. Gang-eligible experiments always run in this
+// mode (even gangs of one), keeping ganged and solo tables byte-identical.
+func (m *Machine) SetLedgeredTraps(on bool) { m.ledgered = on }
+
+// LedgeredTraps reports whether gang trap physics is active.
+func (m *Machine) LedgeredTraps() bool { return m.ledgered }
+
+// checkWordTrap is the ledgered-mode trap check: if the single word at pa
+// has inconsistent ECC, classify and deliver it immediately. The handlers
+// reached from here must not charge this machine's clock or disturb host
+// cache state (core's gang layer guarantees both), so the only machine
+// effect is the gen bump — which perturbs batching, never results.
+func (m *Machine) checkWordTrap(t mem.TaskID, r mem.Ref, pa mem.PAddr) {
+	w := pa &^ 3
+	if !m.phys.TrappedWord(w) {
+		return
+	}
+	if m.phys.Classify(w) == mem.SynTapeworm {
+		m.eccTraps++
+	} else {
+		m.trueErrors++
+	}
+	if m.tel != nil {
+		m.tel.Event(telemetry.EvECC, int32(t), uint32(r.VA), uint32(w), m.cycles)
+	}
+	m.gen++
+	m.inHandler++
+	m.os.ECCTrap(t, r.VA, w, r.Kind)
+	m.inHandler--
+}
+
 // FlushHostLine removes the host cache lines containing pa from both host
 // caches, forcing the next access to refill (and hence to check ECC).
 // tw_set_trap must call this or resident lines would never re-trap.
@@ -562,24 +618,32 @@ func (m *Machine) DMARead(pa mem.PAddr, size int) {
 	m.cycles += uint64(size / mem.WordBytes)
 }
 
-// SetBreakpoint arms an instruction breakpoint at physical address pa.
+// SetBreakpoint takes one arm reference on the instruction breakpoint at
+// physical address pa. The breakpoint fires while any reference is held;
+// the first reference is the physical arm.
 func (m *Machine) SetBreakpoint(pa mem.PAddr) {
 	w := pa &^ 3
-	if m.breakpoints[w] {
-		return
+	if m.breakpoints[w] == 0 {
+		m.bpArms++
+		m.gen++
+		if f := int(w >> m.pageShift); f < len(m.bpPages) {
+			m.bpPages[f]++
+		}
 	}
-	m.bpArms++
-	m.gen++
-	m.breakpoints[w] = true
-	if f := int(w >> m.pageShift); f < len(m.bpPages) {
-		m.bpPages[f]++
-	}
+	m.breakpoints[w]++
 }
 
-// ClearBreakpoint disarms the breakpoint at pa.
+// ClearBreakpoint drops one arm reference on the breakpoint at pa,
+// physically disarming it when the last reference goes away. Clearing an
+// unarmed word is a no-op.
 func (m *Machine) ClearBreakpoint(pa mem.PAddr) {
 	w := pa &^ 3
-	if !m.breakpoints[w] {
+	n := m.breakpoints[w]
+	if n == 0 {
+		return
+	}
+	if n > 1 {
+		m.breakpoints[w] = n - 1
 		return
 	}
 	m.gen++
@@ -588,6 +652,10 @@ func (m *Machine) ClearBreakpoint(pa mem.PAddr) {
 		m.bpPages[f]--
 	}
 }
+
+// BreakpointRefs reports the arm count of the word containing pa. For
+// tests and assertions.
+func (m *Machine) BreakpointRefs(pa mem.PAddr) int { return int(m.breakpoints[pa&^3]) }
 
 // Counters reports machine event totals.
 type Counters struct {
@@ -715,13 +783,20 @@ func (m *Machine) Execute(t mem.TaskID, r mem.Ref) {
 	// uninstrumented runs never touch the map, and breakpoint-mechanism
 	// runs touch it only for fetches into pages carrying a breakpoint.
 	if r.Kind == mem.IFetch && len(m.breakpoints) != 0 &&
-		m.bpPages[pa>>m.pageShift] != 0 && m.breakpoints[pa&^3] {
+		m.bpPages[pa>>m.pageShift] != 0 && m.breakpoints[pa&^3] != 0 {
 		m.bpTraps++
 		if m.tel != nil {
 			m.tel.Event(telemetry.EvBreakpoint, int32(t), uint32(r.VA), uint32(pa), m.cycles)
 		}
 		m.gen++
 		m.os.BreakpointTrap(t, r.VA, pa)
+	}
+
+	// Ledgered mode checks the referenced word itself, decoupled from host
+	// cache residency. No-allocate stores are excluded: they never refill,
+	// so their traps are destroyed silently (write-around) in both modes.
+	if m.ledgered && (r.Kind != mem.Store || m.cfg.Proc.AllocateOnWrite) {
+		m.checkWordTrap(t, r, pa)
 	}
 
 	// Host cache access; ECC is checked only when a line is refilled.
@@ -852,6 +927,9 @@ func (m *Machine) runFast(t mem.TaskID, base mem.VAddr, n int) int {
 			m.checkECCOnRefill(t, mem.Ref{VA: base + mem.VAddr(4*done), Kind: mem.IFetch},
 				mem.PAddr(m.hostI.LineAddr(uint32(pa))), lineSize)
 		}
+		if m.ledgered {
+			m.checkWordTrap(t, mem.Ref{VA: base + mem.VAddr(4*done), Kind: mem.IFetch}, pa)
+		}
 		done++
 		pa += mem.PAddr(4)
 		if m.cycles >= m.nextTick {
@@ -868,6 +946,12 @@ func (m *Machine) runFast(t mem.TaskID, base mem.VAddr, n int) int {
 		}
 		if tickLeft := int(m.nextTick - m.cycles); w > tickLeft {
 			w = tickLeft
+		}
+		// Ledgered mode delivers per referenced word, so a bulk-charged
+		// streak must be trap-free; a trapped streak degrades to the
+		// per-word loop above, which delivers at the exact reference.
+		if m.ledgered && w > 0 && m.phys.Trapped(pa, 4*w) {
+			w = 0
 		}
 		if w > 0 {
 			m.instret += uint64(w)
@@ -954,8 +1038,20 @@ func (m *Machine) InvalidatePage(t mem.TaskID, va mem.VAddr) {
 	if e := &m.xl[vpn&(xlSlots-1)]; e.ok && e.task == t && e.vpn == vpn {
 		e.ok = false
 	}
+	m.pageInval++
 	m.gen++
 }
+
+// PageInvalidations counts InvalidatePage calls. Under gang attach the
+// kernel flips a page's valid bit — and so invalidates the micro-cache —
+// only when the *union* validity across members transitions; tests assert
+// on this counter to pin that protocol down.
+func (m *Machine) PageInvalidations() uint64 { return m.pageInval }
+
+// ReleaseBuffers returns the machine's pooled backing arrays (physical
+// memory bitsets) for reuse by a later run. The machine must not execute
+// again; experiment teardown calls this after results are extracted.
+func (m *Machine) ReleaseBuffers() { m.phys.Release() }
 
 // FastPathStats reports the fast path's self-counters: references resolved
 // through the translation micro-cache, and instructions charged in bulk by
@@ -969,6 +1065,9 @@ func (m *Machine) FastPathStats() (xlHits, runWords uint64) {
 // ECC and raises at most one memory-error trap per refill (the controller
 // latches the first failing address).
 func (m *Machine) checkECCOnRefill(t mem.TaskID, r mem.Ref, lineAddr mem.PAddr, lineSize int) {
+	if m.ledgered {
+		return // ledgered mode checks per referenced word instead
+	}
 	if !m.phys.Trapped(lineAddr, lineSize) {
 		return
 	}

@@ -86,6 +86,19 @@ type Phys struct {
 	// for words whose stored ECC differs from the correct encoding.
 	ecc map[uint32]uint64
 
+	// trapRef, when non-nil, holds a per-word trap reference count for
+	// gang-attached simulators: the physical check bit is flipped on the
+	// 0→1 transition and restored on the last release, so tw_clear_trap
+	// from one simulator never destroys another's trap. Allocated only by
+	// EnableTrapRefs; solo simulators pay nothing.
+	trapRef []uint8
+
+	// destroyed, if set, is called with the word-aligned address whenever
+	// something other than ReleaseTrapRef removes a refcounted trap (DMA
+	// writes, silent write-around clears, true-error correction). The gang
+	// layer uses it to drop every member's intent for the word.
+	destroyed func(pa PAddr)
+
 	trapsSet     uint64 // statistics: total tw_set_trap word-sets
 	trapsCleared uint64
 }
@@ -118,13 +131,24 @@ func NewPhys(frames, pageSize int) *Phys {
 	}
 	total := frames * pageSize
 	words := total / WordBytes
-	return &Phys{
+	p := &Phys{
 		pageSize: pageSize,
 		frames:   frames,
 		bytes:    total,
-		trapBits: make([]uint64, (words+63)/64),
-		ecc:      make(map[uint32]uint64),
 	}
+	p.trapBits, p.ecc = getPhysBuffers((words + 63) / 64)
+	return p
+}
+
+// Release returns the backing arrays to the per-geometry pool for reuse by
+// a later run with the same frame count. The Phys must not be used again;
+// callers release only at end-of-run teardown.
+func (p *Phys) Release() {
+	if p.trapBits == nil {
+		return
+	}
+	putPhysBuffers(p.trapBits, p.ecc, p.trapRef)
+	p.trapBits, p.ecc, p.trapRef = nil, nil, nil
 }
 
 // PageSize returns the machine page size in bytes.
@@ -245,6 +269,103 @@ func popcount(x uint64) int {
 // Stats reports cumulative counts of trap set/clear word operations.
 func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared }
 
+// --- Trap reference counts (gang attach) ---
+
+// EnableTrapRefs allocates the per-word trap reference counts used when
+// several simulators share one machine. Idempotent.
+func (p *Phys) EnableTrapRefs() {
+	if p.trapRef == nil {
+		p.trapRef = getTrapRefs(p.bytes / WordBytes)
+	}
+}
+
+// TrapRefsEnabled reports whether per-word reference counting is active.
+func (p *Phys) TrapRefsEnabled() bool { return p.trapRef != nil }
+
+// SetTrapDestroyedHook registers fn to be called (with a word-aligned
+// address) whenever a refcounted trap is destroyed by something other than
+// ReleaseTrapRef: DMA overwrites, silent write-around clears, true-error
+// correction. Pass nil to unregister.
+func (p *Phys) SetTrapDestroyedHook(fn func(pa PAddr)) { p.destroyed = fn }
+
+// TrapRefCount returns the reference count of the word containing pa
+// (0 when refcounting is disabled). For tests and assertions.
+func (p *Phys) TrapRefCount(pa PAddr) int {
+	if p.trapRef == nil {
+		return 0
+	}
+	return int(p.trapRef[p.wordIndex(pa)])
+}
+
+// noteDestroyed zeroes the word's reference count and notifies the gang
+// layer. Called from every non-ReleaseTrapRef path that removes the
+// Tapeworm check bit of a word while references are outstanding.
+func (p *Phys) noteDestroyed(w uint32) {
+	if p.trapRef == nil || p.trapRef[w] == 0 {
+		return
+	}
+	p.trapRef[w] = 0
+	if p.destroyed != nil {
+		p.destroyed(PAddr(w) * WordBytes)
+	}
+}
+
+// AddTrapRef takes one reference on the trap of the single word containing
+// pa, flipping the physical check bit on the 0→1 transition. It reports
+// false — and takes no reference — when the word carries a true memory
+// error, mirroring SetTrap's refusal to stack corruption on real faults.
+// EnableTrapRefs must have been called.
+func (c *Controller) AddTrapRef(pa PAddr) bool {
+	p := c.phys
+	if p.trapRef == nil {
+		panic("mem: AddTrapRef without EnableTrapRefs")
+	}
+	w := p.wordIndex(pa)
+	if p.trapRef[w] == 0 {
+		switch {
+		case p.ecc[w] == 0:
+			p.ecc[w] = 1 << twCheckBit
+			p.syncTrapBit(w)
+			p.trapsSet++
+		case p.ecc[w] == 1<<twCheckBit:
+			// Adopt an orphaned trap (set before refcounting began).
+		default:
+			return false // true error; never stack corruption
+		}
+	}
+	if p.trapRef[w] == ^uint8(0) {
+		panic("mem: trap reference count overflow")
+	}
+	p.trapRef[w]++
+	return true
+}
+
+// ReleaseTrapRef drops one reference on the word containing pa, restoring
+// correct ECC when the last reference goes away. Releasing a word whose
+// trap was already destroyed (count zero) is a no-op.
+func (c *Controller) ReleaseTrapRef(pa PAddr) {
+	p := c.phys
+	if p.trapRef == nil {
+		panic("mem: ReleaseTrapRef without EnableTrapRefs")
+	}
+	w := p.wordIndex(pa)
+	if p.trapRef[w] == 0 {
+		return
+	}
+	p.trapRef[w]--
+	if p.trapRef[w] != 0 {
+		return
+	}
+	if p.ecc[w]&(1<<twCheckBit) != 0 {
+		p.ecc[w] &^= 1 << twCheckBit
+		if p.ecc[w] == 0 {
+			delete(p.ecc, w)
+		}
+		p.syncTrapBit(w)
+		p.trapsCleared++
+	}
+}
+
 // --- ECC state ---
 
 // ECCState returns the corruption mask of the word containing pa
@@ -319,14 +440,21 @@ func (p *Phys) InjectError(pa PAddr, bit uint) {
 		delete(p.ecc, w)
 	}
 	p.syncTrapBit(w)
+	if p.ecc[w]&(1<<twCheckBit) == 0 {
+		p.noteDestroyed(w)
+	}
 }
 
 // CorrectWord restores correct ECC to the word at pa, as the kernel's
 // memory-error handler does after correcting a true single-bit error.
 func (p *Phys) CorrectWord(pa PAddr) {
 	w := p.wordIndex(pa)
+	hadTrap := p.ecc[w]&(1<<twCheckBit) != 0
 	delete(p.ecc, w)
 	p.syncTrapBit(w)
+	if hadTrap {
+		p.noteDestroyed(w)
+	}
 }
 
 // syncTrapBit keeps the dense bitset consistent with the sparse ECC state:
@@ -367,6 +495,9 @@ func (c *Controller) FlipTapewormBit(pa PAddr, size int) {
 			delete(c.phys.ecc, w)
 		}
 		c.phys.syncTrapBit(w)
+		if c.phys.ecc[w]&(1<<twCheckBit) == 0 {
+			c.phys.noteDestroyed(w)
+		}
 	}
 }
 
@@ -402,6 +533,7 @@ func (c *Controller) ClearTrap(pa PAddr, size int) {
 			}
 			c.phys.syncTrapBit(w)
 			c.phys.trapsCleared++
+			c.phys.noteDestroyed(w)
 		}
 	}
 }

@@ -1,0 +1,117 @@
+package mem
+
+// Per-run allocation pooling. Every experiment run boots a fresh machine,
+// and the dominant allocations are the dense per-word arrays sized by the
+// physical memory geometry: the trap bitset and (for gang runs) the trap
+// reference counts. Sweeps boot hundreds of machines with the same frame
+// count, so the arrays are recycled through per-size pools; fresh-boot
+// semantics are preserved by explicitly zeroing on reuse.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type physBuffers struct {
+	trapBits []uint64
+	ecc      map[uint32]uint64
+}
+
+var (
+	physPools   sync.Map // chunk count -> *sync.Pool of *physBuffers
+	trapRefPool sync.Map // word count  -> *sync.Pool of []uint8
+
+	poolEnabled atomic.Bool
+	poolGets    atomic.Uint64 // buffer requests
+	poolReuses  atomic.Uint64 // requests served from the pool
+)
+
+func init() { poolEnabled.Store(true) }
+
+// SetPoolEnabled turns the backing-array pools on or off. The bench driver
+// disables them to measure the before/after allocation counts; they are on
+// by default.
+func SetPoolEnabled(on bool) { poolEnabled.Store(on) }
+
+// PoolEnabled reports whether the backing-array pools are active.
+func PoolEnabled() bool { return poolEnabled.Load() }
+
+// PoolStats reports how many backing-array requests were made and how many
+// were served by reuse instead of a fresh allocation.
+func PoolStats() (gets, reuses uint64) { return poolGets.Load(), poolReuses.Load() }
+
+func getPhysBuffers(chunks int) ([]uint64, map[uint32]uint64) {
+	poolGets.Add(1)
+	if !poolEnabled.Load() {
+		return make([]uint64, chunks), make(map[uint32]uint64)
+	}
+	p, _ := physPools.LoadOrStore(chunks, &sync.Pool{})
+	if b, ok := p.(*sync.Pool).Get().(*physBuffers); ok {
+		poolReuses.Add(1)
+		clear(b.trapBits)
+		clear(b.ecc)
+		return b.trapBits, b.ecc
+	}
+	return make([]uint64, chunks), make(map[uint32]uint64)
+}
+
+func putPhysBuffers(trapBits []uint64, ecc map[uint32]uint64, trapRef []uint8) {
+	if !poolEnabled.Load() {
+		return
+	}
+	p, _ := physPools.LoadOrStore(len(trapBits), &sync.Pool{})
+	p.(*sync.Pool).Put(&physBuffers{trapBits: trapBits, ecc: ecc})
+	if trapRef != nil {
+		rp, _ := trapRefPool.LoadOrStore(len(trapRef), &sync.Pool{})
+		rp.(*sync.Pool).Put(&trapRef)
+	}
+}
+
+// frameTables is the kernel frame allocator's backing pair: the free list
+// (capacity for every allocatable frame) and the per-frame mapping counts.
+type frameTables struct {
+	free     []uint32
+	refcount []uint16
+}
+
+var frameTablePool sync.Map // total frame count -> *sync.Pool of *frameTables
+
+// GetFrameTables returns backing arrays for a frame allocator over
+// totalFrames frames: an empty free list with capacity totalFrames and a
+// zeroed refcount array of length totalFrames. Recycled arrays are reset
+// here so a reused boot is indistinguishable from a fresh one.
+func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16) {
+	poolGets.Add(1)
+	if poolEnabled.Load() {
+		p, _ := frameTablePool.LoadOrStore(totalFrames, &sync.Pool{})
+		if b, ok := p.(*sync.Pool).Get().(*frameTables); ok {
+			poolReuses.Add(1)
+			clear(b.refcount)
+			return b.free[:0], b.refcount
+		}
+	}
+	return make([]uint32, 0, totalFrames), make([]uint16, totalFrames)
+}
+
+// PutFrameTables recycles a frame allocator's backing arrays.
+func PutFrameTables(free []uint32, refcount []uint16) {
+	if !poolEnabled.Load() || free == nil || refcount == nil {
+		return
+	}
+	p, _ := frameTablePool.LoadOrStore(len(refcount), &sync.Pool{})
+	p.(*sync.Pool).Put(&frameTables{free: free, refcount: refcount})
+}
+
+func getTrapRefs(words int) []uint8 {
+	poolGets.Add(1)
+	if !poolEnabled.Load() {
+		return make([]uint8, words)
+	}
+	p, _ := trapRefPool.LoadOrStore(words, &sync.Pool{})
+	if r, ok := p.(*sync.Pool).Get().(*[]uint8); ok {
+		poolReuses.Add(1)
+		clear(*r)
+		return *r
+	}
+	return make([]uint8, words)
+}
