@@ -1,6 +1,7 @@
 GO ?= go
+TWVET = /tmp/twvet-bin
 
-.PHONY: build test verify verify-race verify-telemetry verify-fastpath verify-gang bench bench-json clean
+.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-gang bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -8,15 +9,29 @@ build:
 test:
 	$(GO) test ./...
 
-## verify: the tier-1 gate (see ROADMAP.md).
-verify: build test
+## twvet: run the repo's custom analyzers (internal/analysis, cmd/twvet)
+## over every package through the real `go vet -vettool` protocol. The
+## passes mechanize the simulation invariants: deterministic iteration in
+## result packages, nil-guarded telemetry on hot paths, balanced
+## trap/breakpoint/pool pairing, and Options.Validate at experiment
+## boundaries. See DESIGN.md §9 for the invariant catalog.
+twvet:
+	$(GO) build -o $(TWVET) ./cmd/twvet
+	$(GO) vet -vettool=$(TWVET) ./...
 
-## verify-race: tier-1 plus vet and the race detector. The run scheduler
-## fans independent simulations across goroutines; this target is the
+## vet: stock go vet plus the twvet suite.
+vet: twvet
+	$(GO) vet ./...
+
+## verify: the tier-1 gate (see ROADMAP.md): build, stock vet, the twvet
+## invariant suite, and the full test run.
+verify: build vet test
+
+## verify-race: tier-1 plus the race detector. The run scheduler fans
+## independent simulations across goroutines; this target is the
 ## concurrency gate for any change touching internal/sched or the
 ## experiment harness.
-verify-race:
-	$(GO) vet ./...
+verify-race: vet
 	$(GO) test -race ./...
 
 ## verify-telemetry: render Figure 2 with and without telemetry and diff

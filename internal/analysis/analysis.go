@@ -1,0 +1,174 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core, sized for this repository's needs:
+// it defines the Analyzer/Pass/Diagnostic vocabulary, speaks the
+// `go vet -vettool` unit-checker protocol, and carries a standalone
+// package loader built on `go list -export` so the same analyzers run
+// directly (`twvet ./...`) and under `go test` golden tests without any
+// module downloads.
+//
+// The analyzers themselves live under passes/ and mechanize the
+// simulator's hand-enforced invariants: deterministic iteration in
+// result-producing packages, zero-overhead-when-disabled telemetry,
+// balanced set/clear trap pairing (the Table 1 primitive discipline), and
+// options validation in experiment drivers. See DESIGN.md §9 for the
+// invariant catalog.
+//
+// Analyzers honor `//twvet:` directives in source comments:
+//
+//	//twvet:allow <check>   — suppress <check> on this line or the next
+//	                          (or the whole function, in a func doc)
+//	//twvet:transfer        — this function intentionally transfers trap
+//	                          or buffer ownership; pairing is not local
+//	//twvet:scope <check>   — opt this file into a path-scoped check
+//	                          (used by analyzer testdata)
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass: a name used in diagnostics
+// and directive matching, one line of documentation, and the function
+// applied to each package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one type-checked
+// package, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the package's import path as the build system named it.
+	// For test variants this can carry a " [pkg.test]" suffix; use
+	// CanonicalPath for scope matching.
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in go vet's file:line:col format with a
+// trailing twvet analyzer tag.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (twvet %s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// CanonicalPath is PkgPath with any build-system test-variant decoration
+// (" [tapeworm/x.test]") stripped, for suffix-based scope matching.
+func (p *Pass) CanonicalPath() string {
+	if i := strings.IndexByte(p.PkgPath, ' '); i >= 0 {
+		return p.PkgPath[:i]
+	}
+	return p.PkgPath
+}
+
+// PathInScope reports whether the canonical package path matches one of
+// the given import-path suffixes ("internal/core" matches
+// "tapeworm/internal/core" but not "tapeworm/internal/core2000").
+func (p *Pass) PathInScope(suffixes ...string) bool {
+	path := p.CanonicalPath()
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file is a _test.go file. The repo's
+// invariants constrain simulator code, not test assertions; every pass
+// skips test files so tests may deliberately violate pairing and order.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// newTypesInfo allocates a types.Info with every map populated, so passes
+// can rely on Uses/Defs/Selections/Types being present.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// runAnalyzers applies each analyzer to one type-checked package and
+// returns the diagnostics sorted by position.
+func runAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := pass // copy; each analyzer gets its own Analyzer/report binding
+		p.Analyzer = a
+		p.report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pass.PkgPath, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// CalleeFunc resolves the function or method named by a call expression,
+// or nil for builtins, conversions, and indirect calls.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}

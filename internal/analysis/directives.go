@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// directive is one parsed //twvet: comment: a verb ("allow", "transfer",
+// "scope") and its argument (the check name; empty for transfer).
+type directive struct {
+	verb string
+	arg  string
+}
+
+// Directives indexes the //twvet: comments of one file by line, plus the
+// file-level scope set. Build one per file with NewDirectives.
+type Directives struct {
+	byLine map[int][]directive
+	scopes map[string]bool
+	pass   *Pass
+	file   *ast.File
+}
+
+// NewDirectives parses every //twvet: comment in f.
+func NewDirectives(pass *Pass, f *ast.File) *Directives {
+	d := &Directives{byLine: map[int][]directive{}, scopes: map[string]bool{}, pass: pass, file: f}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//twvet:")
+			if !ok {
+				continue
+			}
+			// Allow trailing prose after the machine-readable fields:
+			// "//twvet:allow maporder — commutative accumulation".
+			fields := strings.Fields(text)
+			if len(fields) == 0 {
+				continue
+			}
+			dir := directive{verb: fields[0]}
+			if len(fields) > 1 {
+				dir.arg = fields[1]
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			d.byLine[line] = append(d.byLine[line], dir)
+			if dir.verb == "scope" {
+				d.scopes[dir.arg] = true
+			}
+		}
+	}
+	return d
+}
+
+// Scoped reports whether the file opts into the named check via a
+// file-level //twvet:scope directive (used by analyzer testdata to stand
+// in for the real in-scope packages).
+func (d *Directives) Scoped(check string) bool { return d.scopes[check] }
+
+// hasAt reports a directive with the given verb and arg on the exact line.
+func (d *Directives) hasAt(line int, verb, arg string) bool {
+	for _, dir := range d.byLine[line] {
+		if dir.verb == verb && (arg == "" || dir.arg == arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowedAt reports whether the statement at pos is excused from the
+// named check by an //twvet:allow directive on its own line or on the
+// line immediately above it.
+func (d *Directives) AllowedAt(pos ast.Node, check string) bool {
+	line := d.pass.Fset.Position(pos.Pos()).Line
+	return d.hasAt(line, "allow", check) || d.hasAt(line-1, "allow", check)
+}
+
+// FuncDirective reports whether the function declaration carries the
+// given directive, either in its doc comment or on the line above the
+// declaration.
+func (d *Directives) FuncDirective(fn *ast.FuncDecl, verb, arg string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			text, ok := strings.CutPrefix(c.Text, "//twvet:")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) > 0 && fields[0] == verb &&
+				(arg == "" || (len(fields) > 1 && fields[1] == arg)) {
+				return true
+			}
+		}
+	}
+	line := d.pass.Fset.Position(fn.Pos()).Line
+	return d.hasAt(line, verb, arg) || d.hasAt(line-1, verb, arg)
+}
+
+// FuncAllowed reports whether the enclosing function excuses the check
+// for its whole body.
+func (d *Directives) FuncAllowed(fn *ast.FuncDecl, check string) bool {
+	return fn != nil && d.FuncDirective(fn, "allow", check)
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// PathHasSuffix reports whether an import path equals suffix or ends in
+// "/"+suffix.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// PathHasSegment reports whether the import path contains the given
+// path segment ("cmd" matches "tapeworm/cmd/twbench", not "cmdutil").
+func PathHasSegment(path, segment string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == segment {
+			return true
+		}
+	}
+	return false
+}
+
+// ImportPathOf unquotes an import spec's path.
+func ImportPathOf(imp *ast.ImportSpec) (string, error) {
+	return strconv.Unquote(imp.Path.Value)
+}
+
+// EnclosingFunc returns the innermost function declaration on an
+// ancestor stack, or nil.
+func EnclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fn, ok := stack[i].(*ast.FuncDecl); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// EnclosingBlockStmts returns the statement list of the innermost block
+// (or switch/select clause body) on an ancestor stack.
+func EnclosingBlockStmts(stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			return b.List
+		case *ast.CaseClause:
+			return b.Body
+		case *ast.CommClause:
+			return b.Body
+		}
+	}
+	return nil
+}

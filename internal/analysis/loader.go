@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// listPackages shells out to `go list -export -deps -json` for the given
+// patterns, returning every package in the dependency closure with its
+// compiled export-data file. -export builds through the local build
+// cache, so this works without any network or pre-installed archives.
+func listPackages(dir string, patterns []string) (map[string]*listedPackage, []*listedPackage, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	byPath := map[string]*listedPackage{}
+	var roots []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list -export: decoding: %v", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		if !lp.DepOnly {
+			roots = append(roots, &lp)
+		}
+	}
+	return byPath, roots, nil
+}
+
+// exportImporter resolves imports through compiled export data located by
+// the lookup map (import path -> export file). The gc importer handles
+// "unsafe" itself.
+func exportImporter(fset *token.FileSet, exports func(path string) string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file := exports(path)
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// LoadedPackage is one source-type-checked package ready for analysis.
+type LoadedPackage struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Load type-checks the packages matched by patterns (e.g. "./...") from
+// source, resolving their imports through export data produced by
+// `go list -export`. Test files are not loaded; under `go vet -vettool`
+// the build system hands the analyzers test-augmented packages itself.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	byPath, roots, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*LoadedPackage
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range root.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(root.Dir, name)
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{
+			Importer: exportImporter(fset, func(path string) string {
+				if p := byPath[path]; p != nil {
+					return p.Export
+				}
+				return ""
+			}),
+			Sizes: types.SizesFor("gc", build.Default.GOARCH),
+		}
+		pkg, err := conf.Check(root.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", root.ImportPath, err)
+		}
+		out = append(out, &LoadedPackage{
+			PkgPath:   root.ImportPath,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// LoadFiles type-checks one ad-hoc package from the given source files.
+// The analysistest harness uses this for testdata packages, which are
+// invisible to `go list`; their imports are still resolved through
+// export data produced by `go list -export` run in dir (so testdata may
+// import real module packages and the standard library).
+func LoadFiles(dir, pkgPath string, filenames []string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, path := range filenames {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := ImportPathOf(imp); err == nil && p != "unsafe" {
+				imports[p] = true
+			}
+		}
+	}
+	byPath := map[string]*listedPackage{}
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		var err error
+		byPath, _, err = listPackages(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	info := newTypesInfo()
+	conf := types.Config{
+		Importer: exportImporter(fset, func(path string) string {
+			if p := byPath[path]; p != nil {
+				return p.Export
+			}
+			return ""
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", pkgPath, err)
+	}
+	return &LoadedPackage{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Analyze applies the analyzers to one loaded package.
+func Analyze(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return runAnalyzers(Pass{
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.TypesInfo,
+		PkgPath:   lp.PkgPath,
+	}, analyzers)
+}
+
+// Run loads the packages matched by patterns and applies every analyzer,
+// returning all diagnostics in package order.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			PkgPath:   pkg.PkgPath,
+		}, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}
+
+// moduleRelative trims pos filenames below dir for terser standalone
+// output; unitchecker mode keeps the build system's absolute paths.
+func moduleRelative(dir string, d Diagnostic) Diagnostic {
+	if rel, err := filepath.Rel(dir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "det")
+}
+
+func TestCmdClockExempt(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "cmd/clockok")
+}

@@ -1,0 +1,10 @@
+// Package clockok sits under a cmd/ path segment, where wall-clock
+// progress reporting is allowed without annotation.
+package clockok
+
+import "time"
+
+// Elapsed reports wall-clock progress; exempt by package path.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

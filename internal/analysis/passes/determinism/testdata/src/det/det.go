@@ -1,0 +1,66 @@
+// Package det exercises the determinism analyzer: map iteration order,
+// wall-clock reads, and nondeterministic random sources.
+//
+//twvet:scope determinism
+package det
+
+import (
+	"math/rand" // want `import of math/rand in a deterministic package`
+	"sort"
+	"time"
+)
+
+// Unordered iterates a map with observable order.
+func Unordered(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want `nondeterministic order`
+		total += v + len(k)
+	}
+	return total
+}
+
+// Keyless observes no keys, so order cannot leak.
+func Keyless(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CollectThenSort is the sanctioned sorted-iteration idiom.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Allowed is a commutative accumulation, annotated as such.
+func Allowed(m map[string]int) int {
+	total := 0
+	//twvet:allow maporder — summation is order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// WallClock reads the clock in a deterministic package.
+func WallClock() int64 {
+	return time.Now().Unix() // want `reads the wall clock`
+}
+
+// AllowedClock is excused by annotation.
+func AllowedClock() int64 {
+	//twvet:allow walltime — explanatory prose is fine here
+	return time.Now().Unix()
+}
+
+// Rand draws from the unseeded global stream; the import line carries
+// the diagnostic.
+func Rand() int {
+	return rand.Int()
+}

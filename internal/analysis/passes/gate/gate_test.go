@@ -1,0 +1,12 @@
+package gate_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/gate"
+)
+
+func TestGate(t *testing.T) {
+	analysistest.Run(t, gate.Analyzer, "gatecase")
+}

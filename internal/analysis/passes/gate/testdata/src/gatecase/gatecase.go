@@ -1,0 +1,80 @@
+// Package gatecase exercises the gate analyzer: exported drivers must
+// validate their options before using them.
+//
+//twvet:scope gate
+package gatecase
+
+import "errors"
+
+// Options is a validatable options struct.
+type Options struct {
+	Frames int
+}
+
+// Validate rejects out-of-range options.
+func (o Options) Validate() error {
+	if o.Frames <= 0 {
+		return errors.New("frames must be positive")
+	}
+	return nil
+}
+
+// Good validates first, handling the error.
+func Good(o Options) (int, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	return o.Frames * 2, nil
+}
+
+// GoodPointer validates a pointer receiver param first.
+func GoodPointer(o *Options) (int, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	return o.Frames * 2, nil
+}
+
+// Bad uses the options before validating.
+func Bad(o Options) int {
+	return o.Frames * 2 // want `uses o before calling o.Validate`
+}
+
+// BadDiscard validates but throws the error away.
+func BadDiscard(o Options) int {
+	_ = o.Validate() // want `ignores the error`
+	return o.Frames * 2
+}
+
+// BadBare calls Validate as a statement, dropping the error entirely.
+func BadBare(o Options) int {
+	o.Validate() // want `ignores the error`
+	return o.Frames * 2
+}
+
+// Allowed is an internal re-entry point whose caller already validated.
+//
+//twvet:allow gate
+func Allowed(o Options) int {
+	return o.Frames * 2
+}
+
+// unexported functions are trusted: validation happens at the exported
+// boundary.
+func helper(o Options) int {
+	return o.Frames
+}
+
+// NoOptions takes nothing validatable and is out of the analyzer's
+// reach.
+func NoOptions(n int) int {
+	if helper(Options{Frames: n}) > 0 {
+		return n
+	}
+	return 0
+}
+
+// UnusedOptions never touches the options, so there is nothing to gate.
+func UnusedOptions(o Options, n int) int {
+	return n
+}

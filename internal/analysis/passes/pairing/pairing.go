@@ -1,0 +1,565 @@
+// Package pairing enforces the paper's paired-primitive discipline
+// (Table 1: tw_set_trap has tw_clear_trap, every arm has a disarm) on the
+// Go reproduction's resource pairs: mem trap reference counts, mach
+// instruction-breakpoint arm/clear, the sync.Pool-backed buffer recycling
+// in mem/pool.go, and the kernel's pooled boot buffers released by
+// Kernel.ReleaseBuffers.
+//
+// The analysis is intra-procedural and structural: within one function,
+// every path — fallthrough, early return, both arms of a conditional,
+// each loop iteration — must acquire and release each resource the same
+// number of times, with deferred releases credited at every exit.
+// Functions that intentionally move ownership across a function boundary
+// (an arm kept until a later trap, a pool handing a buffer to its caller)
+// declare so with //twvet:transfer, which is the machine-checked version
+// of "this imbalance is the design".
+//
+// Functions containing goto are skipped (none exist in this repo).
+package pairing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tapeworm/internal/analysis"
+)
+
+// Analyzer is the paired set/clear balance pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pairing",
+	Doc:  "paired acquire/release primitives must balance on every path through a function (//twvet:transfer to move ownership)",
+	Run:  run,
+}
+
+// pair describes one refcounted resource: the fully qualified acquire
+// and release functions (types.Func.FullName form).
+type pair struct {
+	name     string
+	acquires map[string]bool
+	releases map[string]bool
+}
+
+var pairs = []pair{
+	{
+		name:     "mem trap refcount",
+		acquires: set("(*tapeworm/internal/mem.Controller).AddTrapRef"),
+		releases: set("(*tapeworm/internal/mem.Controller).ReleaseTrapRef"),
+	},
+	{
+		name:     "mach breakpoint arm",
+		acquires: set("(*tapeworm/internal/mach.Machine).SetBreakpoint"),
+		releases: set("(*tapeworm/internal/mach.Machine).ClearBreakpoint"),
+	},
+	{
+		name:     "sync.Pool buffer",
+		acquires: set("(*sync.Pool).Get"),
+		releases: set("(*sync.Pool).Put"),
+	},
+	{
+		name:     "pooled frame tables",
+		acquires: set("tapeworm/internal/mem.GetFrameTables"),
+		releases: set("tapeworm/internal/mem.PutFrameTables"),
+	},
+	{
+		name:     "pooled phys buffers",
+		acquires: set("tapeworm/internal/mem.getPhysBuffers", "tapeworm/internal/mem.getTrapRefs"),
+		releases: set("tapeworm/internal/mem.putPhysBuffers"),
+	},
+	{
+		name:     "kernel boot buffers",
+		acquires: set("tapeworm/internal/kernel.Boot"),
+		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseBuffers"),
+	},
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// classify returns the per-pair delta of one resolved callee: +1 for an
+// acquire, -1 for a release, 0 otherwise.
+func classify(fn *types.Func) (idx int, delta int) {
+	full := fn.FullName()
+	for i, p := range pairs {
+		if p.acquires[full] {
+			return i, +1
+		}
+		if p.releases[full] {
+			return i, -1
+		}
+	}
+	return -1, 0
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		dirs := analysis.NewDirectives(pass, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if dirs.FuncDirective(fn, "transfer", "") {
+				continue
+			}
+			checkFunc(pass, dirs, fn)
+		}
+	}
+	return nil
+}
+
+// bal is the per-pair acquire-minus-release count along one path.
+type bal []int
+
+func zero() bal { return make(bal, len(pairs)) }
+
+func (b bal) clone() bal {
+	c := make(bal, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bal) add(o bal) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+func (b bal) equal(o bal) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bal) isZero() bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checker evaluates one function body.
+type checker struct {
+	pass     *analysis.Pass
+	dirs     *analysis.Directives
+	fn       *ast.FuncDecl
+	deferred bal // releases (and acquires) registered by defer statements
+	reported bool
+}
+
+// state is the abstract execution state at one program point.
+type state struct {
+	b          bal
+	terminated bool
+}
+
+func checkFunc(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl) {
+	if hasGoto(fn.Body) {
+		return
+	}
+	c := &checker{pass: pass, dirs: dirs, fn: fn, deferred: zero()}
+	st := c.block(fn.Body.List, state{b: zero()})
+	if !st.terminated {
+		c.checkExit(st.b, fn.Body.Rbrace)
+	}
+}
+
+// checkExit verifies balance-plus-deferred is zero at a function exit.
+func (c *checker) checkExit(b bal, pos token.Pos) {
+	if c.reported {
+		return // one report per function keeps the output readable
+	}
+	net := b.clone()
+	net.add(c.deferred)
+	for i, v := range net {
+		if v != 0 {
+			verb := "acquired but not released"
+			if v < 0 {
+				verb = "released more times than acquired"
+			}
+			c.pass.Reportf(pos,
+				"%s %s on this path through %s: balance set/clear pairs or annotate the function //twvet:transfer",
+				pairs[i].name, verb, c.fn.Name.Name)
+			c.reported = true
+			return
+		}
+	}
+}
+
+// block evaluates a statement list. It recognizes the failed-acquire
+// idiom across statement boundaries: after `x, err := Acquire(...)`, the
+// branch taken when `err != nil` never acquired the resource.
+func (c *checker) block(stmts []ast.Stmt, st state) state {
+	var pend *failedAcquire
+	for _, s := range stmts {
+		if st.terminated {
+			break
+		}
+		if ifs, ok := s.(*ast.IfStmt); ok {
+			st = c.ifStmt(ifs, st, pend)
+			pend = nil
+			continue
+		}
+		pend = nil
+		if asg, ok := s.(*ast.AssignStmt); ok {
+			pend = c.acquireWithErr(asg)
+		}
+		st = c.stmt(s, st)
+	}
+	return st
+}
+
+// failedAcquire records an acquire statement that also produced an error
+// value, so the immediately following `if err != nil` check can discount
+// the acquire on its failing branch.
+type failedAcquire struct {
+	errObj types.Object
+	delta  bal
+}
+
+// acquireWithErr reports whether the assignment both performs an acquire
+// and binds an error-typed variable (the acquire's failure signal).
+func (c *checker) acquireWithErr(asg *ast.AssignStmt) *failedAcquire {
+	delta := zero()
+	c.scanCalls(asg, delta, true)
+	acquired := false
+	for i, v := range delta {
+		if v > 0 {
+			acquired = true
+		} else if v < 0 {
+			delta[i] = 0 // only discount acquires, never releases
+		}
+	}
+	if !acquired {
+		return nil
+	}
+	for _, lhs := range asg.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			return &failedAcquire{errObj: obj, delta: delta}
+		}
+	}
+	return nil
+}
+
+// condIsErrNotNil reports whether cond is `err != nil` for the given
+// error object.
+func condIsErrNotNil(pass *analysis.Pass, cond ast.Expr, errObj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (matches(be.X) && isNil(be.Y)) || (matches(be.Y) && isNil(be.X))
+}
+
+// ifStmt evaluates an if statement; pend carries a preceding
+// acquire-with-error whose failing branch should discount the acquire.
+func (c *checker) ifStmt(s *ast.IfStmt, st state, pend *failedAcquire) state {
+	if s.Init != nil {
+		st = c.stmt(s.Init, st)
+		if asg, ok := s.Init.(*ast.AssignStmt); ok {
+			if fa := c.acquireWithErr(asg); fa != nil {
+				pend = fa
+			}
+		}
+	}
+	c.scanExpr(s.Cond, st.b)
+	thenB := st.b.clone()
+	if pend != nil && condIsErrNotNil(c.pass, s.Cond, pend.errObj) {
+		// Failing branch of the acquire's own error check: the resource
+		// was never acquired there.
+		for i := range thenB {
+			thenB[i] -= pend.delta[i]
+		}
+	}
+	thenSt := c.block(s.Body.List, state{b: thenB})
+	elseSt := state{b: st.b.clone()}
+	if s.Else != nil {
+		elseSt = c.stmt(s.Else, elseSt)
+	}
+	return c.merge(s, []state{thenSt, elseSt})
+}
+
+// stmt evaluates one statement.
+func (c *checker) stmt(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, st.b)
+		}
+		c.checkExit(st.b, s.Pos())
+		st.terminated = true
+		return st
+
+	case *ast.DeferStmt:
+		c.scanDefer(s.Call, st.b)
+		return st
+
+	case *ast.IfStmt:
+		return c.ifStmt(s, st, nil)
+
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st.b)
+		}
+		c.loopBody(s.Body, s.Post, st.b)
+		return st
+
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st.b)
+		c.loopBody(s.Body, nil, st.b)
+		return st
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.multiway(s, st)
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		// break/continue leave the enclosing loop or switch arm; the
+		// loop-neutrality check in loopBody covers the loop cases.
+		st.terminated = true
+		return st
+
+	default:
+		// Assignments, expression statements, declarations, go, send:
+		// count every call in source order; net effect is order-free.
+		c.scanNode(s, st.b)
+		if exits(c.pass, s) {
+			st.terminated = true
+		}
+		return st
+	}
+}
+
+// merge joins the branch states of a conditional: surviving branches
+// must agree on every resource balance.
+func (c *checker) merge(at ast.Node, branches []state) state {
+	var alive []state
+	for _, b := range branches {
+		if !b.terminated {
+			alive = append(alive, b)
+		}
+	}
+	if len(alive) == 0 {
+		return state{terminated: true}
+	}
+	first := alive[0]
+	for _, b := range alive[1:] {
+		if !b.b.equal(first.b) && !c.reported {
+			c.pass.Reportf(at.Pos(),
+				"paths through this branch disagree on paired acquire/release balance in %s: balance each arm or annotate the function //twvet:transfer",
+				c.fn.Name.Name)
+			c.reported = true
+			break
+		}
+	}
+	return first
+}
+
+// multiway evaluates switch/type-switch/select as parallel branches.
+func (c *checker) multiway(s ast.Stmt, st state) state {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st.b)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = c.stmt(s.Init, st)
+		}
+		c.scanNode(s.Assign, st.b)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	branches := []state{}
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scanExpr(e, st.b)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.scanNode(cl.Comm, st.b)
+			}
+			stmts = cl.Body
+		}
+		branches = append(branches, c.block(stmts, state{b: st.b.clone()}))
+	}
+	if !hasDefault {
+		// No default: the zero-delta fallthrough path exists too.
+		branches = append(branches, state{b: st.b.clone()})
+	}
+	return c.merge(s, branches)
+}
+
+// loopBody requires a loop body to be resource-neutral per iteration.
+// It evaluates from the loop-entry balance so returns inside the body are
+// checked against the true path balance (entry + iteration so far).
+func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, entry bal) {
+	st := c.block(body.List, state{b: entry.clone()})
+	if post != nil && !st.terminated {
+		st = c.stmt(post, st)
+	}
+	if !st.terminated && !c.reported {
+		for i := range st.b {
+			if v := st.b[i] - entry[i]; v != 0 {
+				verb := "acquires"
+				if v < 0 {
+					verb = "over-releases"
+				}
+				c.pass.Reportf(body.Pos(),
+					"loop iteration %s %s without balancing it: balance the body or annotate the function //twvet:transfer",
+					verb, pairs[i].name)
+				c.reported = true
+				return
+			}
+		}
+	}
+}
+
+// scanDefer registers a deferred call's deltas (including those inside a
+// deferred closure) to be credited at every exit reached after this
+// statement. Argument expressions evaluate immediately, so their deltas
+// land in the current balance.
+func (c *checker) scanDefer(call *ast.CallExpr, now bal) {
+	for _, arg := range call.Args {
+		c.scanExpr(arg, now)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		c.scanCalls(lit.Body, c.deferred, false)
+		return
+	}
+	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+		if i, d := classify(fn); i >= 0 {
+			c.deferred[i] += d
+		}
+	}
+}
+
+// scanExpr accumulates the deltas of every paired call in an expression.
+// Function literals are skipped: their bodies execute elsewhere and are
+// checked as their own scopes.
+func (c *checker) scanExpr(e ast.Expr, into bal) {
+	if e == nil {
+		return
+	}
+	c.scanCalls(e, into, true)
+}
+
+// scanNode accumulates deltas over any node.
+func (c *checker) scanNode(n ast.Node, into bal) {
+	if n == nil {
+		return
+	}
+	c.scanCalls(n, into, true)
+}
+
+// scanCalls walks n counting paired calls. When skipFuncLits is set,
+// closure bodies are not descended into.
+func (c *checker) scanCalls(n ast.Node, into bal, skipFuncLits bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && skipFuncLits {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+			if i, d := classify(fn); i >= 0 {
+				into[i] += d
+			}
+		}
+		return true
+	})
+}
+
+// exits reports whether the statement unconditionally leaves the
+// function: panic, os.Exit, log.Fatal*.
+func exits(pass *analysis.Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isUse := pass.TypesInfo.Uses[id].(*types.Builtin); isUse || pass.TypesInfo.Uses[id] == nil {
+			return true
+		}
+	}
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		full := fn.FullName()
+		switch full {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// hasGoto reports whether the body contains a goto statement.
+func hasGoto(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok.String() == "goto" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package pairing_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/pairing"
+)
+
+func TestPairing(t *testing.T) {
+	analysistest.Run(t, pairing.Analyzer, "pair")
+}

@@ -1,0 +1,100 @@
+// Package pair exercises the pairing analyzer on the sync.Pool pair and
+// the repo's trap/breakpoint primitives.
+package pair
+
+import (
+	"errors"
+	"sync"
+
+	"tapeworm/internal/mach"
+	"tapeworm/internal/mem"
+)
+
+var pool sync.Pool
+
+// Balanced gets and puts on every path.
+func Balanced() int {
+	b := pool.Get()
+	n := 0
+	if b != nil {
+		n = 1
+	}
+	pool.Put(b)
+	return n
+}
+
+// DeferBalanced releases via defer, which covers every exit.
+func DeferBalanced(fail bool) error {
+	b := pool.Get()
+	defer pool.Put(b)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// LeakOnEarlyReturn forgets the Put on the error path.
+func LeakOnEarlyReturn(fail bool) error {
+	b := pool.Get()
+	if fail {
+		return errFail // want `acquired but not released`
+	}
+	pool.Put(b)
+	return nil
+}
+
+// BranchImbalance puts on only one arm.
+func BranchImbalance(flip bool) {
+	b := pool.Get()
+	if flip { // want `paths through this branch disagree`
+		pool.Put(b)
+	}
+}
+
+// LoopLeak acquires once per iteration without releasing.
+func LoopLeak(n int) {
+	for i := 0; i < n; i++ { // want `loop iteration acquires`
+		_ = pool.Get()
+	}
+}
+
+// LoopBalanced is neutral per iteration.
+func LoopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.Get()
+		pool.Put(b)
+	}
+}
+
+// Transfer hands the buffer to its caller by design.
+//
+//twvet:transfer
+func Transfer() any {
+	return pool.Get()
+}
+
+// ArmWithoutClear leaves a breakpoint armed past the function boundary.
+func ArmWithoutClear(m *mach.Machine, pa mem.PAddr) {
+	m.SetBreakpoint(pa)
+} // want `mach breakpoint arm acquired but not released`
+
+// ArmClear balances the breakpoint pair.
+func ArmClear(m *mach.Machine, pa mem.PAddr) {
+	m.SetBreakpoint(pa)
+	m.ClearBreakpoint(pa)
+}
+
+// RefBalanced pairs the trap refcount calls on the straight-line path.
+func RefBalanced(c *mem.Controller, pa mem.PAddr) {
+	c.AddTrapRef(pa)
+	c.ReleaseTrapRef(pa)
+}
+
+var errFail = errors.New("fail")
+
+// Panics terminates without releasing: panic exits are not balance
+// checked (the process is tearing down).
+func Panics() {
+	_ = pool.Get()
+	panic("unreachable")
+}

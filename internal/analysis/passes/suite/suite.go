@@ -1,0 +1,20 @@
+// Package suite assembles the canonical twvet analyzer set.
+package suite
+
+import (
+	"tapeworm/internal/analysis"
+	"tapeworm/internal/analysis/passes/determinism"
+	"tapeworm/internal/analysis/passes/gate"
+	"tapeworm/internal/analysis/passes/pairing"
+	"tapeworm/internal/analysis/passes/telemetryguard"
+)
+
+// All returns the analyzers twvet runs, in report order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		gate.Analyzer,
+		pairing.Analyzer,
+		telemetryguard.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package telemetryguard_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/telemetryguard"
+)
+
+func TestTelemetryGuard(t *testing.T) {
+	analysistest.Run(t, telemetryguard.Analyzer, "tel")
+}

@@ -1,0 +1,73 @@
+// Package tel exercises the telemetryguard analyzer against the real
+// telemetry.Run type.
+//
+//twvet:scope telemetryguard
+package tel
+
+import "tapeworm/internal/telemetry"
+
+// Sim stands in for a hot-path component holding an optional telemetry
+// run.
+type Sim struct {
+	tel *telemetry.Run
+	n   uint64
+}
+
+func (s *Sim) telemetry() *telemetry.Run { return s.tel }
+
+// Unguarded calls a recording method with no dominating nil check.
+func (s *Sim) Unguarded() {
+	s.tel.Count("misses", 1) // want `not guarded`
+}
+
+// GuardedIf is the enclosing-if idiom.
+func (s *Sim) GuardedIf() {
+	if s.tel != nil {
+		s.tel.Count("misses", 1)
+	}
+}
+
+// GuardedEnabled guards through the Enabled accessor.
+func (s *Sim) GuardedEnabled() {
+	if s.tel.Enabled() {
+		s.tel.Event(telemetry.EvBreakpoint, 1, 0, 0, s.n)
+	}
+}
+
+// GuardedEarlyReturn is the bail-out idiom used by ReportTelemetry.
+func (s *Sim) GuardedEarlyReturn() {
+	if s.tel == nil {
+		return
+	}
+	s.tel.SetCounter("misses", s.n)
+	s.tel.SetTiming(1, 2, 3)
+}
+
+// GuardedConjunction establishes the guard inside a compound condition.
+func (s *Sim) GuardedConjunction(hot bool) {
+	if s.tel != nil && hot {
+		s.tel.Count("hot", 1)
+	}
+}
+
+// WrongBranch checks the receiver but records on the nil branch.
+func (s *Sim) WrongBranch() {
+	if s.tel == nil {
+		s.tel.Count("misses", 1) // want `not guarded`
+	}
+}
+
+// CallReceiver reaches the run through an accessor, which would execute
+// even when telemetry is off.
+func (s *Sim) CallReceiver() {
+	if s.telemetry() != nil {
+		s.telemetry().Count("misses", 1) // want `not a simple expression`
+	}
+}
+
+// Allowed is excused by annotation: a cold path where the double call is
+// acceptable.
+func (s *Sim) Allowed() {
+	//twvet:allow telemetry — cold path, runs once per report
+	s.tel.Count("misses", 1)
+}

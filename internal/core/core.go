@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"tapeworm/internal/arch"
 	"tapeworm/internal/cache"
@@ -129,6 +130,24 @@ type Stats struct {
 type vkey struct {
 	t   mem.TaskID
 	vpn uint32
+}
+
+// vkeyCompare orders vkeys by (task, vpn) for deterministic iteration
+// over vkey-keyed maps.
+func vkeyCompare(a, b vkey) int {
+	if a.t != b.t {
+		if a.t < b.t {
+			return -1
+		}
+		return 1
+	}
+	if a.vpn != b.vpn {
+		if a.vpn < b.vpn {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // pageState tracks one registered physical page.
@@ -780,6 +799,7 @@ func (tw *Tapeworm) MissesByComponent() [kernel.NumComponents]uint64 {
 // MissesByTask returns the per-task miss counts.
 func (tw *Tapeworm) MissesByTask() map[mem.TaskID]uint64 {
 	out := make(map[mem.TaskID]uint64, len(tw.missesByTask))
+	//twvet:allow maporder — copying into a fresh map is order-insensitive
 	for k, v := range tw.missesByTask {
 		out[k] = v
 	}
@@ -820,7 +840,15 @@ func (tw *Tapeworm) CheckInvariant(toleratedLeaks uint64) error {
 		}
 	}
 	var leaks uint64
-	for frame, ps := range tw.pages {
+	// Iterate frames in sorted order so the first invariant violation
+	// reported is the same on every run.
+	frames := make([]uint32, 0, len(tw.pages))
+	for frame := range tw.pages {
+		frames = append(frames, frame)
+	}
+	slices.Sort(frames)
+	for _, frame := range frames {
+		ps := tw.pages[frame]
 		pa := mem.PAddr(frame) << tw.pageBits
 		var va mem.VAddr
 		if len(ps.mappings) > 0 {
@@ -867,7 +895,14 @@ func (tw *Tapeworm) residentAnywhere(ps *pageState, pa mem.PAddr, pageOff uint32
 // checkTLBInvariant verifies that simulated-TLB residency matches page
 // valid bits for every tracked mapping.
 func (tw *Tapeworm) checkTLBInvariant() error {
+	// Sorted iteration: the first violation reported must not depend on
+	// map order.
+	keys := make([]vkey, 0, len(tw.mapVP))
 	for key := range tw.mapVP {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, vkeyCompare)
+	for _, key := range keys {
 		if key.t == mem.KernelTask {
 			continue
 		}

@@ -32,6 +32,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mach"
@@ -119,6 +120,10 @@ func (g *Gang) Members() []*Tapeworm { return g.members }
 // union (reference counts drop; physical traps disappear only where no
 // other member holds them) and its invalid-page intents are returned. The
 // member's statistics stay readable; it receives no further events.
+// Releases traps the member acquired over its whole attachment, so the
+// per-call balance is intentionally one-sided.
+//
+//twvet:transfer
 func (g *Gang) Detach(tw *Tapeworm) error {
 	idx := -1
 	for i, m := range g.members {
@@ -148,7 +153,15 @@ func (g *Gang) Detach(tw *Tapeworm) error {
 			tw.intent[ci] = 0
 		}
 	}
+	// Restoring validity touches shared kernel page state, so walk the
+	// member's invalid-intent set in sorted order: detach must leave the
+	// gang in the same state regardless of map iteration order.
+	keys := make([]vkey, 0, len(tw.tlbInvalid))
 	for key := range tw.tlbInvalid {
+		keys = append(keys, key)
+	}
+	slices.SortFunc(keys, vkeyCompare)
+	for _, key := range keys {
 		va := mem.VAddr(key.vpn) << g.pageBits
 		if err := g.memberSetPageValid(tw, key.t, va, true); err != nil {
 			return err
@@ -235,6 +248,10 @@ type gangMech struct {
 // union refcount (ECC) or the breakpoint refcount. Words carrying a true
 // memory error refuse the trap (AddTrapRef returns false), matching the
 // solo mechanism's inability to distinguish its own syndrome there.
+// Ownership of the acquired refs lives in the member's intent set until
+// ClearTrap or Detach.
+//
+//twvet:transfer
 func (gm *gangMech) SetTrap(pa mem.PAddr, size int) {
 	if size <= 0 {
 		size = mem.WordBytes
@@ -258,6 +275,8 @@ func (gm *gangMech) SetTrap(pa mem.PAddr, size int) {
 
 // ClearTrap releases each word the member holds; the physical trap
 // disappears only when the last holder releases.
+//
+//twvet:transfer
 func (gm *gangMech) ClearTrap(pa mem.PAddr, size int) {
 	if size <= 0 {
 		size = mem.WordBytes

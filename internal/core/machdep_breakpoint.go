@@ -19,7 +19,10 @@ type breakpointMech struct {
 
 func newBreakpointMech(m *mach.Machine) *breakpointMech { return &breakpointMech{m: m} }
 
-// SetTrap plants one breakpoint per word of the range.
+// SetTrap plants one breakpoint per word of the range. The armed state is
+// owned by the Tapeworm page tables; ClearTrap releases it.
+//
+//twvet:transfer
 func (b *breakpointMech) SetTrap(pa mem.PAddr, size int) {
 	if size <= 0 {
 		size = mem.WordBytes
@@ -29,7 +32,9 @@ func (b *breakpointMech) SetTrap(pa mem.PAddr, size int) {
 	}
 }
 
-// ClearTrap removes the range's breakpoints.
+// ClearTrap removes the range's breakpoints armed by SetTrap.
+//
+//twvet:transfer
 func (b *breakpointMech) ClearTrap(pa mem.PAddr, size int) {
 	if size <= 0 {
 		size = mem.WordBytes

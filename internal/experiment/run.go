@@ -76,6 +76,9 @@ func run(rc runConfig) (runResult, error) {
 	if err != nil {
 		return res, err
 	}
+	// Deferred so error returns below recycle the pooled boot buffers too;
+	// an early return used to leak them for the rest of the sweep.
+	defer k.ReleaseBuffers()
 
 	var tw *core.Tapeworm
 	if rc.tw != nil {
@@ -157,7 +160,6 @@ func run(rc runConfig) (runResult, error) {
 			rc.tel.SetCounter("pixie_refs", res.pixieRefs)
 		}
 	}
-	k.ReleaseBuffers()
 	return res, nil
 }
 
@@ -183,6 +185,9 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// As in run: deferred so the attach/spawn error paths recycle the
+	// pooled boot buffers instead of leaking them.
+	defer k.ReleaseBuffers()
 
 	cfgs := make([]core.Config, len(rcs))
 	for i, rc := range rcs {
@@ -254,7 +259,6 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 		}
 		out[i] = res
 	}
-	k.ReleaseBuffers()
 	return out, nil
 }
 

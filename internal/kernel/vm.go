@@ -148,6 +148,10 @@ type frameAllocator struct {
 	refcount []uint16 // per-frame mapping count (shared pages)
 }
 
+// newFrameAllocator builds the allocator over pooled backing arrays; the
+// returned allocator owns them until Kernel.ReleaseBuffers.
+//
+//twvet:transfer
 func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAllocator {
 	// Backing arrays come from the per-size pool (sweeps boot hundreds of
 	// machines with identical geometry); GetFrameTables hands them back

@@ -125,6 +125,10 @@ func CheckPhysSize(frames, pageSize int) error {
 // NewPhys creates a physical memory of frames pages of pageSize bytes each.
 // pageSize must be a power of two and a multiple of the word size; callers
 // that need an error instead of a panic should run CheckPhysSize first.
+// Ownership of the pooled backing arrays moves into the returned Phys;
+// Release hands them back.
+//
+//twvet:transfer
 func NewPhys(frames, pageSize int) *Phys {
 	if err := CheckPhysSize(frames, pageSize); err != nil {
 		panic(err.Error())
@@ -143,6 +147,8 @@ func NewPhys(frames, pageSize int) *Phys {
 // Release returns the backing arrays to the per-geometry pool for reuse by
 // a later run with the same frame count. The Phys must not be used again;
 // callers release only at end-of-run teardown.
+//
+//twvet:transfer
 func (p *Phys) Release() {
 	if p.trapBits == nil {
 		return
@@ -272,7 +278,10 @@ func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared
 // --- Trap reference counts (gang attach) ---
 
 // EnableTrapRefs allocates the per-word trap reference counts used when
-// several simulators share one machine. Idempotent.
+// several simulators share one machine. Idempotent. The pooled array is
+// owned by the Phys until Release.
+//
+//twvet:transfer
 func (p *Phys) EnableTrapRefs() {
 	if p.trapRef == nil {
 		p.trapRef = getTrapRefs(p.bytes / WordBytes)

@@ -40,6 +40,10 @@ func PoolEnabled() bool { return poolEnabled.Load() }
 // were served by reuse instead of a fresh allocation.
 func PoolStats() (gets, reuses uint64) { return poolGets.Load(), poolReuses.Load() }
 
+// getPhysBuffers hands a pooled (or fresh) trap bitset and ECC map to the
+// caller, which owns them until putPhysBuffers.
+//
+//twvet:transfer
 func getPhysBuffers(chunks int) ([]uint64, map[uint32]uint64) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
@@ -55,6 +59,9 @@ func getPhysBuffers(chunks int) ([]uint64, map[uint32]uint64) {
 	return make([]uint64, chunks), make(map[uint32]uint64)
 }
 
+// putPhysBuffers takes ownership of the arrays back into the pools.
+//
+//twvet:transfer
 func putPhysBuffers(trapBits []uint64, ecc map[uint32]uint64, trapRef []uint8) {
 	if !poolEnabled.Load() {
 		return
@@ -79,7 +86,10 @@ var frameTablePool sync.Map // total frame count -> *sync.Pool of *frameTables
 // GetFrameTables returns backing arrays for a frame allocator over
 // totalFrames frames: an empty free list with capacity totalFrames and a
 // zeroed refcount array of length totalFrames. Recycled arrays are reset
-// here so a reused boot is indistinguishable from a fresh one.
+// here so a reused boot is indistinguishable from a fresh one. The caller
+// owns the arrays until PutFrameTables.
+//
+//twvet:transfer
 func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16) {
 	poolGets.Add(1)
 	if poolEnabled.Load() {
@@ -94,6 +104,8 @@ func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16) {
 }
 
 // PutFrameTables recycles a frame allocator's backing arrays.
+//
+//twvet:transfer
 func PutFrameTables(free []uint32, refcount []uint16) {
 	if !poolEnabled.Load() || free == nil || refcount == nil {
 		return
@@ -102,6 +114,10 @@ func PutFrameTables(free []uint32, refcount []uint16) {
 	p.(*sync.Pool).Put(&frameTables{free: free, refcount: refcount})
 }
 
+// getTrapRefs hands a pooled (or fresh) trap refcount array to the
+// caller; putPhysBuffers returns it.
+//
+//twvet:transfer
 func getTrapRefs(words int) []uint8 {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {

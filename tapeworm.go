@@ -169,7 +169,11 @@ type System struct {
 	k *kernel.Kernel
 }
 
-// NewSystem boots a machine and kernel.
+// NewSystem boots a machine and kernel. The system owns the boot's
+// pooled buffers; call Kernel().ReleaseBuffers() at end-of-run teardown
+// to recycle them.
+//
+//twvet:transfer
 func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.Machine.Proc == nil {
 		cfg.Machine = DECstation(8192)
