@@ -1,7 +1,7 @@
 GO ?= go
 TWVET = /tmp/twvet-bin
 
-.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-gang bench bench-json clean
+.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-compiled verify-gang verify-gang-demux bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,25 @@ verify-fastpath:
 	diff /tmp/vf-metrics-fast.flt /tmp/vf-metrics-slow.flt
 	@echo "verify-fastpath: tables and metrics byte-identical, fast path on/off"
 
+## verify-compiled: render Figure 2 with the compiled workload replay on
+## and off, serial and parallel, and diff every table — the byte-identity
+## gate for program compilation. Timing lines are filtered as above.
+verify-compiled:
+	$(GO) build -o /tmp/twbench-vc ./cmd/twbench
+	/tmp/twbench-vc -run figure2 -scale 4000 -trials 2 -q -parallel 1 \
+		> /tmp/vc-on-p1.txt
+	/tmp/twbench-vc -run figure2 -scale 4000 -trials 2 -q -parallel 1 \
+		-compile=false > /tmp/vc-off-p1.txt
+	/tmp/twbench-vc -run figure2 -scale 4000 -trials 2 -q -parallel 8 \
+		> /tmp/vc-on-p8.txt
+	/tmp/twbench-vc -run figure2 -scale 4000 -trials 2 -q -parallel 8 \
+		-compile=false > /tmp/vc-off-p8.txt
+	grep -v 'completed in' /tmp/vc-on-p1.txt > /tmp/vc-ref.flt
+	for f in vc-off-p1 vc-on-p8 vc-off-p8; do \
+		grep -v 'completed in' /tmp/$$f.txt > /tmp/$$f.flt && \
+		diff /tmp/vc-ref.flt /tmp/$$f.flt || exit 1; done
+	@echo "verify-compiled: tables byte-identical, compiled replay on/off"
+
 ## verify-gang: render every gang-eligible experiment (the accuracy tables
 ## and Figure 3) ganged and solo, serial and parallel, with and without
 ## telemetry, and diff every table — the byte-identity gate for ganged
@@ -98,15 +117,34 @@ verify-gang:
 		diff /tmp/vg-ref.flt /tmp/$$f.flt || exit 1; done
 	@echo "verify-gang: tables byte-identical, ganged vs solo, telemetry on/off"
 
+## verify-gang-demux: render the gang-eligible experiments under the
+## member-intent bitset trap demux and the per-member linear walk, serial
+## and parallel, and diff every table — the byte-identity gate for the
+## batched gang trap delivery.
+verify-gang-demux:
+	$(GO) build -o /tmp/twbench-vgd ./cmd/twbench
+	/tmp/twbench-vgd -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 1 \
+		> /tmp/vgd-bitset-p1.txt
+	/tmp/twbench-vgd -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 1 \
+		-gang-demux linear > /tmp/vgd-linear-p1.txt
+	/tmp/twbench-vgd -run $(VG_EXPS) -scale 4000 -trials 2 -q -parallel 8 \
+		-gang-demux linear > /tmp/vgd-linear-p8.txt
+	grep -v 'completed in' /tmp/vgd-bitset-p1.txt > /tmp/vgd-ref.flt
+	for f in vgd-linear-p1 vgd-linear-p8; do \
+		grep -v 'completed in' /tmp/$$f.txt > /tmp/$$f.flt && \
+		diff /tmp/vgd-ref.flt /tmp/$$f.flt || exit 1; done
+	@echo "verify-gang-demux: tables byte-identical, bitset vs linear demux"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## bench-json: record the fast-vs-baseline perf trajectory for Figure 2 at
-## the bench_test.go conditions, plus the ganged accuracy-sweep suite
-## (figure3/table8/table9 ganged vs solo, with allocation counts), writing
-## BENCH_<label>.json (label defaults to "pr4"; override with
+## the bench_test.go conditions, the ganged accuracy-sweep suite
+## (figure3/table8/table9 ganged vs solo, with allocation counts), the
+## gang member-count scaling curve, and the per-workload hot loop, writing
+## BENCH_<label>.json (label defaults to "pr6"; override with
 ## BENCH_LABEL=...).
-BENCH_LABEL ?= pr4
+BENCH_LABEL ?= pr6
 bench-json:
 	$(GO) build -o /tmp/twbench-bj ./cmd/twbench
 	/tmp/twbench-bj -bench-json $(BENCH_LABEL) -run figure2 \

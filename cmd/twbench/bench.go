@@ -9,20 +9,27 @@ import (
 	"time"
 
 	"tapeworm"
+	"tapeworm/internal/cache"
+	"tapeworm/internal/core"
 	"tapeworm/internal/experiment"
+	"tapeworm/internal/kernel"
 	"tapeworm/internal/mem"
+	"tapeworm/internal/workload"
 )
 
 // benchVersion identifies the BENCH_<label>.json schema. Bump it when a
 // field changes meaning so downstream tooling can refuse mismatches.
 // Version 2 adds the ganged accuracy-sweep suite and allocation counts.
-const benchVersion = 2
+// Version 3 extends hot_loop to every paper workload (with compiled-path
+// timings), adds the gang member-count scaling curve, and reports
+// per-experiment backing-array pool statistics.
+const benchVersion = 3
 
 // benchReport is the machine-readable perf trajectory emitted by
 // -bench-json: wall-clock per experiment with the fast path on and off,
-// the ganged accuracy-sweep suite against its solo baseline, plus an
-// isolated hot-loop measurement in simulated instruction fetches per
-// second.
+// the ganged accuracy-sweep suite against its solo baseline, the gang
+// speedup as a function of member count, plus per-workload hot-loop
+// measurements in simulated instruction fetches per second.
 type benchReport struct {
 	Version     int               `json:"version"`
 	Label       string            `json:"label"`
@@ -32,17 +39,22 @@ type benchReport struct {
 	Parallelism int               `json:"parallelism"`
 	Experiments []benchExperiment `json:"experiments"`
 	Gang        benchGangSuite    `json:"gang"`
-	HotLoop     benchHotLoop      `json:"hot_loop"`
+	GangScaling benchGangScaling  `json:"gang_scaling"`
+	HotLoop     []benchHotLoop    `json:"hot_loop"`
 }
 
 // benchExperiment times one experiment's full regeneration. Baseline is
 // the per-reference path (NoFastPath); the outputs are byte-identical, so
-// the ratio is pure execution overhead.
+// the ratio is pure execution overhead. PoolGets/PoolReuses count the
+// backing-array pool traffic of the fast run; with pre-warming, reuses
+// should track gets from the first boot on.
 type benchExperiment struct {
 	ID              string  `json:"id"`
 	FastSeconds     float64 `json:"fast_seconds"`
 	BaselineSeconds float64 `json:"baseline_seconds"`
 	Speedup         float64 `json:"speedup"`
+	PoolGets        uint64  `json:"pool_gets"`
+	PoolReuses      uint64  `json:"pool_reuses"`
 }
 
 // gangSuiteIDs is the ganged accuracy-sweep suite: the experiments whose
@@ -80,14 +92,38 @@ type benchGang struct {
 	PoolReuses          uint64  `json:"pool_reuses"`
 }
 
+// benchGangScaling is the gang speedup as a function of member count:
+// for each point, one execution drives N simulated caches and is timed
+// against N gang-of-1 executions of the same configurations. Outputs are
+// byte-identical (TestGangDemuxByteIdentityWide), so the ratio is pure
+// execution sharing.
+type benchGangScaling struct {
+	Workload string           `json:"workload"`
+	Points   []benchGangPoint `json:"points"`
+}
+
+// benchGangPoint is one member count on the scaling curve.
+type benchGangPoint struct {
+	Members       int     `json:"members"`
+	SoloSeconds   float64 `json:"solo_seconds"`
+	GangedSeconds float64 `json:"ganged_seconds"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // benchHotLoop isolates the simulation core on one uninstrumented
-// workload run; refs counts instruction-fetch references.
+// workload run; refs counts instruction-fetch references. Fast is the
+// default configuration (batched fast path, compiled replay); interp
+// keeps the fast path but drives the interpreted program; baseline is the
+// per-reference path. Compile time is excluded: the image cache amortizes
+// it across every run of a (spec, seed) pair, which is how sweeps use it.
 type benchHotLoop struct {
 	Workload           string  `json:"workload"`
 	Instructions       uint64  `json:"instructions"`
 	FastSeconds        float64 `json:"fast_seconds"`
+	InterpSeconds      float64 `json:"interp_seconds"`
 	BaselineSeconds    float64 `json:"baseline_seconds"`
 	FastRefsPerSec     float64 `json:"fast_refs_per_sec"`
+	InterpRefsPerSec   float64 `json:"interp_refs_per_sec"`
 	BaselineRefsPerSec float64 `json:"baseline_refs_per_sec"`
 	Speedup            float64 `json:"speedup"`
 }
@@ -102,37 +138,41 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 		Parallelism: opts.Parallelism,
 	}
 
-	timeOne := func(id string, noFast bool) (float64, error) {
+	timeOne := func(id string, noFast bool) (seconds float64, gets, reuses uint64, err error) {
 		fn, err := experiment.ByID(id)
 		if err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		o := opts
 		o.Progress = nil
 		o.Telemetry = nil
 		o.NoFastPath = noFast
+		g0, r0 := mem.PoolStats()
 		start := time.Now()
 		if _, err := fn(o); err != nil {
-			return 0, fmt.Errorf("%s: %w", id, err)
+			return 0, 0, 0, fmt.Errorf("%s: %w", id, err)
 		}
-		return time.Since(start).Seconds(), nil
+		seconds = time.Since(start).Seconds()
+		g1, r1 := mem.PoolStats()
+		return seconds, g1 - g0, r1 - r0, nil
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
-		fast, err := timeOne(id, false)
+		fast, gets, reuses, err := timeOne(id, false)
 		if err != nil {
 			return err
 		}
-		base, err := timeOne(id, true)
+		base, _, _, err := timeOne(id, true)
 		if err != nil {
 			return err
 		}
 		rep.Experiments = append(rep.Experiments, benchExperiment{
 			ID: id, FastSeconds: fast, BaselineSeconds: base,
-			Speedup: base / fast,
+			Speedup:  base / fast,
+			PoolGets: gets, PoolReuses: reuses,
 		})
-		fmt.Fprintf(os.Stderr, "  bench %-9s fast %6.2fs  baseline %6.2fs  speedup %.2fx\n",
-			id, fast, base, base/fast)
+		fmt.Fprintf(os.Stderr, "  bench %-9s fast %6.2fs  baseline %6.2fs  speedup %.2fx  (%d/%d pool reuses)\n",
+			id, fast, base, base/fast, reuses, gets)
 	}
 
 	gangSuite, err := benchGangSuiteRun(opts)
@@ -141,13 +181,21 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 	}
 	rep.Gang = gangSuite
 
-	hot, err := benchHot(opts.Seed)
+	scaling, err := benchGangScalingRun(opts.Seed)
 	if err != nil {
 		return err
 	}
-	rep.HotLoop = hot
-	fmt.Fprintf(os.Stderr, "  bench hot-loop  fast %6.2fs  baseline %6.2fs  speedup %.2fx  (%.0f refs/s fast)\n",
-		hot.FastSeconds, hot.BaselineSeconds, hot.Speedup, hot.FastRefsPerSec)
+	rep.GangScaling = scaling
+
+	for _, wl := range workload.Names() {
+		hot, err := benchHot(wl, opts.Seed)
+		if err != nil {
+			return err
+		}
+		rep.HotLoop = append(rep.HotLoop, hot)
+		fmt.Fprintf(os.Stderr, "  bench hot-loop %-10s fast %5.2fs  interp %5.2fs  baseline %5.2fs  speedup %5.2fx  (%.0f refs/s fast)\n",
+			wl, hot.FastSeconds, hot.InterpSeconds, hot.BaselineSeconds, hot.Speedup, hot.FastRefsPerSec)
+	}
 
 	path := fmt.Sprintf("BENCH_%s.json", label)
 	f, err := os.Create(path)
@@ -228,44 +276,134 @@ func benchGangSuiteRun(opts experiment.Options) (benchGangSuite, error) {
 	return suite, nil
 }
 
-// benchHot times one uninstrumented workload run end to end, fast path on
-// and off. The runs are identical simulations (the verify-fastpath
-// invariant), so instructions are counted once.
-func benchHot(seed uint64) (benchHotLoop, error) {
-	const workload, scale = "eqntott", 2000
-	run := func(noFast bool) (uint64, float64, error) {
+// benchHot times one uninstrumented run of the named workload end to end
+// in three configurations: fast (batched fast path, compiled replay),
+// interp (fast path, interpreted program), and baseline (per-reference
+// path). All three are identical simulations (the verify-fastpath and
+// verify-compiled invariants), so instructions are counted once.
+func benchHot(wl string, seed uint64) (benchHotLoop, error) {
+	const scale = 2000
+	run := func(noFast, noCompile bool) (uint64, float64, error) {
 		cfg := tapeworm.SystemConfig{Seed: seed, Machine: tapeworm.DECstation(4096)}
 		cfg.Machine.NoFastPath = noFast
 		sys, err := tapeworm.NewSystem(cfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		if _, err := sys.LoadWorkload(workload, scale, seed, false); err != nil {
+		spec, err := workload.ByName(wl, scale)
+		if err != nil {
 			return 0, 0, err
 		}
+		var prog kernel.Program
+		if noCompile {
+			prog, err = workload.New(spec, seed)
+		} else {
+			prog, err = workload.NewPlanned(spec, seed)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		sys.SpawnProgram(spec.Name, prog, false, false)
 		start := time.Now()
 		if err := sys.Run(0); err != nil {
 			return 0, 0, err
 		}
 		return sys.Monitor().Instructions, time.Since(start).Seconds(), nil
 	}
-	instr, fast, err := run(false)
+	instr, fast, err := run(false, false)
 	if err != nil {
 		return benchHotLoop{}, err
 	}
-	baseInstr, base, err := run(true)
+	interpInstr, interp, err := run(false, true)
 	if err != nil {
 		return benchHotLoop{}, err
 	}
-	if baseInstr != instr {
+	baseInstr, base, err := run(true, true)
+	if err != nil {
+		return benchHotLoop{}, err
+	}
+	if baseInstr != instr || interpInstr != instr {
 		return benchHotLoop{}, fmt.Errorf(
-			"bench: fast and baseline runs diverged: %d vs %d instructions", instr, baseInstr)
+			"bench: %s runs diverged: %d/%d/%d instructions", wl, instr, interpInstr, baseInstr)
 	}
 	return benchHotLoop{
-		Workload: workload, Instructions: instr,
-		FastSeconds: fast, BaselineSeconds: base,
+		Workload: wl, Instructions: instr,
+		FastSeconds: fast, InterpSeconds: interp, BaselineSeconds: base,
 		FastRefsPerSec:     float64(instr) / fast,
+		InterpRefsPerSec:   float64(instr) / interp,
 		BaselineRefsPerSec: float64(instr) / base,
 		Speedup:            base / fast,
 	}, nil
+}
+
+// scalingConfigs builds n distinct cache configurations for the gang
+// scaling curve, cycling sizes, line widths, associativities and
+// indexing so the gang simulates a genuine design-space sweep.
+func scalingConfigs(n int) []core.Config {
+	cfgs := make([]core.Config, n)
+	for i := range cfgs {
+		idx := cache.PhysIndexed
+		if i%2 == 1 {
+			idx = cache.VirtIndexed
+		}
+		cfgs[i] = core.Config{
+			Mode: core.ModeICache,
+			Cache: cache.Config{
+				Size:     4 << (10 + i%4),
+				LineSize: 16 << (i % 2),
+				Assoc:    1 << (i % 3),
+				Indexing: idx,
+			},
+			Sampling: core.FullSampling(),
+		}
+	}
+	return cfgs
+}
+
+// benchGangScalingRun measures the gang speedup curve: for each member
+// count N, one execution driving all N simulators is timed against N
+// separate gang-of-1 executions of the same configurations.
+func benchGangScalingRun(seed uint64) (benchGangScaling, error) {
+	const wl, scale = "eqntott", 2000
+	out := benchGangScaling{Workload: wl}
+	runOnce := func(cfgs []core.Config) (float64, error) {
+		cfg := tapeworm.SystemConfig{Seed: seed, Machine: tapeworm.DECstation(4096)}
+		sys, err := tapeworm.NewSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := core.AttachGang(sys.Kernel(), cfgs); err != nil {
+			return 0, err
+		}
+		if _, err := sys.LoadWorkload(wl, scale, seed, true); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if err := sys.Run(0); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		cfgs := scalingConfigs(n)
+		ganged, err := runOnce(cfgs)
+		if err != nil {
+			return out, err
+		}
+		var solo float64
+		for i := range cfgs {
+			s, err := runOnce(cfgs[i : i+1])
+			if err != nil {
+				return out, err
+			}
+			solo += s
+		}
+		out.Points = append(out.Points, benchGangPoint{
+			Members: n, SoloSeconds: solo, GangedSeconds: ganged,
+			Speedup: solo / ganged,
+		})
+		fmt.Fprintf(os.Stderr, "  bench gang-scaling N=%-2d  solo %6.2fs  ganged %6.2fs  speedup %.2fx\n",
+			n, solo, ganged, solo/ganged)
+	}
+	return out, nil
 }

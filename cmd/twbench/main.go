@@ -11,7 +11,9 @@
 //	twbench -o report.txt           # also write the report to a file
 //	twbench -metrics m.json -trace t.jsonl   # machine-readable telemetry
 //	twbench -fastpath=false         # force the per-reference execution path
+//	twbench -compile=false          # force the interpreted workload programs
 //	twbench -gang=false             # run every configuration as its own execution
+//	twbench -gang-demux linear      # per-member linear gang trap demux
 //	twbench -bench-json pr4         # time fast vs. baseline and ganged vs. solo, write BENCH_pr4.json
 //
 // Each experiment's independent machine runs execute on a worker pool
@@ -50,7 +52,9 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
 		fastpath   = flag.Bool("fastpath", true, "use the batched hit fast path (results are byte-identical either way)")
+		compile    = flag.Bool("compile", true, "replay pre-compiled workload programs (results are byte-identical either way)")
 		gang       = flag.Bool("gang", true, "group gang-eligible runs into shared executions (results are byte-identical either way)")
+		gangDemux  = flag.String("gang-demux", "bitset", "gang trap demux strategy: bitset or linear (results are byte-identical either way)")
 		benchLabel = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark and the ganged accuracy-sweep suite, and write BENCH_<label>.json")
 	)
 	flag.Parse()
@@ -64,7 +68,11 @@ func main() {
 
 	opts := experiment.Options{
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
-		Parallelism: *parallel, NoFastPath: !*fastpath, NoGang: !*gang,
+		Parallelism: *parallel, NoFastPath: !*fastpath, NoCompile: !*compile,
+		NoGang: !*gang, LinearGangDemux: *gangDemux == "linear",
+	}
+	if *gangDemux != "bitset" && *gangDemux != "linear" {
+		fail(fmt.Errorf("-gang-demux must be bitset or linear, got %q", *gangDemux))
 	}
 	if err := opts.Validate(); err != nil {
 		fail(err)

@@ -29,9 +29,13 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // resultPkgs are the packages whose rendered tables, reports, and event
-// streams must be byte-identical run to run.
+// streams must be byte-identical run to run. internal/workload is in
+// scope because the program compiler is seed-pure: a compiled replay must
+// be bit-identical to the interpreter, so the package may not introduce
+// iteration-order or clock nondeterminism.
 var resultPkgs = []string{
 	"internal/core", "internal/experiment", "internal/stats", "internal/telemetry",
+	"internal/workload",
 }
 
 // clockExempt are packages allowed to read the wall clock: telemetry owns

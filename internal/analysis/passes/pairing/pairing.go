@@ -47,6 +47,16 @@ var pairs = []pair{
 		releases: set("(*tapeworm/internal/mem.Controller).ReleaseTrapRef"),
 	},
 	{
+		// The hierarchical refcount summary (mem: refChunk/refSuper per
+		// chunk of trapRef words): a 0→nonzero increment recorded in the
+		// summary must be balanced by a nonzero→0 decrement, or the
+		// summary diverges from the word-level refs it indexes and
+		// selective pool re-zeroing skips dirty chunks.
+		name:     "trap refcount chunk summary",
+		acquires: set("(*tapeworm/internal/mem.Phys).refChunkInc"),
+		releases: set("(*tapeworm/internal/mem.Phys).refChunkDec"),
+	},
+	{
 		name:     "mach breakpoint arm",
 		acquires: set("(*tapeworm/internal/mach.Machine).SetBreakpoint"),
 		releases: set("(*tapeworm/internal/mach.Machine).ClearBreakpoint"),

@@ -10,3 +10,10 @@ import (
 func TestPairing(t *testing.T) {
 	analysistest.Run(t, pairing.Analyzer, "pair")
 }
+
+// TestPairingRefChunkSummary checks the hierarchical trap-refcount
+// summary pair against a stand-in package declared under the real import
+// path, so the fully qualified method names match.
+func TestPairingRefChunkSummary(t *testing.T) {
+	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/mem")
+}

@@ -194,6 +194,7 @@ type Tapeworm struct {
 	// member-local view of the union trap set; tlbInvalid is the set of
 	// (task, page) mappings this member currently holds invalid (TLB mode).
 	gang       *Gang
+	gangIdx    int // member index; bit position in the gang's demux masks
 	ledger     uint64
 	intent     []uint64
 	tlbInvalid map[vkey]bool

@@ -56,6 +56,70 @@ type Gang struct {
 	// members currently want (task, page) to trap. The physical page-valid
 	// bit flips only on 0↔1 transitions of this count.
 	invalid map[vkey]int
+
+	// Member-intent reverse index for batch trap demux. For gangs of at
+	// most 64 members, maskPages[wi>>maskPageShift] is a lazily allocated
+	// 1024-word page whose entry for word wi is the bitset of member
+	// indices holding wi in their intent set. A union trap fire then
+	// demultiplexes with one word load and a bit walk instead of probing
+	// every member's private bitset. The invariant — mask bit i set iff
+	// member i's intent covers the word — is maintained at every intent
+	// mutation (gangMech.SetTrap/ClearTrap, Detach, trapDestroyed).
+	maskPages [][]uint64
+	liveMask  uint64 // bit i set while member i is live
+	eccMask   uint64 // bit i set for ECC cache-mode members
+	bpMask    uint64 // bit i set for breakpoint cache-mode members
+
+	// invalidMask is the TLB-mode analogue: the bitset of members holding
+	// (task, page) invalid, keyed like invalid. One lookup replaces the
+	// per-member tlbInvalid map probes on every invalid-page trap.
+	invalidMask map[vkey]uint64
+
+	// wide gangs (>64 members) exceed the mask width; linear forces the
+	// per-member probe walk for the `make verify-gang-demux` byte-identity
+	// gate. Either way delivery falls back to the original linear demux,
+	// which visits members in the same ascending index order as the bit
+	// walk — results are identical by construction.
+	wide   bool
+	linear bool
+}
+
+// maskPageShift sizes the lazily allocated mask pages at 1024 words
+// (8 KB per page); trap sets are sparse, so most pages stay nil.
+const (
+	maskPageShift = 10
+	maskPageWords = 1 << maskPageShift
+)
+
+// SetLinearDemux forces (true) or re-enables (false) the per-member
+// linear trap demux in place of the member-intent bitset walk. Results
+// are byte-identical either way; the verify-gang-demux gate runs both.
+func (g *Gang) SetLinearDemux(v bool) { g.linear = v }
+
+// bitsetDemux reports whether trap delivery may take the mask walk.
+func (g *Gang) bitsetDemux() bool { return !g.wide && !g.linear }
+
+func (g *Gang) maskSet(wi uint32, bit uint64) {
+	pi := wi >> maskPageShift
+	pg := g.maskPages[pi]
+	if pg == nil {
+		pg = make([]uint64, maskPageWords)
+		g.maskPages[pi] = pg
+	}
+	pg[wi&(maskPageWords-1)] |= bit
+}
+
+func (g *Gang) maskClear(wi uint32, bit uint64) {
+	if pg := g.maskPages[wi>>maskPageShift]; pg != nil {
+		pg[wi&(maskPageWords-1)] &^= bit
+	}
+}
+
+func (g *Gang) maskAt(wi uint32) uint64 {
+	if pg := g.maskPages[wi>>maskPageShift]; pg != nil {
+		return pg[wi&(maskPageWords-1)]
+	}
+	return 0
 }
 
 // AttachGang builds one Tapeworm per configuration on the booted kernel k
@@ -82,19 +146,36 @@ func AttachGang(k *kernel.Kernel, cfgs []Config) (*Gang, error) {
 	phys.EnableTrapRefs()
 	phys.SetTrapDestroyedHook(g.trapDestroyed)
 
-	chunks := (phys.Bytes()/mem.WordBytes + 63) / 64
-	for _, cfg := range cfgs {
+	words := phys.Bytes() / mem.WordBytes
+	chunks := (words + 63) / 64
+	g.wide = len(cfgs) > 64
+	if !g.wide {
+		g.maskPages = make([][]uint64, (words+maskPageWords-1)/maskPageWords)
+		g.invalidMask = make(map[vkey]uint64)
+	}
+	for i, cfg := range cfgs {
 		tw, err := build(k, cfg)
 		if err != nil {
 			return nil, err
 		}
 		tw.gang = g
+		tw.gangIdx = i
 		if cfg.Mode == ModeTLB {
 			tw.tlbInvalid = make(map[vkey]bool)
 		} else {
 			_, bp := tw.mech.(*breakpointMech)
 			tw.mech = &gangMech{tw: tw, inner: tw.mech, ecc: !bp}
 			tw.intent = make([]uint64, chunks)
+			if !g.wide {
+				if bp {
+					g.bpMask |= 1 << uint(i)
+				} else {
+					g.eccMask |= 1 << uint(i)
+				}
+			}
+		}
+		if !g.wide {
+			g.liveMask |= 1 << uint(i)
 		}
 		g.members = append(g.members, tw)
 		g.live = append(g.live, true)
@@ -136,18 +217,24 @@ func (g *Gang) Detach(tw *Tapeworm) error {
 		return fmt.Errorf("core: simulator not attached to this gang")
 	}
 	g.live[idx] = false
+	g.liveMask &^= 1 << uint(idx)
 
 	if tw.intent != nil {
 		gm := tw.mech.(*gangMech)
+		memberBit := uint64(1) << uint(idx)
 		for ci, word := range tw.intent {
 			for word != 0 {
 				b := bits.TrailingZeros64(word)
 				word &^= 1 << uint(b)
-				pa := mem.PAddr(uint32(ci*64+b)) * mem.WordBytes
+				wi := uint32(ci*64 + b)
+				pa := mem.PAddr(wi) * mem.WordBytes
 				if gm.ecc {
 					g.m.Controller().ReleaseTrapRef(pa)
 				} else {
 					g.m.ClearBreakpoint(pa)
+				}
+				if !g.wide {
+					g.maskClear(wi, memberBit)
 				}
 			}
 			tw.intent[ci] = 0
@@ -176,6 +263,16 @@ func (g *Gang) Detach(tw *Tapeworm) error {
 // the word is cleared — exactly as each solo run would lose its own trap.
 func (g *Gang) trapDestroyed(pa mem.PAddr) {
 	wi := uint32(pa) / mem.WordBytes
+	if g.bitsetDemux() {
+		m := g.maskAt(wi) & g.eccMask & g.liveMask
+		for w := m; w != 0; {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			g.members[b].intentClear(wi)
+		}
+		g.maskClear(wi, m)
+		return
+	}
 	for i, tw := range g.members {
 		if !g.live[i] || tw.intent == nil {
 			continue
@@ -184,6 +281,9 @@ func (g *Gang) trapDestroyed(pa mem.PAddr) {
 			continue // breakpoints live in mach, untouched by ECC destruction
 		}
 		tw.intentClear(wi)
+		if !g.wide {
+			g.maskClear(wi, 1<<uint(i))
+		}
 	}
 }
 
@@ -270,6 +370,9 @@ func (gm *gangMech) SetTrap(pa mem.PAddr, size int) {
 			gm.tw.m.SetBreakpoint(w)
 		}
 		gm.tw.intentSet(wi)
+		if g := gm.tw.gang; !g.wide {
+			g.maskSet(wi, 1<<uint(gm.tw.gangIdx))
+		}
 	}
 }
 
@@ -288,6 +391,9 @@ func (gm *gangMech) ClearTrap(pa mem.PAddr, size int) {
 			continue
 		}
 		gm.tw.intentClear(wi)
+		if g := gm.tw.gang; !g.wide {
+			g.maskClear(wi, 1<<uint(gm.tw.gangIdx))
+		}
 		if gm.ecc {
 			gm.tw.m.Controller().ReleaseTrapRef(w)
 		} else {
@@ -352,15 +458,27 @@ func (g *Gang) ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.RefKin
 	}
 	wi := uint32(w) / mem.WordBytes
 	handled := false
-	for i, tw := range g.members {
-		if !g.live[i] || tw.intent == nil || !tw.intentHas(wi) {
-			continue
+	if g.bitsetDemux() {
+		// One word load yields every interested member; the bit walk
+		// visits them in ascending index order, exactly like the linear
+		// probe loop below.
+		for m := g.maskAt(wi) & g.eccMask & g.liveMask; m != 0; {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << uint(b)
+			g.members[b].deliverTrap(t, va, w, kind)
+			handled = true
 		}
-		if gm, ok := tw.mech.(*gangMech); ok && !gm.ecc {
-			continue
+	} else {
+		for i, tw := range g.members {
+			if !g.live[i] || tw.intent == nil || !tw.intentHas(wi) {
+				continue
+			}
+			if gm, ok := tw.mech.(*gangMech); ok && !gm.ecc {
+				continue
+			}
+			tw.deliverTrap(t, va, w, kind)
+			handled = true
 		}
-		tw.deliverTrap(t, va, w, kind)
-		handled = true
 	}
 	if !handled {
 		g.m.Controller().ClearTrap(w, mem.WordBytes)
@@ -372,6 +490,14 @@ func (g *Gang) ECCTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.RefKin
 // breakpoint member holding the word.
 func (g *Gang) BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr) {
 	wi := uint32(pa&^3) / mem.WordBytes
+	if g.bitsetDemux() {
+		for m := g.maskAt(wi) & g.bpMask & g.liveMask; m != 0; {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << uint(b)
+			g.members[b].BreakpointTrap(t, va, pa)
+		}
+		return
+	}
 	for i, tw := range g.members {
 		if !g.live[i] || tw.intent == nil || !tw.intentHas(wi) {
 			continue
@@ -386,6 +512,16 @@ func (g *Gang) BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr) {
 func (g *Gang) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, kind mem.RefKind) bool {
 	key := vkey{t, uint32(va) >> g.pageBits}
 	handled := false
+	if g.bitsetDemux() {
+		for m := g.invalidMask[key] & g.liveMask; m != 0; {
+			b := bits.TrailingZeros64(m)
+			m &^= 1 << uint(b)
+			if g.members[b].InvalidPageTrap(t, va, pa, kind) {
+				handled = true
+			}
+		}
+		return handled
+	}
 	for i, tw := range g.members {
 		if !g.live[i] || tw.cfg.Mode != ModeTLB || !tw.tlbInvalid[key] {
 			continue
@@ -418,6 +554,13 @@ func (g *Gang) memberSetPageValid(tw *Tapeworm, t mem.TaskID, va mem.VAddr, vali
 			g.invalid[key]--
 		}
 		delete(tw.tlbInvalid, key)
+		if !g.wide {
+			if m := g.invalidMask[key] &^ (1 << uint(tw.gangIdx)); m == 0 {
+				delete(g.invalidMask, key)
+			} else {
+				g.invalidMask[key] = m
+			}
+		}
 		return nil
 	}
 	if tw.tlbInvalid[key] {
@@ -430,5 +573,8 @@ func (g *Gang) memberSetPageValid(tw *Tapeworm, t mem.TaskID, va mem.VAddr, vali
 	}
 	g.invalid[key]++
 	tw.tlbInvalid[key] = true
+	if !g.wide {
+		g.invalidMask[key] |= 1 << uint(tw.gangIdx)
+	}
 	return nil
 }

@@ -55,6 +55,16 @@ type Options struct {
 	// Results are byte-identical either way (the `make verify-fastpath`
 	// gate); this exists for that gate and for benchmarking the speedup.
 	NoFastPath bool
+	// NoCompile forces every workload through the interpreted program
+	// instead of the compiled replay. Results are byte-identical either
+	// way (the `make verify-compiled` gate); this exists for that gate
+	// and for benchmarking the compiled hot loop.
+	NoCompile bool
+	// LinearGangDemux forces the gang trap demultiplexer onto the
+	// per-member linear probe walk instead of the member-intent bitset
+	// walk. Results are byte-identical either way (the
+	// `make verify-gang-demux` gate).
+	LinearGangDemux bool
 	// NoGang suppresses the grouping of gang-eligible runs into shared
 	// executions; each then runs as a gang of one. Results are
 	// byte-identical either way (the `make verify-gang` gate); this exists

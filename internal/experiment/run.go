@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 
 	"tapeworm/internal/cache"
 	"tapeworm/internal/cache2000"
@@ -23,11 +24,13 @@ type runConfig struct {
 	pageSeed uint64 // frame allocator seed (the Table 9 variance knob)
 	frames   int
 
-	tw         *core.Config // nil: no Tapeworm attached
-	simUser    bool         // register workload fork tree
-	simServers bool         // register X/BSD server pages
-	simKernel  bool         // register kernel pages
-	noFastPath bool         // force the per-reference execution path
+	tw          *core.Config // nil: no Tapeworm attached
+	simUser     bool         // register workload fork tree
+	simServers  bool         // register X/BSD server pages
+	simKernel   bool         // register kernel pages
+	noFastPath  bool         // force the per-reference execution path
+	noCompile   bool         // force the interpreted workload program
+	linearDemux bool         // force the per-member linear gang trap demux
 
 	// gang opts this run into the ganged execution path: it runs as a
 	// core.AttachGang member (ledgered traps) even when alone, so its
@@ -88,7 +91,7 @@ func run(rc runConfig) (runResult, error) {
 		}
 	}
 
-	prog, err := workload.New(rc.spec, rc.seed)
+	prog, err := newWorkloadProgram(rc)
 	if err != nil {
 		return res, err
 	}
@@ -197,6 +200,7 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.SetLinearDemux(rc0.linearDemux)
 	for i, tw := range g.Members() {
 		tw.SetTelemetry(rcs[i].tel)
 		if rc0.simServers {
@@ -215,7 +219,7 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 		}
 	}
 
-	prog, err := workload.New(rc0.spec, rc0.seed)
+	prog, err := newWorkloadProgram(rc0)
 	if err != nil {
 		return nil, err
 	}
@@ -260,6 +264,19 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 		out[i] = res
 	}
 	return out, nil
+}
+
+// newWorkloadProgram builds the run's workload program: the compiled
+// replay by default (cached across the trials, gang members and
+// fast/baseline pairs that share a (spec, seed) stream), or the
+// interpreter when the run opts out. The two are stream-identical, so
+// every table is byte-identical either way; the verify-compiled gate
+// enforces it.
+func newWorkloadProgram(rc runConfig) (kernel.Program, error) {
+	if rc.noCompile {
+		return workload.New(rc.spec, rc.seed)
+	}
+	return workload.NewPlanned(rc.spec, rc.seed)
 }
 
 // normalConfig describes an uninstrumented run of the workload,
@@ -340,6 +357,8 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 			for mi, i := range idx {
 				rcs[mi] = jobs[i].cfg
 				rcs[mi].noFastPath = o.NoFastPath
+				rcs[mi].noCompile = o.NoCompile
+				rcs[mi].linearDemux = o.LinearGangDemux
 				rcs[mi].tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
 				tels[i] = rcs[mi].tel
 			}
@@ -350,6 +369,8 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 			return runGang(rcs)
 		}
 	}
+
+	prewarmPools(o, jobs, groups)
 
 	var done func(int, []runResult)
 	if o.Progress != nil || o.Telemetry != nil {
@@ -384,6 +405,52 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// prewarmPools primes the mem backing-array pools for the sweep's first
+// wave of parallel boots: one buffer set per worker that will run
+// concurrently at each machine geometry, plus gang trap-refcount arrays
+// for the groups taking the ganged path. Without this the first
+// o.Parallelism boots each allocate dense arrays cold and the pool only
+// pays off from the second wave on (the pool_reuses 2-of-12 pattern the
+// bench JSON used to show).
+func prewarmPools(o Options, jobs []runJob, groups [][]int) {
+	type want struct{ boots, gangs int }
+	byFrames := make(map[int]want)
+	for _, idx := range groups {
+		rc := jobs[idx[0]].cfg
+		f := rc.frames
+		if f <= 0 {
+			f = 8192
+		}
+		w := byFrames[f]
+		w.boots++
+		if rc.gang {
+			w.gangs++
+		}
+		byFrames[f] = w
+	}
+	par := o.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	frames := make([]int, 0, len(byFrames))
+	for f := range byFrames {
+		frames = append(frames, f)
+	}
+	sort.Ints(frames)
+	for _, f := range frames {
+		w := byFrames[f]
+		n := w.boots
+		if n > par {
+			n = par
+		}
+		refs := w.gangs
+		if refs > par {
+			refs = par
+		}
+		mem.PrewarmPools(n, refs, f, mach.DECstation5000_200(f).PageSize)
+	}
 }
 
 // slowdown implements the paper's definition against a matching normal

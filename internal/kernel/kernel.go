@@ -387,6 +387,17 @@ func (k *Kernel) Run(maxInstr uint64) error {
 		var ev Event
 		if bp, ok := t.prog.(BatchProgram); ok && maxInstr == 0 &&
 			(k.tracer == nil || t.ID != k.traceTask) {
+			// Compiled path: replay pre-planned ops straight-line until
+			// the next event op or a posted reschedule. Shares the batch
+			// path's guards (bypassed under an instruction limit and for
+			// traced tasks).
+			if cp, ok := t.prog.(CompiledProgram); ok {
+				if k.runCompiled(cp, t) {
+					continue
+				}
+				// The cursor sits on an event op (or mid-run after a
+				// Next-driven stint); NextRun below yields it exactly.
+			}
 			// Batched path: take whole sequential fetch runs. Bypassed
 			// under an instruction limit (a bulk charge could overshoot
 			// the per-reference stop point) and for a traced task (the
@@ -426,6 +437,43 @@ func (k *Kernel) Run(maxInstr uint64) error {
 		}
 	}
 	return nil
+}
+
+// runCompiled replays t's pre-compiled ops until the next event op or a
+// posted reschedule, reporting whether it executed anything. Skipping
+// pick() between ops is exact: with no reschedule posted and the run
+// queue unchanged (forks, exits and syscalls are all event ops, which
+// break the loop), pick() would return the same task untouched. The
+// reschedule check sits after every op, exactly where the interpreter
+// loop's per-batch pick() call observes it.
+func (k *Kernel) runCompiled(cp CompiledProgram, t *Task) bool {
+	pos, aligned := cp.OpPos()
+	if !aligned {
+		return false
+	}
+	ops := cp.Ops()
+	start := pos
+	for pos < len(ops) {
+		op := &ops[pos]
+		if op.Kind == OpRun {
+			t.Instructions += uint64(op.N)
+			k.compInstr[CompUser] += uint64(op.N)
+			k.m.ExecuteRun(t.ID, op.VA, int(op.N))
+		} else if op.Kind == OpData {
+			k.m.Execute(t.ID, mem.Ref{VA: op.VA, Kind: op.Ref})
+		} else {
+			break
+		}
+		pos++
+		if k.resched {
+			break
+		}
+	}
+	if pos == start {
+		return false
+	}
+	cp.SeekOp(pos)
+	return true
 }
 
 // pick returns the task to run next, performing a context switch when the

@@ -65,6 +65,60 @@ type BatchProgram interface {
 	NextRun(max int) (base mem.VAddr, n int, ev Event)
 }
 
+// CompiledOpKind discriminates the ops of a pre-compiled program stream.
+type CompiledOpKind uint8
+
+const (
+	// OpRun is a sequential instruction-fetch run: VA, VA+4, ...,
+	// VA+4(N-1), with N in [1, CompiledRunCap].
+	OpRun CompiledOpKind = iota
+	// OpData is one data reference at VA with kind Ref.
+	OpData
+	// OpSyscall traps into service Arg.
+	OpSyscall
+	// OpFork creates a child task replaying child image Arg; N != 0
+	// means the child shares the parent's text (Event.ShareText).
+	OpFork
+	// OpExit terminates the task. Always the final op of a stream.
+	OpExit
+)
+
+// CompiledOp is one pre-planned step of a compiled program: a fused walker
+// run, a pre-resolved data reference, or an event with its randomness
+// (service choice, fork target) already drawn. 12 bytes, so a multi-million
+// instruction workload compiles to a few tens of megabytes.
+type CompiledOp struct {
+	VA   mem.VAddr      // OpRun: first fetch; OpData: address
+	N    uint16         // OpRun: run length; OpFork: ShareText flag
+	Kind CompiledOpKind // discriminator
+	Ref  mem.RefKind    // OpData: Load or Store
+	Arg  int32          // OpSyscall: ServiceID; OpFork: child image index
+}
+
+// CompiledRunCap is the run length compiled streams are segmented at. It
+// equals the Run loop's per-scheduling-decision batch bound, so a compiled
+// stream's run boundaries coincide exactly with where the interpreter's
+// NextRun(userRunCap) calls would fall.
+const CompiledRunCap = userRunCap
+
+// CompiledProgram is an optional extension of BatchProgram for programs
+// whose entire stream was pre-compiled into a CompiledOp array. The Run
+// loop replays the ops directly — no per-instruction dispatch, no draws —
+// while Next/NextRun remain available (and must stay byte-identical to the
+// ops) for traced and instruction-limited execution.
+type CompiledProgram interface {
+	BatchProgram
+	// Ops returns the immutable compiled op stream.
+	Ops() []CompiledOp
+	// OpPos returns the replay cursor as an op index. ok is false while
+	// the cursor sits inside a partially consumed run op (possible only
+	// when the program was also driven through Next), in which case the
+	// caller must fall back to Next/NextRun until realigned.
+	OpPos() (pos int, ok bool)
+	// SeekOp moves the replay cursor to op index pos (run-aligned).
+	SeekOp(pos int)
+}
+
 // TaskState tracks a task through its lifetime.
 type TaskState uint8
 

@@ -13,7 +13,10 @@
 // memory errors.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PAddr is a 32-bit physical address.
 type PAddr uint32
@@ -68,30 +71,61 @@ const WordBytes = 4
 // any double-bit error, is classified as a true memory error.
 const twCheckBit = 0
 
+// Bitset geometry: 64 words per chunk, 64 chunks per super-chunk. A chunk
+// is one uint64 of the dense bitsets; a super-chunk covers 4096 words
+// (16 KB of physical memory, four pages).
+const (
+	chunkWords = 64
+	superSize  = 64
+)
+
 // Phys is the physical memory of the machine: a frame count, a page size,
 // the dense trap bitset, and the sparse ECC corruption state.
 //
-// Only corrupted words carry explicit ECC state; the overwhelmingly common
-// correct words cost nothing. The trap bitset is the one structure touched
-// on every simulated reference and is kept as flat []uint64 words.
+// The corruption state of a word splits by cause. The dedicated Tapeworm
+// check bit — flipped and restored millions of times per run — lives in
+// the dense twBits bitset, so tw_set_trap and tw_clear_trap over a range
+// are whole-chunk bitset operations. True memory errors (any other
+// flipped position) are vanishingly rare and stay in the sparse ecc map;
+// only when a region holds true errors do the trap operations fall back
+// to word-at-a-time updates. A word's full corruption mask is the OR of
+// the two.
+//
+// On top of the any-corruption bitset sits a two-level occupancy summary
+// (per-chunk population counts, per-super-chunk nonzero-chunk counts) so
+// that clears, counts and invariant checks skip clean regions without
+// scanning them.
 type Phys struct {
 	pageSize int
 	frames   int
 	bytes    int
 
-	trapBits []uint64 // one bit per machine word; 1 = ECC trap set by Tapeworm
+	trapBits []uint64 // one bit per machine word; 1 = any ECC inconsistency
+	twBits   []uint64 // one bit per machine word; 1 = Tapeworm check bit flipped
+
+	// chunkPop[c] is the population count of trapBits[c]; superPop[s] is
+	// the number of nonzero chunks among the s-th group of 64. Together
+	// they let range clears and TrapCount skip clean regions, and let
+	// pooled buffers be re-zeroed selectively on reuse.
+	chunkPop []uint8
+	superPop []uint8
 
 	// ecc maps word index -> XOR mask of corrupted check/data bit
-	// positions (bits 0..6 are check bits, 7..38 data bits). Present only
-	// for words whose stored ECC differs from the correct encoding.
+	// positions other than the Tapeworm check bit (bits 1..6 are the
+	// remaining check bits, 7..38 data bits). Present only for words
+	// carrying true-error corruption; Tapeworm's own bit is in twBits.
 	ecc map[uint32]uint64
 
 	// trapRef, when non-nil, holds a per-word trap reference count for
 	// gang-attached simulators: the physical check bit is flipped on the
 	// 0→1 transition and restored on the last release, so tw_clear_trap
 	// from one simulator never destroys another's trap. Allocated only by
-	// EnableTrapRefs; solo simulators pay nothing.
-	trapRef []uint8
+	// EnableTrapRefs; solo simulators pay nothing. refChunk/refSuper are
+	// the matching two-level occupancy summary (words with nonzero
+	// refcount per chunk, nonzero refChunk entries per super-chunk).
+	trapRef  []uint8
+	refChunk []uint8
+	refSuper []uint8
 
 	// destroyed, if set, is called with the word-aligned address whenever
 	// something other than ReleaseTrapRef removes a refcounted trap (DMA
@@ -140,7 +174,9 @@ func NewPhys(frames, pageSize int) *Phys {
 		frames:   frames,
 		bytes:    total,
 	}
-	p.trapBits, p.ecc = getPhysBuffers((words + 63) / 64)
+	b := getPhysBuffers((words + chunkWords - 1) / chunkWords)
+	p.trapBits, p.twBits, p.chunkPop, p.superPop, p.ecc =
+		b.trapBits, b.twBits, b.chunkPop, b.superPop, b.ecc
 	return p
 }
 
@@ -153,8 +189,12 @@ func (p *Phys) Release() {
 	if p.trapBits == nil {
 		return
 	}
-	putPhysBuffers(p.trapBits, p.ecc, p.trapRef)
-	p.trapBits, p.ecc, p.trapRef = nil, nil, nil
+	putPhysBuffers(&physBuffers{
+		trapBits: p.trapBits, twBits: p.twBits,
+		chunkPop: p.chunkPop, superPop: p.superPop, ecc: p.ecc,
+	}, p.trapRef, p.refChunk, p.refSuper)
+	p.trapBits, p.twBits, p.chunkPop, p.superPop, p.ecc = nil, nil, nil, nil, nil
+	p.trapRef, p.refChunk, p.refSuper = nil, nil, nil
 }
 
 // PageSize returns the machine page size in bytes.
@@ -238,39 +278,139 @@ func (p *Phys) TrappedWord(pa PAddr) bool {
 	return p.trapBits[w>>6]&(1<<(w&63)) != 0
 }
 
-// setTrapBits marks all words in [pa, pa+size) as trapped (or clears them).
-func (p *Phys) setTrapBits(pa PAddr, size int, on bool) {
-	if size <= 0 {
-		size = WordBytes
+// twSet reports whether word w carries the Tapeworm check-bit flip.
+func (p *Phys) twSet(w uint32) bool {
+	return p.twBits[w>>6]&(1<<(w&63)) != 0
+}
+
+// mask returns the full corruption mask of word w: the sparse true-error
+// bits plus the dense Tapeworm bit.
+func (p *Phys) mask(w uint32) uint64 {
+	m := p.ecc[w]
+	if p.twSet(w) {
+		m |= 1 << twCheckBit
 	}
-	first, last := p.wordRange(pa, size)
-	for w := first; w <= last; w++ {
-		if on {
-			p.trapBits[w>>6] |= 1 << (w & 63)
-		} else {
-			p.trapBits[w>>6] &^= 1 << (w & 63)
-		}
+	return m
+}
+
+// writeChunk replaces one chunk of the any-corruption bitset and keeps the
+// two-level occupancy summary consistent. Every trapBits mutation funnels
+// through here: the summary invariant (chunkPop is the chunk's population
+// count, superPop its group's nonzero-chunk count) is what lets clears,
+// counts and pool-reuse zeroing skip clean regions.
+func (p *Phys) writeChunk(c uint32, v uint64) {
+	if p.trapBits[c] == v {
+		return
+	}
+	p.trapBits[c] = v
+	old := p.chunkPop[c]
+	pop := uint8(bits.OnesCount64(v))
+	p.chunkPop[c] = pop
+	switch {
+	case old == 0 && pop != 0:
+		p.superPop[c/superSize]++
+	case old != 0 && pop == 0:
+		p.superPop[c/superSize]--
 	}
 }
 
-// TrapCount returns the total number of words currently trapped. Intended
-// for assertions and tests, not the simulation hot path.
+// forChunks calls fn for every 64-word chunk intersecting the inclusive
+// word range [first, last], passing the chunk index and the mask of covered
+// words within it. The shift trick in the tail mask handles last&63 == 63
+// (1<<64 == 0 for variable shifts, so the mask underflows to all-ones).
+func forChunks(first, last uint32, fn func(c uint32, m uint64)) {
+	fc, lc := first>>6, last>>6
+	for c := fc; c <= lc; c++ {
+		m := ^uint64(0)
+		if c == fc {
+			m &= ^uint64(0) << (first & 63)
+		}
+		if c == lc {
+			m &= uint64(1)<<((last&63)+1) - 1
+		}
+		fn(c, m)
+	}
+}
+
+// TrapCount returns the total number of words currently trapped. The
+// two-level summary makes this a sum over dirty chunks only; clean
+// super-chunks (the vast majority of physical memory) are skipped.
 func (p *Phys) TrapCount() int {
 	n := 0
-	for _, w := range p.trapBits {
-		n += popcount(w)
+	for s, sp := range p.superPop {
+		if sp == 0 {
+			continue
+		}
+		base := s * superSize
+		end := base + superSize
+		if end > len(p.chunkPop) {
+			end = len(p.chunkPop)
+		}
+		for c := base; c < end; c++ {
+			n += int(p.chunkPop[c])
+		}
 	}
 	return n
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+// CheckSummaries verifies the two-level occupancy summaries against the
+// backing arrays by brute force. For tests and invariant assertions only.
+func (p *Phys) CheckSummaries() error {
+	superNZ := make([]uint8, len(p.superPop))
+	for c, v := range p.trapBits {
+		if p.twBits[c]&^v != 0 {
+			return fmt.Errorf("mem: chunk %d: tw bits %#x outside trap bits %#x", c, p.twBits[c], v)
+		}
+		if got, want := p.chunkPop[c], uint8(bits.OnesCount64(v)); got != want {
+			return fmt.Errorf("mem: chunk %d: chunkPop %d, want %d", c, got, want)
+		}
+		if v != 0 {
+			superNZ[c/superSize]++
+		}
 	}
-	return n
+	for s, want := range superNZ {
+		if p.superPop[s] != want {
+			return fmt.Errorf("mem: super %d: superPop %d, want %d", s, p.superPop[s], want)
+		}
+	}
+	for w, m := range p.ecc {
+		if m == 0 || m&(1<<twCheckBit) != 0 {
+			return fmt.Errorf("mem: ecc[%d] = %#x holds a zero or Tapeworm-bit entry", w, m)
+		}
+		if !p.TrappedWord(PAddr(w) * WordBytes) {
+			return fmt.Errorf("mem: ecc[%d] set but trap bit clear", w)
+		}
+	}
+	if p.trapRef != nil {
+		refNZ := make([]uint8, len(p.refChunk))
+		for w, r := range p.trapRef {
+			if r == 0 {
+				continue
+			}
+			refNZ[w/chunkWords]++
+			if !p.twSet(uint32(w)) {
+				return fmt.Errorf("mem: word %d refcounted (%d) but Tapeworm bit clear", w, r)
+			}
+		}
+		refSuperNZ := make([]uint8, len(p.refSuper))
+		for c, want := range refNZ {
+			if p.refChunk[c] != want {
+				return fmt.Errorf("mem: chunk %d: refChunk %d, want %d", c, p.refChunk[c], want)
+			}
+			if want != 0 {
+				refSuperNZ[c/superSize]++
+			}
+		}
+		for s, want := range refSuperNZ {
+			if p.refSuper[s] != want {
+				return fmt.Errorf("mem: super %d: refSuper %d, want %d", s, p.refSuper[s], want)
+			}
+		}
+	}
+	return nil
 }
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
 
 // Stats reports cumulative counts of trap set/clear word operations.
 func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared }
@@ -278,13 +418,13 @@ func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared
 // --- Trap reference counts (gang attach) ---
 
 // EnableTrapRefs allocates the per-word trap reference counts used when
-// several simulators share one machine. Idempotent. The pooled array is
+// several simulators share one machine. Idempotent. The pooled arrays are
 // owned by the Phys until Release.
 //
 //twvet:transfer
 func (p *Phys) EnableTrapRefs() {
 	if p.trapRef == nil {
-		p.trapRef = getTrapRefs(p.bytes / WordBytes)
+		p.trapRef, p.refChunk, p.refSuper = getTrapRefs(p.bytes / WordBytes)
 	}
 }
 
@@ -306,14 +446,39 @@ func (p *Phys) TrapRefCount(pa PAddr) int {
 	return int(p.trapRef[p.wordIndex(pa)])
 }
 
+// refChunkInc records word w's refcount going 0→nonzero in the two-level
+// refcount summary. Paired with refChunkDec: every increment must be
+// balanced by exactly one decrement when the word's count returns to zero,
+// or the summary diverges from trapRef and selective pool zeroing leaks
+// stale counts into the next boot.
+func (p *Phys) refChunkInc(w uint32) {
+	c := w / chunkWords
+	if p.refChunk[c] == 0 {
+		p.refSuper[c/superSize]++
+	}
+	p.refChunk[c]++
+}
+
+// refChunkDec records word w's refcount going nonzero→0; see refChunkInc.
+func (p *Phys) refChunkDec(w uint32) {
+	c := w / chunkWords
+	p.refChunk[c]--
+	if p.refChunk[c] == 0 {
+		p.refSuper[c/superSize]--
+	}
+}
+
 // noteDestroyed zeroes the word's reference count and notifies the gang
 // layer. Called from every non-ReleaseTrapRef path that removes the
 // Tapeworm check bit of a word while references are outstanding.
+//
+//twvet:transfer
 func (p *Phys) noteDestroyed(w uint32) {
 	if p.trapRef == nil || p.trapRef[w] == 0 {
 		return
 	}
 	p.trapRef[w] = 0
+	p.refChunkDec(w)
 	if p.destroyed != nil {
 		p.destroyed(PAddr(w) * WordBytes)
 	}
@@ -324,6 +489,8 @@ func (p *Phys) noteDestroyed(w uint32) {
 // false — and takes no reference — when the word carries a true memory
 // error, mirroring SetTrap's refusal to stack corruption on real faults.
 // EnableTrapRefs must have been called.
+//
+//twvet:transfer
 func (c *Controller) AddTrapRef(pa PAddr) bool {
 	p := c.phys
 	if p.trapRef == nil {
@@ -331,16 +498,17 @@ func (c *Controller) AddTrapRef(pa PAddr) bool {
 	}
 	w := p.wordIndex(pa)
 	if p.trapRef[w] == 0 {
-		switch {
-		case p.ecc[w] == 0:
-			p.ecc[w] = 1 << twCheckBit
-			p.syncTrapBit(w)
-			p.trapsSet++
-		case p.ecc[w] == 1<<twCheckBit:
-			// Adopt an orphaned trap (set before refcounting began).
-		default:
+		if p.ecc[w] != 0 {
 			return false // true error; never stack corruption
 		}
+		if !p.twSet(w) {
+			p.twBits[w>>6] |= 1 << (w & 63)
+			p.syncTrapBit(w)
+			p.trapsSet++
+		}
+		// An already-set bit is an orphaned trap (armed before
+		// refcounting began); adopt it without flipping again.
+		p.refChunkInc(w)
 	}
 	if p.trapRef[w] == ^uint8(0) {
 		panic("mem: trap reference count overflow")
@@ -352,6 +520,8 @@ func (c *Controller) AddTrapRef(pa PAddr) bool {
 // ReleaseTrapRef drops one reference on the word containing pa, restoring
 // correct ECC when the last reference goes away. Releasing a word whose
 // trap was already destroyed (count zero) is a no-op.
+//
+//twvet:transfer
 func (c *Controller) ReleaseTrapRef(pa PAddr) {
 	p := c.phys
 	if p.trapRef == nil {
@@ -365,11 +535,9 @@ func (c *Controller) ReleaseTrapRef(pa PAddr) {
 	if p.trapRef[w] != 0 {
 		return
 	}
-	if p.ecc[w]&(1<<twCheckBit) != 0 {
-		p.ecc[w] &^= 1 << twCheckBit
-		if p.ecc[w] == 0 {
-			delete(p.ecc, w)
-		}
+	p.refChunkDec(w)
+	if p.twSet(w) {
+		p.twBits[w>>6] &^= 1 << (w & 63)
 		p.syncTrapBit(w)
 		p.trapsCleared++
 	}
@@ -380,7 +548,7 @@ func (c *Controller) ReleaseTrapRef(pa PAddr) {
 // ECCState returns the corruption mask of the word containing pa
 // (0 = correct ECC).
 func (p *Phys) ECCState(pa PAddr) uint64 {
-	return p.ecc[p.wordIndex(pa)]
+	return p.mask(p.wordIndex(pa))
 }
 
 // Syndrome classifies the ECC state of one word.
@@ -421,7 +589,7 @@ func (s Syndrome) String() string {
 // Tapeworm check bit is a simulated miss; a flip anywhere else, or two or
 // more flips, is a true error detected with high probability.
 func (p *Phys) Classify(pa PAddr) Syndrome {
-	mask := p.ecc[p.wordIndex(pa)]
+	mask := p.mask(p.wordIndex(pa))
 	switch popcount(mask) {
 	case 0:
 		return SynOK
@@ -444,12 +612,16 @@ func (p *Phys) InjectError(pa PAddr, bit uint) {
 		panic(fmt.Sprintf("mem: ECC bit position %d out of range (0-38)", bit))
 	}
 	w := p.wordIndex(pa)
-	p.ecc[w] ^= 1 << bit
-	if p.ecc[w] == 0 {
-		delete(p.ecc, w)
+	if bit == twCheckBit {
+		p.twBits[w>>6] ^= 1 << (w & 63)
+	} else {
+		p.ecc[w] ^= 1 << bit
+		if p.ecc[w] == 0 {
+			delete(p.ecc, w)
+		}
 	}
 	p.syncTrapBit(w)
-	if p.ecc[w]&(1<<twCheckBit) == 0 {
+	if !p.twSet(w) {
 		p.noteDestroyed(w)
 	}
 }
@@ -458,7 +630,8 @@ func (p *Phys) InjectError(pa PAddr, bit uint) {
 // memory-error handler does after correcting a true single-bit error.
 func (p *Phys) CorrectWord(pa PAddr) {
 	w := p.wordIndex(pa)
-	hadTrap := p.ecc[w]&(1<<twCheckBit) != 0
+	hadTrap := p.twSet(w)
+	p.twBits[w>>6] &^= 1 << (w & 63)
 	delete(p.ecc, w)
 	p.syncTrapBit(w)
 	if hadTrap {
@@ -466,15 +639,18 @@ func (p *Phys) CorrectWord(pa PAddr) {
 	}
 }
 
-// syncTrapBit keeps the dense bitset consistent with the sparse ECC state:
-// the machine raises a memory-error trap whenever a word's ECC is
-// inconsistent for any reason.
+// syncTrapBit keeps the dense any-corruption bitset consistent with the
+// word's full mask: the machine raises a memory-error trap whenever a
+// word's ECC is inconsistent for any reason.
 func (p *Phys) syncTrapBit(w uint32) {
-	if p.ecc[w] != 0 {
-		p.trapBits[w>>6] |= 1 << (w & 63)
+	c, b := w>>6, uint64(1)<<(w&63)
+	v := p.trapBits[c]
+	if p.twBits[c]&b != 0 || p.ecc[w] != 0 {
+		v |= b
 	} else {
-		p.trapBits[w>>6] &^= 1 << (w & 63)
+		v &^= b
 	}
+	p.writeChunk(c, v)
 }
 
 // Controller is the memory-controller ASIC diagnostic interface. Tapeworm's
@@ -497,17 +673,32 @@ func (c *Controller) FlipTapewormBit(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first, last := c.phys.wordRange(pa, size)
-	for w := first; w <= last; w++ {
-		c.phys.ecc[w] ^= 1 << twCheckBit
-		if c.phys.ecc[w] == 0 {
-			delete(c.phys.ecc, w)
+	p := c.phys
+	first, last := p.wordRange(pa, size)
+	forChunks(first, last, func(ch uint32, m uint64) {
+		if len(p.ecc) == 0 || p.chunkPop[ch] == 0 {
+			// No true errors in this chunk (an ecc entry would have its
+			// trap bit set, so a zero-population chunk is wholly clean):
+			// toggle all covered words in one bitset op.
+			wasSet := p.twBits[ch] & m
+			p.twBits[ch] ^= m
+			p.writeChunk(ch, p.trapBits[ch]&^m|p.twBits[ch]&m)
+			if p.trapRef != nil && p.refChunk[ch] != 0 {
+				for rem := wasSet; rem != 0; rem &= rem - 1 {
+					p.noteDestroyed(ch<<6 + uint32(bits.TrailingZeros64(rem)))
+				}
+			}
+			return
 		}
-		c.phys.syncTrapBit(w)
-		if c.phys.ecc[w]&(1<<twCheckBit) == 0 {
-			c.phys.noteDestroyed(w)
+		for rem := m; rem != 0; rem &= rem - 1 {
+			w := ch<<6 + uint32(bits.TrailingZeros64(rem))
+			p.twBits[ch] ^= 1 << (w & 63)
+			p.syncTrapBit(w)
+			if !p.twSet(w) {
+				p.noteDestroyed(w)
+			}
 		}
-	}
+	})
 }
 
 // SetTrap sets the Tapeworm trap on [pa, pa+size), idempotently: words
@@ -517,34 +708,67 @@ func (c *Controller) SetTrap(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first, last := c.phys.wordRange(pa, size)
-	for w := first; w <= last; w++ {
-		if c.phys.ecc[w] == 0 {
-			c.phys.ecc[w] = 1 << twCheckBit
-			c.phys.syncTrapBit(w)
-			c.phys.trapsSet++
+	p := c.phys
+	first, last := p.wordRange(pa, size)
+	forChunks(first, last, func(ch uint32, m uint64) {
+		if len(p.ecc) == 0 || p.chunkPop[ch] == 0 {
+			add := m &^ p.twBits[ch]
+			if add == 0 {
+				return
+			}
+			p.twBits[ch] |= add
+			p.writeChunk(ch, p.trapBits[ch]|add)
+			p.trapsSet += uint64(popcount(add))
+			return
 		}
-	}
+		for rem := m; rem != 0; rem &= rem - 1 {
+			w := ch<<6 + uint32(bits.TrailingZeros64(rem))
+			if p.ecc[w] == 0 && !p.twSet(w) {
+				p.twBits[ch] |= 1 << (w & 63)
+				p.syncTrapBit(w)
+				p.trapsSet++
+			}
+		}
+	})
 }
 
 // ClearTrap removes Tapeworm traps from [pa, pa+size). True-error state is
-// preserved: clearing a region never masks a genuine fault.
+// preserved: clearing a region never masks a genuine fault. Clean chunks —
+// the common case when pages are unregistered wholesale — are skipped via
+// the occupancy summary without touching the bitset.
 func (c *Controller) ClearTrap(pa PAddr, size int) {
 	if size <= 0 {
 		size = WordBytes
 	}
-	first, last := c.phys.wordRange(pa, size)
-	for w := first; w <= last; w++ {
-		if c.phys.ecc[w]&(1<<twCheckBit) != 0 {
-			c.phys.ecc[w] &^= 1 << twCheckBit
-			if c.phys.ecc[w] == 0 {
-				delete(c.phys.ecc, w)
-			}
-			c.phys.syncTrapBit(w)
-			c.phys.trapsCleared++
-			c.phys.noteDestroyed(w)
+	p := c.phys
+	first, last := p.wordRange(pa, size)
+	forChunks(first, last, func(ch uint32, m uint64) {
+		if p.chunkPop[ch] == 0 {
+			return
 		}
-	}
+		remove := m & p.twBits[ch]
+		if remove == 0 {
+			return
+		}
+		if len(p.ecc) == 0 {
+			p.twBits[ch] &^= remove
+			p.writeChunk(ch, p.trapBits[ch]&^remove)
+			p.trapsCleared += uint64(popcount(remove))
+			if p.trapRef != nil && p.refChunk[ch] != 0 {
+				for rem := remove; rem != 0; rem &= rem - 1 {
+					p.noteDestroyed(ch<<6 + uint32(bits.TrailingZeros64(rem)))
+				}
+			}
+			return
+		}
+		for rem := remove; rem != 0; rem &= rem - 1 {
+			w := ch<<6 + uint32(bits.TrailingZeros64(rem))
+			p.twBits[ch] &^= 1 << (w & 63)
+			p.syncTrapBit(w)
+			p.trapsCleared++
+			p.noteDestroyed(w)
+		}
+	})
 }
 
 // ReconstructErrorAddress pieces together the failing physical address from

@@ -2,10 +2,13 @@ package mem
 
 // Per-run allocation pooling. Every experiment run boots a fresh machine,
 // and the dominant allocations are the dense per-word arrays sized by the
-// physical memory geometry: the trap bitset and (for gang runs) the trap
+// physical memory geometry: the trap bitsets and (for gang runs) the trap
 // reference counts. Sweeps boot hundreds of machines with the same frame
 // count, so the arrays are recycled through per-size pools; fresh-boot
-// semantics are preserved by explicitly zeroing on reuse.
+// semantics are preserved by zeroing on reuse — selectively, guided by the
+// two-level occupancy summaries returned along with the arrays, so reusing
+// a mostly-clean 32 MB machine costs a summary walk instead of an 8 MB
+// memset.
 
 import (
 	"sync"
@@ -14,12 +17,23 @@ import (
 
 type physBuffers struct {
 	trapBits []uint64
+	twBits   []uint64
+	chunkPop []uint8
+	superPop []uint8
 	ecc      map[uint32]uint64
+}
+
+// trapRefBuffers pairs the per-word refcount array with its occupancy
+// summary so reuse can zero only the dirty chunks.
+type trapRefBuffers struct {
+	ref      []uint8
+	refChunk []uint8
+	refSuper []uint8
 }
 
 var (
 	physPools   sync.Map // chunk count -> *sync.Pool of *physBuffers
-	trapRefPool sync.Map // word count  -> *sync.Pool of []uint8
+	trapRefPool sync.Map // word count  -> *sync.Pool of *trapRefBuffers
 
 	poolEnabled atomic.Bool
 	poolGets    atomic.Uint64 // buffer requests
@@ -40,37 +54,85 @@ func PoolEnabled() bool { return poolEnabled.Load() }
 // were served by reuse instead of a fresh allocation.
 func PoolStats() (gets, reuses uint64) { return poolGets.Load(), poolReuses.Load() }
 
-// getPhysBuffers hands a pooled (or fresh) trap bitset and ECC map to the
-// caller, which owns them until putPhysBuffers.
+// ResetPoolStats zeroes the get/reuse counters; the bench driver calls it
+// between phases to report per-phase reuse.
+func ResetPoolStats() {
+	poolGets.Store(0)
+	poolReuses.Store(0)
+}
+
+// newPhysBuffers allocates fresh zeroed backing arrays for a bitset of the
+// given chunk count.
+func newPhysBuffers(chunks int) *physBuffers {
+	supers := (chunks + superSize - 1) / superSize
+	return &physBuffers{
+		trapBits: make([]uint64, chunks),
+		twBits:   make([]uint64, chunks),
+		chunkPop: make([]uint8, chunks),
+		superPop: make([]uint8, supers),
+		ecc:      make(map[uint32]uint64),
+	}
+}
+
+// resetPhysBuffers restores fresh-boot state on a recycled buffer set. The
+// occupancy summary names exactly the dirty chunks (Tapeworm bits are a
+// subset of the trap bits, so zeroing where chunkPop != 0 covers both
+// bitsets), making reuse cost proportional to the prior run's armed
+// working set rather than the machine size.
+func resetPhysBuffers(b *physBuffers) {
+	for s, sp := range b.superPop {
+		if sp == 0 {
+			continue
+		}
+		base := s * superSize
+		end := base + superSize
+		if end > len(b.chunkPop) {
+			end = len(b.chunkPop)
+		}
+		for c := base; c < end; c++ {
+			if b.chunkPop[c] != 0 {
+				b.trapBits[c] = 0
+				b.twBits[c] = 0
+				b.chunkPop[c] = 0
+			}
+		}
+		b.superPop[s] = 0
+	}
+	clear(b.ecc)
+}
+
+// getPhysBuffers hands a pooled (or fresh) buffer set to the caller, which
+// owns it until putPhysBuffers.
 //
 //twvet:transfer
-func getPhysBuffers(chunks int) ([]uint64, map[uint32]uint64) {
+func getPhysBuffers(chunks int) *physBuffers {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
-		return make([]uint64, chunks), make(map[uint32]uint64)
+		return newPhysBuffers(chunks)
 	}
 	p, _ := physPools.LoadOrStore(chunks, &sync.Pool{})
 	if b, ok := p.(*sync.Pool).Get().(*physBuffers); ok {
 		poolReuses.Add(1)
-		clear(b.trapBits)
-		clear(b.ecc)
-		return b.trapBits, b.ecc
+		resetPhysBuffers(b)
+		return b
 	}
-	return make([]uint64, chunks), make(map[uint32]uint64)
+	return newPhysBuffers(chunks)
 }
 
-// putPhysBuffers takes ownership of the arrays back into the pools.
+// putPhysBuffers takes ownership of the arrays back into the pools. The
+// buffers keep their end-of-run contents and summaries; zeroing is
+// deferred to the next get, where the summaries make it selective.
 //
 //twvet:transfer
-func putPhysBuffers(trapBits []uint64, ecc map[uint32]uint64, trapRef []uint8) {
+func putPhysBuffers(b *physBuffers, trapRef, refChunk, refSuper []uint8) {
 	if !poolEnabled.Load() {
 		return
 	}
-	p, _ := physPools.LoadOrStore(len(trapBits), &sync.Pool{})
-	p.(*sync.Pool).Put(&physBuffers{trapBits: trapBits, ecc: ecc})
+	p, _ := physPools.LoadOrStore(len(b.trapBits), &sync.Pool{})
+	p.(*sync.Pool).Put(b)
 	if trapRef != nil {
 		rp, _ := trapRefPool.LoadOrStore(len(trapRef), &sync.Pool{})
-		rp.(*sync.Pool).Put(&trapRef)
+		rp.(*sync.Pool).Put(&trapRefBuffers{ref: trapRef, refChunk: refChunk, refSuper: refSuper})
 	}
 }
 
@@ -114,20 +176,87 @@ func PutFrameTables(free []uint32, refcount []uint16) {
 	p.(*sync.Pool).Put(&frameTables{free: free, refcount: refcount})
 }
 
-// getTrapRefs hands a pooled (or fresh) trap refcount array to the
-// caller; putPhysBuffers returns it.
+// newTrapRefs allocates fresh zeroed refcount arrays for the given word
+// count.
+func newTrapRefs(words int) ([]uint8, []uint8, []uint8) {
+	chunks := (words + chunkWords - 1) / chunkWords
+	supers := (chunks + superSize - 1) / superSize
+	return make([]uint8, words), make([]uint8, chunks), make([]uint8, supers)
+}
+
+// getTrapRefs hands a pooled (or fresh) trap refcount array and its
+// occupancy summary to the caller; putPhysBuffers returns them. Recycled
+// arrays are zeroed selectively: the summary names the chunks holding
+// nonzero counts.
 //
 //twvet:transfer
-func getTrapRefs(words int) []uint8 {
+func getTrapRefs(words int) ([]uint8, []uint8, []uint8) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
-		return make([]uint8, words)
+		return newTrapRefs(words)
 	}
 	p, _ := trapRefPool.LoadOrStore(words, &sync.Pool{})
-	if r, ok := p.(*sync.Pool).Get().(*[]uint8); ok {
-		poolReuses.Add(1)
-		clear(*r)
-		return *r
+	b, ok := p.(*sync.Pool).Get().(*trapRefBuffers)
+	if !ok {
+		return newTrapRefs(words)
 	}
-	return make([]uint8, words)
+	poolReuses.Add(1)
+	for s, sp := range b.refSuper {
+		if sp == 0 {
+			continue
+		}
+		base := s * superSize
+		end := base + superSize
+		if end > len(b.refChunk) {
+			end = len(b.refChunk)
+		}
+		for c := base; c < end; c++ {
+			if b.refChunk[c] == 0 {
+				continue
+			}
+			lo := c * chunkWords
+			hi := lo + chunkWords
+			if hi > len(b.ref) {
+				hi = len(b.ref)
+			}
+			clear(b.ref[lo:hi])
+			b.refChunk[c] = 0
+		}
+		b.refSuper[s] = 0
+	}
+	return b.ref, b.refChunk, b.refSuper
+}
+
+// PrewarmPools primes the backing-array pools for n concurrent boots of a
+// machine with the given geometry, refs of which (refs ≤ n) also carry
+// gang trap refcounts. The experiment scheduler calls this once per sweep
+// so that even the first wave of parallel boots reuses buffers instead of
+// each allocating dense arrays that the pool then holds forever.
+//
+//twvet:transfer
+func PrewarmPools(n, refs, frames, pageSize int) {
+	if !poolEnabled.Load() || n <= 0 {
+		return
+	}
+	if err := CheckPhysSize(frames, pageSize); err != nil {
+		return
+	}
+	words := frames * pageSize / WordBytes
+	chunks := (words + chunkWords - 1) / chunkWords
+	pp, _ := physPools.LoadOrStore(chunks, &sync.Pool{})
+	for i := 0; i < n; i++ {
+		pp.(*sync.Pool).Put(newPhysBuffers(chunks))
+	}
+	rp, _ := trapRefPool.LoadOrStore(words, &sync.Pool{})
+	for i := 0; i < refs; i++ {
+		ref, rc, rs := newTrapRefs(words)
+		rp.(*sync.Pool).Put(&trapRefBuffers{ref: ref, refChunk: rc, refSuper: rs})
+	}
+	fp, _ := frameTablePool.LoadOrStore(frames, &sync.Pool{})
+	for i := 0; i < n; i++ {
+		fp.(*sync.Pool).Put(&frameTables{
+			free:     make([]uint32, 0, frames),
+			refcount: make([]uint16, frames),
+		})
+	}
 }

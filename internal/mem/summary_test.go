@@ -1,0 +1,163 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSummariesMatchBitsets drives random trap/refcount operations —
+// including multi-word ranges that exercise the bulk chunk paths — and
+// checks the two-level occupancy summaries against the backing arrays
+// after every batch, plus TrapCount against a brute-force bit count.
+func TestSummariesMatchBitsets(t *testing.T) {
+	type op struct {
+		Kind byte
+		Word uint16
+		Len  uint8
+		Bit  uint8
+	}
+	f := func(ops []op) bool {
+		p := NewPhys(16, 4096) // 64 KB = 16K words
+		p.EnableTrapRefs()
+		c := NewController(p)
+		words := uint32(p.Bytes() / WordBytes)
+		for _, o := range ops {
+			pa := PAddr(uint32(o.Word) % words * WordBytes)
+			size := (int(o.Len)%512 + 1) * WordBytes
+			if int(pa)+size > p.Bytes() {
+				size = p.Bytes() - int(pa)
+			}
+			switch o.Kind % 8 {
+			case 0:
+				c.SetTrap(pa, size)
+			case 1:
+				c.ClearTrap(pa, size)
+			case 2:
+				c.FlipTapewormBit(pa, size)
+			case 3:
+				p.InjectError(pa, uint(o.Bit%39))
+			case 4:
+				c.AddTrapRef(pa)
+			case 5:
+				c.ReleaseTrapRef(pa)
+			case 6:
+				p.CorrectWord(pa)
+			case 7:
+				c.SetTrap(pa, size)
+				c.ClearTrap(pa, size/2+WordBytes)
+			}
+		}
+		if err := p.CheckSummaries(); err != nil {
+			t.Log(err)
+			return false
+		}
+		brute := 0
+		for w := uint32(0); w < words; w++ {
+			if p.TrappedWord(PAddr(w) * WordBytes) {
+				brute++
+			}
+		}
+		return p.TrapCount() == brute
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBulkRangeOpsMatchWordOps checks that a multi-chunk range operation
+// leaves exactly the same state as the same operation word by word.
+func TestBulkRangeOpsMatchWordOps(t *testing.T) {
+	build := func(bulk bool) *Phys {
+		p := NewPhys(16, 4096)
+		c := NewController(p)
+		// A true error forces the per-word fallback inside its chunk.
+		p.InjectError(0x2010, 7)
+		base, size := PAddr(0x1ff0), 0x40c // spans several chunks incl. the error's
+		if bulk {
+			c.SetTrap(base, size)
+			c.FlipTapewormBit(base+0x100, 0x80)
+			c.ClearTrap(base+4, size-8)
+		} else {
+			for off := 0; off < size; off += WordBytes {
+				c.SetTrap(base+PAddr(off), WordBytes)
+			}
+			for off := 0; off < 0x80; off += WordBytes {
+				c.FlipTapewormBit(base+0x100+PAddr(off), WordBytes)
+			}
+			for off := 4; off < size-4; off += WordBytes {
+				c.ClearTrap(base+PAddr(off), WordBytes)
+			}
+		}
+		return p
+	}
+	a, b := build(true), build(false)
+	if err := a.CheckSummaries(); err != nil {
+		t.Fatal(err)
+	}
+	for w := uint32(0); w < uint32(a.Bytes()/WordBytes); w++ {
+		pa := PAddr(w) * WordBytes
+		if a.TrappedWord(pa) != b.TrappedWord(pa) || a.ECCState(pa) != b.ECCState(pa) {
+			t.Fatalf("word %#x: bulk (trap %v ecc %#x) != word-by-word (trap %v ecc %#x)",
+				pa, a.TrappedWord(pa), a.ECCState(pa), b.TrappedWord(pa), b.ECCState(pa))
+		}
+	}
+	aset, aclr := a.Stats()
+	bset, bclr := b.Stats()
+	if aset != bset || aclr != bclr {
+		t.Fatalf("stats diverge: bulk %d/%d vs word %d/%d", aset, aclr, bset, bclr)
+	}
+}
+
+// TestSelectiveReuseZeroing recycles heavily-armed buffers and verifies the
+// summary-guided zeroing restores exact fresh-boot state.
+func TestSelectiveReuseZeroing(t *testing.T) {
+	SetPoolEnabled(true)
+	p := NewPhys(32, 4096)
+	p.EnableTrapRefs()
+	c := NewController(p)
+	c.SetTrap(0x1000, 8192)
+	c.AddTrapRef(0x3000)
+	c.AddTrapRef(0x3000)
+	c.AddTrapRef(0x1f000)
+	p.InjectError(0x9000, 11)
+	p.Release()
+
+	q := NewPhys(32, 4096)
+	q.EnableTrapRefs()
+	if err := q.CheckSummaries(); err != nil {
+		t.Fatal(err)
+	}
+	if q.TrapCount() != 0 {
+		t.Fatalf("recycled phys has %d traps armed", q.TrapCount())
+	}
+	for _, pa := range []PAddr{0x1000, 0x3000, 0x9000, 0x1f000} {
+		if q.TrappedWord(pa) || q.ECCState(pa) != 0 || q.TrapRefCount(pa) != 0 {
+			t.Fatalf("stale state at %#x after reuse", pa)
+		}
+	}
+}
+
+// TestPrewarmPools checks that pre-warmed buffers are served as reuses by
+// the next boots at the same geometry.
+func TestPrewarmPools(t *testing.T) {
+	SetPoolEnabled(true)
+	const frames, page = 48, 4096
+	PrewarmPools(2, 2, frames, page)
+	g0, r0 := PoolStats()
+	for i := 0; i < 2; i++ {
+		p := NewPhys(frames, page)
+		p.EnableTrapRefs()
+		if err := p.CheckSummaries(); err != nil {
+			t.Fatal(err)
+		}
+		if p.TrapCount() != 0 {
+			t.Fatal("prewarmed buffers not clean")
+		}
+		p.Release()
+	}
+	g1, r1 := PoolStats()
+	if g1-g0 < 4 || r1-r0 < 4 {
+		t.Fatalf("prewarmed pool not reused: gets +%d reuses +%d", g1-g0, r1-r0)
+	}
+}

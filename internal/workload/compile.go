@@ -1,0 +1,261 @@
+package workload
+
+// Program compilation. A workload's reference stream is a deterministic
+// pure function of (spec, seed, task label) — it never consults machine or
+// kernel state (see program.go) — so the whole stream can be lowered once
+// into a flat array of pre-planned ops (fused walker runs, pre-resolved
+// service points, batched data references) and replayed any number of
+// times. Replay eliminates the per-instruction probability draws, Zipf
+// lookups and walker stepping that dominate the interpreter's cost, and a
+// process-wide cache amortizes the one-time compile across gang members,
+// fast/baseline comparison runs, and bench iterations — all of which
+// execute the same (spec, seed) stream by construction.
+//
+// The compiler is seed-pure: it consumes randomness only through the
+// interpreter it records, so a compiled replay is bit-identical to the
+// interpreter by construction, and memoizing images by (spec, seed) can
+// never change simulation results.
+
+import (
+	"fmt"
+	"sync"
+
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+)
+
+// maxCompiledOps bounds the total op count of one workload's fork tree.
+// Beyond it (roughly 50 MB of ops; only reached far above the bench and
+// verification scales), Compile refuses and callers fall back to the
+// interpreter.
+const maxCompiledOps = 4 << 20
+
+// ErrStreamTooLarge reports a workload whose stream exceeds the compile
+// op budget; run it through the interpreter instead.
+var ErrStreamTooLarge = fmt.Errorf("workload: stream exceeds the %d-op compile budget", maxCompiledOps)
+
+// image is the compiled form of one task's program: its op stream plus the
+// images of the children it forks, in fork order. Images are immutable
+// after compilation and shared by any number of concurrent replays.
+type image struct {
+	ops      []kernel.CompiledOp
+	children []*image
+}
+
+// Compiled replays an image as a kernel.Program. The zero cursor starts at
+// the beginning of the stream; each task (including every forked child)
+// gets its own Compiled over the shared immutable image.
+type Compiled struct {
+	img    *image
+	pos    int
+	runOff int // instructions consumed of the run op at pos (Next-driven)
+}
+
+// Ops implements kernel.CompiledProgram.
+func (c *Compiled) Ops() []kernel.CompiledOp { return c.img.ops }
+
+// OpPos implements kernel.CompiledProgram.
+func (c *Compiled) OpPos() (int, bool) { return c.pos, c.runOff == 0 }
+
+// SeekOp implements kernel.CompiledProgram.
+func (c *Compiled) SeekOp(pos int) { c.pos, c.runOff = pos, 0 }
+
+// Next implements kernel.Program.
+func (c *Compiled) Next() kernel.Event {
+	base, n, ev := c.NextRun(1)
+	if n > 0 {
+		return kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: base, Kind: mem.IFetch}}
+	}
+	return ev
+}
+
+// NextRun implements kernel.BatchProgram by replaying the compiled ops.
+// The flat event stream is byte-identical to the interpreter's at any max:
+// run ops split but never merge, so boundaries the interpreter would emit
+// are preserved.
+func (c *Compiled) NextRun(max int) (mem.VAddr, int, kernel.Event) {
+	ops := c.img.ops
+	if c.pos >= len(ops) {
+		return 0, 0, kernel.Event{Kind: kernel.EvExit}
+	}
+	op := &ops[c.pos]
+	switch op.Kind {
+	case kernel.OpRun:
+		n := int(op.N) - c.runOff
+		if n > max {
+			n = max
+		}
+		base := op.VA + mem.VAddr(mem.WordBytes*c.runOff)
+		c.runOff += n
+		if c.runOff == int(op.N) {
+			c.pos++
+			c.runOff = 0
+		}
+		return base, n, kernel.Event{}
+	case kernel.OpData:
+		c.pos++
+		return 0, 0, kernel.Event{Kind: kernel.EvRef, Ref: mem.Ref{VA: op.VA, Kind: op.Ref}}
+	case kernel.OpSyscall:
+		c.pos++
+		return 0, 0, kernel.Event{Kind: kernel.EvSyscall, Service: kernel.ServiceID(op.Arg)}
+	case kernel.OpFork:
+		c.pos++
+		return 0, 0, kernel.Event{
+			Kind:      kernel.EvFork,
+			Child:     &Compiled{img: c.img.children[op.Arg]},
+			ShareText: op.N != 0,
+		}
+	default: // OpExit is sticky, like the interpreter's exited state.
+		return 0, 0, kernel.Event{Kind: kernel.EvExit}
+	}
+}
+
+// compileImage records prog's full stream (and, recursively, the streams
+// of the children it forks) into an image. budget is the remaining op
+// allowance across the whole fork tree.
+func compileImage(prog kernel.Program, budget *int) (*image, error) {
+	bp, ok := prog.(kernel.BatchProgram)
+	if !ok {
+		return nil, fmt.Errorf("workload: program %T is not batchable", prog)
+	}
+	img := &image{}
+	for {
+		if *budget <= 0 {
+			return nil, ErrStreamTooLarge
+		}
+		*budget--
+		base, n, ev := bp.NextRun(kernel.CompiledRunCap)
+		if n > 0 {
+			img.ops = append(img.ops, kernel.CompiledOp{
+				Kind: kernel.OpRun, VA: base, N: uint16(n),
+			})
+			continue
+		}
+		switch ev.Kind {
+		case kernel.EvRef:
+			img.ops = append(img.ops, kernel.CompiledOp{
+				Kind: kernel.OpData, VA: ev.Ref.VA, Ref: ev.Ref.Kind,
+			})
+		case kernel.EvSyscall:
+			img.ops = append(img.ops, kernel.CompiledOp{
+				Kind: kernel.OpSyscall, Arg: int32(ev.Service),
+			})
+		case kernel.EvFork:
+			child, err := compileImage(ev.Child, budget)
+			if err != nil {
+				return nil, err
+			}
+			var share uint16
+			if ev.ShareText {
+				share = 1
+			}
+			img.ops = append(img.ops, kernel.CompiledOp{
+				Kind: kernel.OpFork, N: share, Arg: int32(len(img.children)),
+			})
+			img.children = append(img.children, child)
+		case kernel.EvExit:
+			img.ops = append(img.ops, kernel.CompiledOp{Kind: kernel.OpExit})
+			return img, nil
+		default:
+			return nil, fmt.Errorf("workload: unknown event kind %d while compiling", ev.Kind)
+		}
+	}
+}
+
+// Compile lowers spec's reference stream into a fresh compiled program,
+// bypassing the cache. Returns ErrStreamTooLarge when the stream exceeds
+// the op budget.
+func Compile(spec Spec, seed uint64) (*Compiled, error) {
+	prog, err := New(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := maxCompiledOps
+	img, err := compileImage(prog, &budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{img: img}, nil
+}
+
+// --- Process-wide image cache ---
+
+// maxCachedImages bounds the compile cache. Each entry is one workload's
+// full op stream (tens of MB at bench scales); sweeps revisit the same
+// few (spec, seed) pairs thousands of times.
+const maxCachedImages = 4
+
+type cacheKey struct {
+	spec Spec
+	seed uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	img  *image
+	err  error
+	gen  uint64 // LRU clock, updated under cacheMu
+}
+
+var (
+	cacheMu    sync.Mutex
+	imageCache = map[cacheKey]*cacheEntry{}
+	cacheGen   uint64
+)
+
+// cachedImage memoizes Compile by (spec, seed). Concurrent requests for
+// the same key compile once and share the immutable result; distinct keys
+// compile in parallel. Least-recently-used images are evicted beyond
+// maxCachedImages.
+func cachedImage(spec Spec, seed uint64) (*image, error) {
+	key := cacheKey{spec: spec, seed: seed}
+	cacheMu.Lock()
+	e := imageCache[key]
+	if e == nil {
+		e = &cacheEntry{}
+		imageCache[key] = e
+		if len(imageCache) > maxCachedImages {
+			var victimKey cacheKey
+			var victim *cacheEntry
+			// Generation numbers are unique, so the minimum is the same
+			// victim at any iteration order; eviction never changes
+			// simulation results either way (images are pure).
+			//twvet:allow maporder — unique-minimum selection is order-insensitive
+			for k, v := range imageCache {
+				if v != e && (victim == nil || v.gen < victim.gen) {
+					victimKey, victim = k, v
+				}
+			}
+			delete(imageCache, victimKey)
+		}
+	}
+	cacheGen++
+	e.gen = cacheGen
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		c, err := Compile(spec, seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.img = c.img
+	})
+	return e.img, e.err
+}
+
+// NewPlanned returns the fastest available Program for (spec, seed): a
+// replay of the cached compiled stream when it fits the op budget, else
+// the interpreter. The emitted event stream is identical either way.
+func NewPlanned(spec Spec, seed uint64) (kernel.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	img, err := cachedImage(spec, seed)
+	if err == ErrStreamTooLarge {
+		return New(spec, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{img: img}, nil
+}

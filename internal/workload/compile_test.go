@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+
+	"tapeworm/internal/kernel"
+	"tapeworm/internal/mem"
+)
+
+// flatEvent is one element of a program's flattened event stream: run ops
+// are exploded into per-instruction fetches so that streams produced at
+// different batch widths compare equal exactly when the underlying
+// instruction/event sequence is identical.
+type flatEvent struct {
+	kind   kernel.EventKind
+	va     mem.VAddr
+	ref    mem.RefKind
+	svc    kernel.ServiceID
+	shared bool
+}
+
+// flatten explodes prog's stream via NextRun(width), recursing into forked
+// children depth-first (fork order is deterministic, so the flattening is
+// too). cap bounds runaway streams.
+func flatten(t *testing.T, prog kernel.Program, width, cap int) []flatEvent {
+	t.Helper()
+	bp, ok := prog.(kernel.BatchProgram)
+	if !ok {
+		t.Fatalf("program %T is not batchable", prog)
+	}
+	var out []flatEvent
+	for len(out) < cap {
+		base, n, ev := bp.NextRun(width)
+		if n > 0 {
+			for i := 0; i < n; i++ {
+				out = append(out, flatEvent{kind: kernel.EvRef, va: base + mem.VAddr(4*i), ref: mem.IFetch})
+			}
+			continue
+		}
+		switch ev.Kind {
+		case kernel.EvRef:
+			out = append(out, flatEvent{kind: kernel.EvRef, va: ev.Ref.VA, ref: ev.Ref.Kind})
+		case kernel.EvSyscall:
+			out = append(out, flatEvent{kind: kernel.EvSyscall, svc: ev.Service})
+		case kernel.EvFork:
+			out = append(out, flatEvent{kind: kernel.EvFork, shared: ev.ShareText})
+			out = append(out, flatten(t, ev.Child, width, cap-len(out))...)
+		case kernel.EvExit:
+			out = append(out, flatEvent{kind: kernel.EvExit})
+			return out
+		}
+	}
+	return out
+}
+
+// flattenNext explodes prog's stream via Next alone.
+func flattenNext(t *testing.T, prog kernel.Program, cap int) []flatEvent {
+	t.Helper()
+	var out []flatEvent
+	for len(out) < cap {
+		ev := prog.Next()
+		switch ev.Kind {
+		case kernel.EvRef:
+			out = append(out, flatEvent{kind: kernel.EvRef, va: ev.Ref.VA, ref: ev.Ref.Kind})
+		case kernel.EvSyscall:
+			out = append(out, flatEvent{kind: kernel.EvSyscall, svc: ev.Service})
+		case kernel.EvFork:
+			out = append(out, flatEvent{kind: kernel.EvFork, shared: ev.ShareText})
+			out = append(out, flattenNext(t, ev.Child, cap-len(out))...)
+		case kernel.EvExit:
+			out = append(out, flatEvent{kind: kernel.EvExit})
+			return out
+		}
+	}
+	return out
+}
+
+func compareStreams(t *testing.T, name string, want, got []flatEvent) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: stream lengths differ: interpreter %d, compiled %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: streams diverge at event %d: interpreter %+v, compiled %+v", name, i, want[i], got[i])
+		}
+	}
+}
+
+// TestCompiledStreamMatchesInterpreter checks byte-identity of the
+// compiled replay against the interpreter across fork-tree shapes (single
+// task, one-level, two-level trees) and batch widths, including the
+// per-instruction Next path.
+func TestCompiledStreamMatchesInterpreter(t *testing.T) {
+	const scale = 40000 // small streams; sdet/kenbus still fork full trees
+	const seed = 1994
+	const capEvents = 5 << 20
+	for _, name := range []string{"eqntott", "mpeg_play", "ousterhout", "sdet"} {
+		spec, err := ByName(name, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := flatten(t, MustNew(spec, seed), kernel.CompiledRunCap, capEvents)
+
+		c, err := Compile(spec, seed)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		compareStreams(t, name+"/run64", ref, flatten(t, c, kernel.CompiledRunCap, capEvents))
+
+		for _, width := range []int{1, 7, 64, 1024} {
+			c, err := Compile(spec, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareStreams(t, name, ref, flatten(t, c, width, capEvents))
+		}
+
+		c, err = Compile(spec, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareStreams(t, name+"/next", ref, flattenNext(t, c, capEvents))
+	}
+}
+
+// TestCompiledMixedDriving interleaves Next and NextRun on the same
+// replayer — the shape a traced task or instruction-limited run produces —
+// and checks the flat stream still matches.
+func TestCompiledMixedDriving(t *testing.T) {
+	spec, err := ByName("eqntott", 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 7
+	ref := flatten(t, MustNew(spec, seed), 64, 1<<20)
+
+	c, err := Compile(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []flatEvent
+	i := 0
+	for len(got) < 1<<20 {
+		var base mem.VAddr
+		var n int
+		var ev kernel.Event
+		if i%3 == 0 {
+			ev = c.Next()
+			if ev.Kind == kernel.EvRef && ev.Ref.Kind == mem.IFetch {
+				got = append(got, flatEvent{kind: kernel.EvRef, va: ev.Ref.VA, ref: mem.IFetch})
+				i++
+				continue
+			}
+		} else {
+			base, n, ev = c.NextRun(5 + i%60)
+			if n > 0 {
+				for j := 0; j < n; j++ {
+					got = append(got, flatEvent{kind: kernel.EvRef, va: base + mem.VAddr(4*j), ref: mem.IFetch})
+				}
+				i++
+				continue
+			}
+		}
+		i++
+		switch ev.Kind {
+		case kernel.EvRef:
+			got = append(got, flatEvent{kind: kernel.EvRef, va: ev.Ref.VA, ref: ev.Ref.Kind})
+		case kernel.EvSyscall:
+			got = append(got, flatEvent{kind: kernel.EvSyscall, svc: ev.Service})
+		case kernel.EvFork:
+			got = append(got, flatEvent{kind: kernel.EvFork, shared: ev.ShareText})
+			got = append(got, flattenNext(t, ev.Child, 1<<20-len(got))...)
+		case kernel.EvExit:
+			got = append(got, flatEvent{kind: kernel.EvExit})
+		}
+		if ev.Kind == kernel.EvExit {
+			break
+		}
+	}
+	compareStreams(t, "mixed", ref, got)
+}
+
+// TestNewPlannedCacheSharesImages checks the cache returns independent
+// replayers over one shared image, and that replays don't perturb each
+// other.
+func TestNewPlannedCacheSharesImages(t *testing.T) {
+	spec, err := ByName("espresso", 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewPlanned(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlanned(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, ok := a.(*Compiled)
+	if !ok {
+		t.Fatalf("NewPlanned returned %T, want *Compiled", a)
+	}
+	cb := b.(*Compiled)
+	if ca.img != cb.img {
+		t.Fatal("cache did not share the compiled image")
+	}
+	// Drive one replayer forward; the other must be unaffected.
+	ca.NextRun(64)
+	if pos, _ := cb.OpPos(); pos != 0 {
+		t.Fatal("advancing one replayer moved another's cursor")
+	}
+}
+
+// TestOpPosAlignment checks OpPos reports misalignment while a run op is
+// partially consumed and realigns at the boundary.
+func TestOpPosAlignment(t *testing.T) {
+	spec, err := ByName("eqntott", 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := c.Ops()
+	if len(ops) == 0 || ops[0].Kind != kernel.OpRun {
+		t.Skipf("stream does not start with a run op")
+	}
+	if ops[0].N > 1 {
+		c.Next()
+		if _, ok := c.OpPos(); ok {
+			t.Fatal("OpPos claims alignment mid-run")
+		}
+		for i := 1; i < int(ops[0].N); i++ {
+			c.Next()
+		}
+		if pos, ok := c.OpPos(); !ok || pos != 1 {
+			t.Fatalf("OpPos = %d,%v after consuming the first run, want 1,true", pos, ok)
+		}
+	}
+}

@@ -207,7 +207,7 @@ func (s *System) LoadWorkload(name string, scale float64, seed uint64, simulate 
 	if err != nil {
 		return nil, err
 	}
-	prog, err := workload.New(spec, seed)
+	prog, err := workload.NewPlanned(spec, seed)
 	if err != nil {
 		return nil, err
 	}
