@@ -23,7 +23,11 @@ import (
 // Version 3 extends hot_loop to every paper workload (with compiled-path
 // timings), adds the gang member-count scaling curve, and reports
 // per-experiment backing-array pool statistics.
-const benchVersion = 3
+// Version 4 adds the boot_amortization section (boot vs. checkpoint-fork
+// timing, forks-per-image counts) and switches pool statistics from
+// process-global deltas to per-run tallies, which stay exact at any
+// -parallel.
+const benchVersion = 4
 
 // benchReport is the machine-readable perf trajectory emitted by
 // -bench-json: wall-clock per experiment with the fast path on and off,
@@ -41,6 +45,28 @@ type benchReport struct {
 	Gang        benchGangSuite    `json:"gang"`
 	GangScaling benchGangScaling  `json:"gang_scaling"`
 	HotLoop     []benchHotLoop    `json:"hot_loop"`
+
+	BootAmortization benchBootAmortization `json:"boot_amortization"`
+}
+
+// benchBootAmortization measures what checkpointed boot images buy: the
+// microbenchmark times a fresh kernel boot against a fork from a captured
+// checkpoint (the BenchmarkBootVsFork numbers), and the sweep comparison
+// reruns an accuracy sweep with -checkpoint to count how many forks each
+// captured image served. Outputs are byte-identical either way (the
+// `make verify-checkpoint` gate), so both speedups are pure setup cost.
+type benchBootAmortization struct {
+	Frames          int     `json:"frames"`
+	BootMicros      float64 `json:"boot_micros"`
+	ForkMicros      float64 `json:"fork_micros"`
+	ForkSpeedup     float64 `json:"fork_speedup"`
+	FreshSeconds    float64 `json:"fresh_seconds"`
+	ForkedSeconds   float64 `json:"forked_seconds"`
+	SweepSpeedup    float64 `json:"sweep_speedup"`
+	Images          uint64  `json:"images"`
+	Forks           uint64  `json:"forks"`
+	ForksPerImage   float64 `json:"forks_per_image"`
+	SweepExperiment string  `json:"sweep_experiment"`
 }
 
 // benchExperiment times one experiment's full regeneration. Baseline is
@@ -147,14 +173,15 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 		o.Progress = nil
 		o.Telemetry = nil
 		o.NoFastPath = noFast
-		g0, r0 := mem.PoolStats()
+		var tally mem.PoolTally // per-run attribution: exact at any -parallel
+		o.PoolTally = &tally
 		start := time.Now()
 		if _, err := fn(o); err != nil {
 			return 0, 0, 0, fmt.Errorf("%s: %w", id, err)
 		}
 		seconds = time.Since(start).Seconds()
-		g1, r1 := mem.PoolStats()
-		return seconds, g1 - g0, r1 - r0, nil
+		gets, reuses = tally.Counts()
+		return seconds, gets, reuses, nil
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -186,6 +213,12 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 		return err
 	}
 	rep.GangScaling = scaling
+
+	amort, err := benchBootAmortizationRun(opts)
+	if err != nil {
+		return err
+	}
+	rep.BootAmortization = amort
 
 	for _, wl := range workload.Names() {
 		hot, err := benchHot(wl, opts.Seed)
@@ -230,10 +263,11 @@ func benchGangSuiteRun(opts experiment.Options) (benchGangSuite, error) {
 		o.Progress = nil
 		o.Telemetry = nil
 		o.NoGang = noGang
+		var tally mem.PoolTally // per-run attribution: exact at any -parallel
+		o.PoolTally = &tally
 		mem.SetPoolEnabled(pool)
 		defer mem.SetPoolEnabled(true)
 		var before, after runtime.MemStats
-		g0, r0 := mem.PoolStats()
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
@@ -242,8 +276,8 @@ func benchGangSuiteRun(opts experiment.Options) (benchGangSuite, error) {
 		}
 		seconds = time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
-		g1, r1 := mem.PoolStats()
-		return seconds, after.Mallocs - before.Mallocs, g1 - g0, r1 - r0, nil
+		gets, reuses = tally.Counts()
+		return seconds, after.Mallocs - before.Mallocs, gets, reuses, nil
 	}
 	for _, id := range gangSuiteIDs {
 		solo, soloMallocs, _, _, err := timeRun(id, true, true)
@@ -334,6 +368,84 @@ func benchHot(wl string, seed uint64) (benchHotLoop, error) {
 		BaselineRefsPerSec: float64(instr) / base,
 		Speedup:            base / fast,
 	}, nil
+}
+
+// benchBootAmortizationRun times boot against checkpoint fork. The
+// microbenchmark isolates kernel setup: fresh boots (the pools warm, so
+// allocation is already amortized) against forks from one captured
+// checkpoint. The sweep comparison reruns an accuracy-sweep experiment
+// with checkpointing on, counting the forks each captured image served.
+func benchBootAmortizationRun(opts experiment.Options) (benchBootAmortization, error) {
+	const sweepID = "figure3"
+	// 8192 frames is the evaluation default (and BenchmarkBootVsFork's
+	// geometry); the boot-side frame shuffle scales with frames while the
+	// fork cost is flat, so the ratio is only meaningful at the frame
+	// count the evaluation actually boots.
+	out := benchBootAmortization{Frames: 8192, SweepExperiment: sweepID}
+
+	kcfg := kernel.DefaultConfig(tapeworm.DECstation(out.Frames), opts.Seed)
+	const iters = 2000
+	// Warm the pools so both sides measure setup work, not first-touch
+	// allocation.
+	for i := 0; i < 8; i++ {
+		k := kernel.MustBoot(kcfg)
+		k.ReleaseBuffers()
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		k := kernel.MustBoot(kcfg)
+		k.ReleaseBuffers()
+	}
+	out.BootMicros = time.Since(start).Seconds() / iters * 1e6
+
+	src := kernel.MustBoot(kcfg)
+	cp, err := kernel.Capture(src, "bench")
+	src.ReleaseBuffers()
+	if err != nil {
+		return out, err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		k, err := kernel.Fork(cp, kcfg)
+		if err != nil {
+			return out, err
+		}
+		k.ReleaseCheckpoint()
+	}
+	out.ForkMicros = time.Since(start).Seconds() / iters * 1e6
+	out.ForkSpeedup = out.BootMicros / out.ForkMicros
+
+	fn, err := experiment.ByID(sweepID)
+	if err != nil {
+		return out, err
+	}
+	timeSweep := func(checkpoint bool) (float64, error) {
+		o := opts
+		o.Progress = nil
+		o.Telemetry = nil
+		o.Checkpoint = checkpoint
+		start := time.Now()
+		if _, err := fn(o); err != nil {
+			return 0, fmt.Errorf("%s: %w", sweepID, err)
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	if out.FreshSeconds, err = timeSweep(false); err != nil {
+		return out, err
+	}
+	img0, fk0 := experiment.CheckpointStats()
+	if out.ForkedSeconds, err = timeSweep(true); err != nil {
+		return out, err
+	}
+	img1, fk1 := experiment.CheckpointStats()
+	out.SweepSpeedup = out.FreshSeconds / out.ForkedSeconds
+	out.Images, out.Forks = img1-img0, fk1-fk0
+	if out.Images > 0 {
+		out.ForksPerImage = float64(out.Forks) / float64(out.Images)
+	}
+	fmt.Fprintf(os.Stderr, "  bench boot-amortization  boot %.1fµs  fork %.1fµs  speedup %.2fx  (%s: %d forks / %d images)\n",
+		out.BootMicros, out.ForkMicros, out.ForkSpeedup, sweepID, out.Forks, out.Images)
+	return out, nil
 }
 
 // scalingConfigs builds n distinct cache configurations for the gang

@@ -14,6 +14,7 @@
 //	twbench -compile=false          # force the interpreted workload programs
 //	twbench -gang=false             # run every configuration as its own execution
 //	twbench -gang-demux linear      # per-member linear gang trap demux
+//	twbench -checkpoint             # fork runs from cached post-boot images
 //	twbench -bench-json pr4         # time fast vs. baseline and ganged vs. solo, write BENCH_pr4.json
 //
 // Each experiment's independent machine runs execute on a worker pool
@@ -51,6 +52,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 
+		checkpoint    = flag.Bool("checkpoint", false, "fork runs from cached post-boot images instead of booting fresh (results are byte-identical either way)")
+		checkpointDir = flag.String("checkpoint-dir", "", "persist boot images to this directory and reload them across invocations (requires -checkpoint)")
+
 		fastpath   = flag.Bool("fastpath", true, "use the batched hit fast path (results are byte-identical either way)")
 		compile    = flag.Bool("compile", true, "replay pre-compiled workload programs (results are byte-identical either way)")
 		gang       = flag.Bool("gang", true, "group gang-eligible runs into shared executions (results are byte-identical either way)")
@@ -70,6 +74,7 @@ func main() {
 		Scale: *scale, Seed: *seed, Trials: *trials, Frames: *frames,
 		Parallelism: *parallel, NoFastPath: !*fastpath, NoCompile: !*compile,
 		NoGang: !*gang, LinearGangDemux: *gangDemux == "linear",
+		Checkpoint: *checkpoint, CheckpointDir: *checkpointDir,
 	}
 	if *gangDemux != "bitset" && *gangDemux != "linear" {
 		fail(fmt.Errorf("-gang-demux must be bitset or linear, got %q", *gangDemux))

@@ -28,6 +28,9 @@ func main() {
 	fractions(*scale)
 }
 
+// boot hands the booted kernel (and its pooled buffers) to the caller.
+//
+//twvet:transfer
 func boot(seed uint64) *kernel.Kernel {
 	return kernel.MustBoot(kernel.DefaultConfig(mach.DECstation5000_200(8192), seed))
 }

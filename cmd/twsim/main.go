@@ -8,6 +8,7 @@
 //	twsim -workload sdet -size 4K -kernel -servers
 //	twsim -workload ousterhout -mode tlb -tlb-entries 64
 //	twsim -workload espresso -size 1K -sample 1/8 -indexing virtual
+//	twsim -workload espresso -checkpoint -warmup 100000 -measure 500000
 //
 // The uninstrumented baseline and the instrumented run are independent
 // simulations (each boots its own kernel), so by default they execute
@@ -55,6 +56,11 @@ func main() {
 		baseline   = flag.Bool("baseline", true, "also run uninstrumented for slowdown")
 		parallel   = flag.Int("parallel", 0, "worker pool size for the baseline/instrumented runs (0 = GOMAXPROCS, 1 = serial)")
 
+		checkpoint    = flag.Bool("checkpoint", false, "fork the baseline/instrumented runs from one cached post-boot image (results are byte-identical either way)")
+		checkpointDir = flag.String("checkpoint-dir", "", "persist boot images to this directory and reload them across invocations (requires -checkpoint)")
+		warmup        = flag.Uint64("warmup", 0, "retired instructions of warm-up before misses count")
+		measure       = flag.Uint64("measure", 0, "retired instructions in the measurement interval (0 = to end of run)")
+
 		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
 		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -69,9 +75,12 @@ func main() {
 	}
 
 	check(validateRunFlags(*parallel, *frames, *scale))
+	check(validateCheckpointFlags(*checkpoint, *checkpointDir))
 	cfg, err := simConfig(*mode, *size, *line, *assoc, *indexing, *replace,
 		*sample, *tlbEntries, *handler)
 	check(err)
+	cfg.Window = tapeworm.Window{WarmupInstr: *warmup, MeasureInstr: *measure}
+	check(cfg.Window.Validate())
 
 	var coll *telemetry.Collector
 	var traceFile *os.File
@@ -119,7 +128,8 @@ func main() {
 			tel := coll.StartRun("baseline")
 			tels[i] = tel
 			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel})
+				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
+				Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
 			if err != nil {
 				return simOut{}, err
 			}
@@ -137,7 +147,8 @@ func main() {
 		tel := coll.StartRun("instrumented")
 		tels[instIdx] = tel
 		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-			Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel})
+			Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
+			Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
 		if err != nil {
 			return simOut{}, err
 		}
@@ -226,6 +237,26 @@ func validateRunFlags(parallel, frames int, scale float64) error {
 	}
 	if !(scale > 0) {
 		return fmt.Errorf("-scale must be positive, got %v", scale)
+	}
+	return nil
+}
+
+// validateCheckpointFlags rejects checkpoint flag combinations that would
+// otherwise fail deep inside the first run (or worse, silently boot
+// fresh): a directory without the feature enabled, a blank path, or a
+// path that exists but is not a directory.
+func validateCheckpointFlags(checkpoint bool, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if !checkpoint {
+		return fmt.Errorf("-checkpoint-dir %q requires -checkpoint", dir)
+	}
+	if strings.TrimSpace(dir) == "" {
+		return fmt.Errorf("-checkpoint-dir must not be blank")
+	}
+	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
+		return fmt.Errorf("-checkpoint-dir %q is not a directory", dir)
 	}
 	return nil
 }

@@ -74,12 +74,21 @@ var pairs = []pair{
 	{
 		name:     "pooled phys buffers",
 		acquires: set("tapeworm/internal/mem.getPhysBuffers", "tapeworm/internal/mem.getTrapRefs"),
-		releases: set("tapeworm/internal/mem.putPhysBuffers"),
+		releases: set("tapeworm/internal/mem.putPhysBuffers", "tapeworm/internal/mem.putTrapRefs"),
 	},
 	{
 		name:     "kernel boot buffers",
-		acquires: set("tapeworm/internal/kernel.Boot"),
+		acquires: set("tapeworm/internal/kernel.Boot", "tapeworm/internal/kernel.MustBoot"),
 		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseBuffers"),
+	},
+	{
+		// A forked kernel owns pooled frame tables plus whatever its
+		// copy-on-write Phys materializes; ReleaseCheckpoint is the
+		// matching teardown (ReleaseBuffers also suffices at runtime, but
+		// fork call sites should pair with the checkpoint-aware release).
+		name:     "checkpoint fork",
+		acquires: set("tapeworm/internal/kernel.Fork"),
+		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseCheckpoint"),
 	},
 }
 

@@ -1,0 +1,71 @@
+package cache
+
+// Line-array recycling. A sweep builds thousands of machines, and every
+// machine's host caches are identically configured, so their tag stores
+// are identically sized; allocating them fresh per build makes cache.New
+// the dominant allocation site of a checkpoint fork (mach.build). The
+// pool recirculates released line arrays by exact length — a fetched
+// array is cleared before reuse, so a pooled cache starts in the same
+// all-invalid state a fresh one does and simulation results cannot
+// depend on pooling.
+
+import "sync"
+
+var linePool = struct {
+	sync.Mutex
+	byLen map[int][][]line
+}{byLen: map[int][][]line{}}
+
+// getLines returns a zeroed line array of length n and whether it was
+// recycled from the pool. Pooled arrays are stored clean (putLines
+// zeroes dirty ones on the way in), so the get path never clears — a
+// forked machine that is built and torn down without running pays no
+// memclr at all.
+func getLines(n int) ([]line, bool) {
+	linePool.Lock()
+	s := linePool.byLen[n]
+	if len(s) == 0 {
+		linePool.Unlock()
+		return make([]line, n), false
+	}
+	buf := s[len(s)-1]
+	s[len(s)-1] = nil
+	linePool.byLen[n] = s[:len(s)-1]
+	linePool.Unlock()
+	return buf, true
+}
+
+func putLines(buf []line) {
+	if buf == nil {
+		return
+	}
+	linePool.Lock()
+	linePool.byLen[len(buf)] = append(linePool.byLen[len(buf)], buf)
+	linePool.Unlock()
+}
+
+// Release returns the cache's tag store to the process-wide pool. The
+// cache is unusable afterwards; callers release only caches they own
+// exclusively (a machine's host caches at teardown).
+func (c *Cache) Release() {
+	// Every line mutation happens under an Access (probes stamp on hit,
+	// inserts fill on miss; invalidations clear in place and are no-ops
+	// on a never-accessed store), so an untouched cache's array is still
+	// zero and can skip the clear the pool contract requires.
+	if c.hits|c.misses != 0 {
+		clear(c.lines)
+	}
+	putLines(c.lines)
+	c.lines = nil
+	c.mru = nil
+}
+
+// PoolReused reports whether this cache's tag store came out of the pool
+// rather than a fresh allocation (pool-attribution accounting).
+func (c *Cache) PoolReused() bool { return c.reused }
+
+// Release returns the TLB's tag store to the pool; see Cache.Release.
+func (t *TLB) Release() { t.inner.Release() }
+
+// PoolReused reports whether the TLB's tag store was recycled.
+func (t *TLB) PoolReused() bool { return t.inner.reused }

@@ -101,6 +101,11 @@ type Config struct {
 	Sampling Sampling
 	Handler  HandlerModel
 
+	// Window restricts which misses are counted to a warm-up/measure
+	// interval over retired instructions. Trap physics are unaffected —
+	// the zero value (measure everything) leaves results bit-identical.
+	Window Window
+
 	// Seed drives victim choice for Random replacement policies.
 	Seed uint64
 
@@ -176,6 +181,10 @@ type Tapeworm struct {
 	tlbCost   uint64
 	kernelReg bool
 
+	// windowOn caches Config.Window.enabled() so the no-window common
+	// case costs one flag test per counted miss.
+	windowOn bool
+
 	pages map[uint32]*pageState // frame -> state
 	mapVP map[vkey]mem.PAddr    // (task, vpn) -> physical page
 
@@ -216,6 +225,15 @@ func (tw *Tapeworm) charge(c uint64) {
 // private ledger (zero for solo simulators, whose overhead goes to the
 // machine clock).
 func (tw *Tapeworm) LedgerCycles() uint64 { return tw.ledger }
+
+// counting reports whether a miss retiring now falls inside the
+// measurement window. Only the counting is gated: trap physics (clear,
+// simulate, re-arm, charge) run regardless, so simulated state stays
+// warm through the warm-up and the tables are byte-identical with the
+// window on or off.
+func (tw *Tapeworm) counting() bool {
+	return !tw.windowOn || tw.cfg.Window.Measuring(tw.m.Instructions())
+}
 
 // SetTelemetry redirects this simulator's miss events and counters to tel.
 // Gang members get per-member runs; solo simulators inherit the kernel's.
@@ -264,6 +282,10 @@ func build(k *kernel.Kernel, cfg Config) (*Tapeworm, error) {
 	for s := pageSize; s > 1; s >>= 1 {
 		tw.pageBits++
 	}
+	if err := cfg.Window.Validate(); err != nil {
+		return nil, err
+	}
+	tw.windowOn = cfg.Window.enabled()
 
 	switch cfg.Mode {
 	case ModeICache, ModeDCache, ModeUnified:
@@ -659,11 +681,13 @@ func (tw *Tapeworm) BreakpointTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr) {
 // miss is tw_cache_miss + tw_clear_trap + tw_replace + tw_set_trap: the
 // core trap-driven loop of Figure 1.
 func (tw *Tapeworm) miss(t mem.TaskID, vaLine mem.VAddr, paLine mem.PAddr) {
-	tw.st.Misses++
-	tw.st.MissesByComp[tw.k.ComponentOf(t)]++
-	tw.missesByTask[t]++
-	if tw.tel != nil {
-		tw.tel.Event(telemetry.EvTwMiss, int32(t), uint32(vaLine), uint32(paLine), tw.m.Cycles())
+	if tw.counting() {
+		tw.st.Misses++
+		tw.st.MissesByComp[tw.k.ComponentOf(t)]++
+		tw.missesByTask[t]++
+		if tw.tel != nil {
+			tw.tel.Event(telemetry.EvTwMiss, int32(t), uint32(vaLine), uint32(paLine), tw.m.Cycles())
+		}
 	}
 
 	tw.mech.ClearTrap(paLine, int(tw.lineSize))
@@ -730,11 +754,13 @@ func (tw *Tapeworm) InvalidPageTrap(t mem.TaskID, va mem.VAddr, pa mem.PAddr, ki
 		tw.charge(tw.tlbCost / 4)
 		return true
 	}
-	tw.st.Misses++
-	tw.st.MissesByComp[tw.k.ComponentOf(t)]++
-	tw.missesByTask[t]++
-	if tw.tel != nil {
-		tw.tel.Event(telemetry.EvTLBMiss, int32(t), uint32(va), uint32(pa), tw.m.Cycles())
+	if tw.counting() {
+		tw.st.Misses++
+		tw.st.MissesByComp[tw.k.ComponentOf(t)]++
+		tw.missesByTask[t]++
+		if tw.tel != nil {
+			tw.tel.Event(telemetry.EvTLBMiss, int32(t), uint32(va), uint32(pa), tw.m.Cycles())
+		}
 	}
 
 	if err := tw.setPV(t, va, true); err != nil {

@@ -1,0 +1,61 @@
+package core
+
+// Interval selection. Checkpointed forks make restarting a configuration
+// cheap, which is only half of representative-interval simulation: the
+// other half is measuring a window of the run instead of all of it, with
+// an explicit warm-up so the simulated cache's cold-start misses are not
+// charged to the measured interval. Window implements that measurement
+// gate. It composes orthogonally with set-sampling (Sampling picks which
+// sets are simulated at all; Window picks when their misses count):
+// trap physics — clear, simulate, re-arm, overhead charging — run for the
+// whole execution either way, so the simulated state is warm when the
+// measure interval opens and the tables stay byte-identical whether a
+// window is set or not.
+
+import "fmt"
+
+// Window bounds the measurement interval in retired instructions. The
+// zero value measures the whole run (no gate, no per-miss cost beyond a
+// flag test).
+type Window struct {
+	// WarmupInstr is the number of retired instructions before misses
+	// start counting. Traps fire and simulated state updates throughout
+	// the warm-up; only the counting is suppressed.
+	WarmupInstr uint64
+
+	// MeasureInstr, when nonzero, closes the measurement interval after
+	// that many further retired instructions; zero measures to the end of
+	// the run.
+	MeasureInstr uint64
+}
+
+// enabled reports whether the window gates anything.
+func (w Window) enabled() bool { return w.WarmupInstr > 0 || w.MeasureInstr > 0 }
+
+// Validate checks the window for internal consistency.
+func (w Window) Validate() error {
+	if w.MeasureInstr > 0 && w.WarmupInstr > ^uint64(0)-w.MeasureInstr {
+		return fmt.Errorf("core: warm-up %d + measure %d instructions overflows", w.WarmupInstr, w.MeasureInstr)
+	}
+	return nil
+}
+
+// Measuring reports whether a miss retiring at instruction count instr
+// falls inside the measurement interval.
+func (w Window) Measuring(instr uint64) bool {
+	if instr < w.WarmupInstr {
+		return false
+	}
+	return w.MeasureInstr == 0 || instr < w.WarmupInstr+w.MeasureInstr
+}
+
+// String renders the window for progress and telemetry labels.
+func (w Window) String() string {
+	if !w.enabled() {
+		return "full"
+	}
+	if w.MeasureInstr == 0 {
+		return fmt.Sprintf("warmup %d", w.WarmupInstr)
+	}
+	return fmt.Sprintf("warmup %d, measure %d", w.WarmupInstr, w.MeasureInstr)
+}

@@ -1,0 +1,202 @@
+package experiment
+
+// Checkpointed boots. Every run in a sweep boots the same kernel: the
+// boot recipe is a pure function of (seed, pageSeed, frames), and the
+// dominant cost — the Fisher-Yates shuffle of the frame free list plus
+// construction of every kernel and server text walker — repeats
+// identically per run. With Options.Checkpoint set, the first run of each
+// identity boots a throwaway kernel, captures a kernel.Checkpoint, and
+// every run (including that first one) forks from the cached checkpoint
+// instead. Forks share the captured physical-memory image copy-on-write,
+// so the per-run cost drops to table copies and walker state restores.
+//
+// The cache mirrors the compiled-workload image cache (workload/compile.go):
+// process-wide, sync.Once per key so concurrent first requests capture
+// once, LRU-bounded. Checkpoints are pure values (deep copies, never
+// mutated by forks), so eviction and re-capture can never change results.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"tapeworm/internal/kernel"
+)
+
+// maxCachedCheckpoints bounds the checkpoint cache. Each entry holds one
+// boot image (frames × trap tables, ~hundreds of KB at bench scales);
+// sweeps revisit the same few (seed, pageSeed, frames) identities many
+// times per trial.
+const maxCachedCheckpoints = 4
+
+type ckKey struct {
+	seed     uint64
+	pageSeed uint64
+	frames   int
+}
+
+type ckEntry struct {
+	once sync.Once
+	cp   *kernel.Checkpoint
+	err  error
+	gen  uint64 // LRU clock, updated under ckMu
+}
+
+var (
+	ckMu    sync.Mutex
+	ckCache = map[ckKey]*ckEntry{}
+	ckGen   uint64
+
+	ckImages atomic.Uint64 // boot images captured (or loaded), incl. evicted
+	ckForks  atomic.Uint64 // kernels forked from cached images
+)
+
+// CheckpointStats reports process-wide checkpoint cache activity: images
+// is the number of boot checkpoints captured or loaded from disk, forks
+// the number of kernels served from them. forks/images is the boot
+// amortization factor (bench JSON's boot_amortization section).
+func CheckpointStats() (images, forks uint64) {
+	return ckImages.Load(), ckForks.Load()
+}
+
+// CachedCheckpoint is the exported entry to the process-wide checkpoint
+// cache, for callers outside the experiment harness (the root package's
+// System fork path, twsim). Semantics are cachedCheckpoint's.
+func CachedCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error) {
+	return cachedCheckpoint(kcfg, dir)
+}
+
+// cachedCheckpoint memoizes boot checkpoints by (seed, pageSeed, frames).
+// Concurrent requests for the same identity capture once and share the
+// immutable result; distinct identities capture in parallel. dir, when
+// non-empty, is consulted before capturing and written after.
+func cachedCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error) {
+	key := ckKey{seed: kcfg.Seed, pageSeed: kcfg.PageSeed, frames: kcfg.Machine.Frames}
+	ckMu.Lock()
+	e := ckCache[key]
+	if e == nil {
+		e = &ckEntry{}
+		ckCache[key] = e
+		if len(ckCache) > maxCachedCheckpoints {
+			var victimKey ckKey
+			var victim *ckEntry
+			// Generation numbers are unique, so the minimum is the same
+			// victim at any iteration order; eviction only costs a
+			// re-capture (checkpoints are pure values).
+			//twvet:allow maporder — unique-minimum selection is order-insensitive
+			for k, v := range ckCache {
+				if v != e && (victim == nil || v.gen < victim.gen) {
+					victimKey, victim = k, v
+				}
+			}
+			delete(ckCache, victimKey)
+		}
+	}
+	ckGen++
+	e.gen = ckGen
+	ckMu.Unlock()
+
+	e.once.Do(func() { e.cp, e.err = buildCheckpoint(kcfg, dir) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	ckForks.Add(1)
+	return e.cp, nil
+}
+
+// buildCheckpoint produces the boot checkpoint for kcfg's identity:
+// loaded from dir when a matching file exists, otherwise captured from a
+// throwaway boot (and saved to dir when set). Telemetry is stripped from
+// the capture boot — the checkpoint records state, and the throwaway
+// kernel's events belong to no run.
+func buildCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error) {
+	bcfg := kcfg
+	bcfg.Telemetry = nil
+	path := ""
+	if dir != "" {
+		path = checkpointPath(dir, bcfg)
+		cp, err := loadCheckpoint(path, bcfg)
+		if err == nil {
+			ckImages.Add(1)
+			return cp, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+	}
+	k, err := kernel.Boot(bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint capture boot: %w", err)
+	}
+	cp, err := kernel.Capture(k, "post-boot")
+	k.ReleaseBuffers()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint capture: %w", err)
+	}
+	ckImages.Add(1)
+	if path != "" {
+		if err := saveCheckpoint(path, cp); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// checkpointPath names the checkpoint file for kcfg's identity. Every
+// identity field that shapes boot state is in the name, so files from
+// different sweeps never collide.
+func checkpointPath(dir string, kcfg kernel.Config) string {
+	return filepath.Join(dir, fmt.Sprintf("boot-s%x-p%x-f%d.ckpt",
+		kcfg.Seed, kcfg.PageSeed, kcfg.Machine.Frames))
+}
+
+// loadCheckpoint reads and validates a persisted checkpoint. A file whose
+// recorded identity disagrees with kcfg (stale directory, foreign file
+// renamed into place) is rejected with a wrapped
+// kernel.ErrCheckpointMismatch rather than silently forked from.
+func loadCheckpoint(path string, kcfg kernel.Config) (*kernel.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := kernel.ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint file %s: %w", path, err)
+	}
+	if err := cp.ValidateConfig(kcfg); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint file %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// saveCheckpoint writes cp atomically (temp file + rename), so concurrent
+// processes sharing a checkpoint directory never observe a torn file.
+func saveCheckpoint(path string, cp *kernel.Checkpoint) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint temp file: %w", err)
+	}
+	if err := cp.Encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: checkpoint encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: checkpoint rename: %w", err)
+	}
+	return nil
+}

@@ -32,6 +32,10 @@ type runConfig struct {
 	noCompile   bool         // force the interpreted workload program
 	linearDemux bool         // force the per-member linear gang trap demux
 
+	checkpoint    bool          // fork the kernel from a cached boot checkpoint
+	checkpointDir string        // persist/load checkpoints here (requires checkpoint)
+	tally         *mem.PoolTally // non-nil: accumulate this run's pool counts
+
 	// gang opts this run into the ganged execution path: it runs as a
 	// core.AttachGang member (ledgered traps) even when alone, so its
 	// results are identical whether or not runAll groups it with others.
@@ -75,13 +79,20 @@ func run(rc runConfig) (runResult, error) {
 	kcfg.PageSeed = rc.pageSeed
 	kcfg.Telemetry = rc.tel
 	kcfg.Machine.NoFastPath = rc.noFastPath
-	k, err := kernel.Boot(kcfg)
+	k, release, err := bootKernel(rc, kcfg)
 	if err != nil {
 		return res, err
 	}
 	// Deferred so error returns below recycle the pooled boot buffers too;
-	// an early return used to leak them for the rest of the sweep.
-	defer k.ReleaseBuffers()
+	// an early return used to leak them for the rest of the sweep. The
+	// pool tally must read the kernel's counters before release recycles
+	// the buffers they describe.
+	defer func() {
+		if rc.tally != nil {
+			rc.tally.Add(k.PoolCounts())
+		}
+		release()
+	}()
 
 	var tw *core.Tapeworm
 	if rc.tw != nil {
@@ -166,6 +177,33 @@ func run(rc runConfig) (runResult, error) {
 	return res, nil
 }
 
+// bootKernel produces the run's kernel: a fresh Boot, or — when the run
+// opts into checkpointing — a Fork from the process-wide cached boot
+// checkpoint for kcfg's (seed, pageSeed, frames) identity. The returned
+// release closure recycles the kernel's pooled buffers either way; the
+// caller must defer it (the twvet pairing pass accounts Boot/Fork against
+// it through this transfer).
+//
+//twvet:transfer
+func bootKernel(rc runConfig, kcfg kernel.Config) (*kernel.Kernel, func(), error) {
+	if !rc.checkpoint {
+		k, err := kernel.Boot(kcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return k, k.ReleaseBuffers, nil
+	}
+	cp, err := cachedCheckpoint(kcfg, rc.checkpointDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err := kernel.Fork(cp, kcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, k.ReleaseCheckpoint, nil
+}
+
 // runGang executes a group of runs that share one workload execution: one
 // booted machine in ledgered-trap mode, one core.Gang of simulators, one
 // pass over the reference stream. Every rcs[i] must agree on everything
@@ -184,13 +222,19 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 	// describe the shared execution; they ride on the first member's run.
 	kcfg.Telemetry = rc0.tel
 	kcfg.Machine.NoFastPath = rc0.noFastPath
-	k, err := kernel.Boot(kcfg)
+	k, release, err := bootKernel(rc0, kcfg)
 	if err != nil {
 		return nil, err
 	}
 	// As in run: deferred so the attach/spawn error paths recycle the
-	// pooled boot buffers instead of leaking them.
-	defer k.ReleaseBuffers()
+	// pooled boot buffers instead of leaking them, with the pool tally
+	// read before the counters' buffers go back to the pool.
+	defer func() {
+		if rc0.tally != nil {
+			rc0.tally.Add(k.PoolCounts())
+		}
+		release()
+	}()
 
 	cfgs := make([]core.Config, len(rcs))
 	for i, rc := range rcs {
@@ -359,6 +403,9 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 				rcs[mi].noFastPath = o.NoFastPath
 				rcs[mi].noCompile = o.NoCompile
 				rcs[mi].linearDemux = o.LinearGangDemux
+				rcs[mi].checkpoint = o.Checkpoint
+				rcs[mi].checkpointDir = o.CheckpointDir
+				rcs[mi].tally = o.PoolTally
 				rcs[mi].tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
 				tels[i] = rcs[mi].tel
 			}

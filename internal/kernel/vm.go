@@ -146,6 +146,11 @@ type MemSimHooks interface {
 type frameAllocator struct {
 	free     []uint32
 	refcount []uint16 // per-frame mapping count (shared pages)
+
+	// poolGets/poolReuses attribute the backing-array acquisition to this
+	// allocator's run for per-run pool stats.
+	poolGets   uint64
+	poolReuses uint64
 }
 
 // newFrameAllocator builds the allocator over pooled backing arrays; the
@@ -156,8 +161,7 @@ func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAll
 	// Backing arrays come from the per-size pool (sweeps boot hundreds of
 	// machines with identical geometry); GetFrameTables hands them back
 	// reset, so the fill and shuffle below see a fresh-boot state.
-	freeBuf, refcount := mem.GetFrameTables(totalFrames)
-	fa := &frameAllocator{free: freeBuf, refcount: refcount}
+	fa := acquireFrameTables(totalFrames)
 	n := totalFrames - reservedFrames
 	for i := 0; i < n; i++ {
 		fa.free = append(fa.free, uint32(reservedFrames+i))
@@ -166,6 +170,32 @@ func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAll
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		fa.free[i], fa.free[j] = fa.free[j], fa.free[i]
+	}
+	return fa
+}
+
+// restoreFrameAllocator rebuilds an allocator from checkpointed tables,
+// copying them into pooled backing arrays. The checkpoint's free list is
+// already shuffled, so a restored allocator hands out the exact frame
+// sequence the captured boot would have — without re-running Fisher-Yates,
+// the dominant boot-only cost.
+//
+//twvet:transfer
+func restoreFrameAllocator(totalFrames int, free []uint32, refcount []uint16) *frameAllocator {
+	fa := acquireFrameTables(totalFrames)
+	fa.free = append(fa.free, free...)
+	copy(fa.refcount, refcount)
+	return fa
+}
+
+// acquireFrameTables pulls pooled tables and records the attribution.
+//
+//twvet:transfer
+func acquireFrameTables(totalFrames int) *frameAllocator {
+	freeBuf, refcount, reused := mem.GetFrameTables(totalFrames)
+	fa := &frameAllocator{free: freeBuf, refcount: refcount, poolGets: 1}
+	if reused {
+		fa.poolReuses = 1
 	}
 	return fa
 }

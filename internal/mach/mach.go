@@ -307,6 +307,14 @@ type Machine struct {
 	bpPages   []uint32
 	pageShift uint
 	pageMask  uint32
+
+	// bpDirty records that bpPages was ever written, so ReleaseBuffers
+	// can skip clearing an untouched array before pooling it.
+	bpDirty bool
+
+	// Pool attribution for buffers acquired by build beyond the Phys's
+	// own (host cache tag stores, bpPages); see PoolCounts.
+	poolGets, poolReuses uint64
 	// Host cache line sizes, hoisted out of the per-reference path
 	// (Cache.Config returns the whole config struct by value).
 	lineI, lineD int
@@ -382,7 +390,39 @@ func New(cfg Config, os OS) (*Machine, error) {
 	if os == nil {
 		return nil, fmt.Errorf("mach: nil OS")
 	}
-	phys := mem.NewPhys(cfg.Frames, cfg.PageSize)
+	return build(cfg, os, mem.NewPhys(cfg.Frames, cfg.PageSize)), nil
+}
+
+// NewFromImage builds a machine whose physical memory forks a checkpoint
+// image copy-on-write instead of booting fresh. Everything else — host
+// caches, TLB, breakpoint tables — starts pristine, exactly as New leaves
+// them (a captured machine is quiesced: zero cycles, empty caches). The
+// image's geometry must match cfg.
+//
+//twvet:transfer
+func NewFromImage(cfg Config, os OS, img *mem.Image) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if os == nil {
+		return nil, fmt.Errorf("mach: nil OS")
+	}
+	if img.Frames() != cfg.Frames || img.PageSize() != cfg.PageSize {
+		return nil, fmt.Errorf("mach: checkpoint image geometry %d frames × %d bytes does not match config %d × %d",
+			img.Frames(), img.PageSize(), cfg.Frames, cfg.PageSize)
+	}
+	return build(cfg, os, mem.NewPhysFromImage(img)), nil
+}
+
+// CaptureImage snapshots the machine's physical memory for checkpointing.
+func (m *Machine) CaptureImage() *mem.Image { return mem.CaptureImage(m.phys) }
+
+// build assembles a Machine around an already-constructed Phys; cfg and
+// os are pre-validated.
+//
+//twvet:transfer
+func build(cfg Config, os OS, phys *mem.Phys) *Machine {
+	bpPages, bpReused := getBPPages(cfg.Frames)
 	m := &Machine{
 		cfg:         cfg,
 		phys:        phys,
@@ -393,9 +433,15 @@ func New(cfg Config, os OS) (*Machine, error) {
 		hostTLB:     cache.MustNewTLB(cfg.HostTLB, rng.New(0x7457)),
 		nextTick:    cfg.ClockTickCycles,
 		breakpoints: make(map[mem.PAddr]uint32),
-		bpPages:     make([]uint32, cfg.Frames),
+		bpPages:     bpPages,
 		pageShift:   uint(bits.TrailingZeros(uint(cfg.PageSize))),
 		pageMask:    uint32(cfg.PageSize - 1),
+	}
+	m.poolGets = 4 // hostI, hostD, hostTLB, bpPages
+	for _, reused := range []bool{m.hostI.PoolReused(), m.hostD.PoolReused(), m.hostTLB.PoolReused(), bpReused} {
+		if reused {
+			m.poolReuses++
+		}
 	}
 	// The micro-cache's host-TLB-hit guarantee only makes sense when one
 	// TLB entry covers exactly one machine page; exotic configs fall back
@@ -404,7 +450,7 @@ func New(cfg Config, os OS) (*Machine, error) {
 	m.xlSingle = cfg.HostTLB.Replace == cache.LRU
 	m.lineI = m.hostI.Config().LineSize
 	m.lineD = m.hostD.Config().LineSize
-	return m, nil
+	return m
 }
 
 // MustNew is New but panics on error.
@@ -628,6 +674,7 @@ func (m *Machine) SetBreakpoint(pa mem.PAddr) {
 		m.gen++
 		if f := int(w >> m.pageShift); f < len(m.bpPages) {
 			m.bpPages[f]++
+			m.bpDirty = true
 		}
 	}
 	m.breakpoints[w]++
@@ -1051,7 +1098,24 @@ func (m *Machine) PageInvalidations() uint64 { return m.pageInval }
 // ReleaseBuffers returns the machine's pooled backing arrays (physical
 // memory bitsets) for reuse by a later run. The machine must not execute
 // again; experiment teardown calls this after results are extracted.
-func (m *Machine) ReleaseBuffers() { m.phys.Release() }
+func (m *Machine) ReleaseBuffers() {
+	m.phys.Release()
+	m.hostI.Release()
+	m.hostD.Release()
+	m.hostTLB.Release()
+	putBPPages(m.bpPages, m.bpDirty)
+	m.bpPages = nil
+}
+
+// PoolCounts reports pooled-buffer acquisitions made on this machine's
+// behalf (host cache tag stores, breakpoint page counts, and physical
+// trap tables) and how many were satisfied by recycling. Per-machine, so
+// callers can attribute pool traffic to a run even when other machines
+// run concurrently (the process-global mem.PoolStats cannot).
+func (m *Machine) PoolCounts() (gets, reuses uint64) {
+	gets, reuses = m.phys.PoolCounts()
+	return gets + m.poolGets, reuses + m.poolReuses
+}
 
 // FastPathStats reports the fast path's self-counters: references resolved
 // through the translation micro-cache, and instructions charged in bulk by

@@ -1,0 +1,44 @@
+package mach
+
+// Per-machine buffer recycling. The host cache tag stores recirculate
+// through the cache package's line pool; bpPages (one uint32 per frame)
+// recirculates here. Both are cleared before reuse, so a pooled machine
+// starts byte-identical to a freshly allocated one.
+
+import "sync"
+
+var bpPool = struct {
+	sync.Mutex
+	byLen map[int][][]uint32
+}{byLen: map[int][][]uint32{}}
+
+// getBPPages returns a zeroed per-frame breakpoint count array and
+// whether it was recycled. Pooled arrays are stored clean; putBPPages
+// zeroes dirty ones on the way in.
+func getBPPages(frames int) ([]uint32, bool) {
+	bpPool.Lock()
+	s := bpPool.byLen[frames]
+	if len(s) == 0 {
+		bpPool.Unlock()
+		return make([]uint32, frames), false
+	}
+	buf := s[len(s)-1]
+	s[len(s)-1] = nil
+	bpPool.byLen[frames] = s[:len(s)-1]
+	bpPool.Unlock()
+	return buf, true
+}
+
+// putBPPages recycles buf; dirty says whether any breakpoint was ever
+// armed on the machine (untouched arrays skip the clear).
+func putBPPages(buf []uint32, dirty bool) {
+	if buf == nil {
+		return
+	}
+	if dirty {
+		clear(buf)
+	}
+	bpPool.Lock()
+	bpPool.byLen[len(buf)] = append(bpPool.byLen[len(buf)], buf)
+	bpPool.Unlock()
+}

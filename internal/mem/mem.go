@@ -133,6 +133,17 @@ type Phys struct {
 	// layer uses it to drop every member's intent for the word.
 	destroyed func(pa PAddr)
 
+	// img, when non-nil, is the immutable checkpoint image whose arrays
+	// this Phys still aliases copy-on-write; the first mutation calls
+	// ensureOwned to materialize private pooled copies. See image.go.
+	img *Image
+
+	// poolGets/poolReuses attribute pooled-buffer traffic to this Phys so
+	// callers can tally per-run stats regardless of what other runs do
+	// concurrently (the process-global PoolStats counters only ever sum).
+	poolGets   uint64
+	poolReuses uint64
+
 	trapsSet     uint64 // statistics: total tw_set_trap word-sets
 	trapsCleared uint64
 }
@@ -174,7 +185,11 @@ func NewPhys(frames, pageSize int) *Phys {
 		frames:   frames,
 		bytes:    total,
 	}
-	b := getPhysBuffers((words + chunkWords - 1) / chunkWords)
+	b, reused := getPhysBuffers((words + chunkWords - 1) / chunkWords)
+	p.poolGets++
+	if reused {
+		p.poolReuses++
+	}
 	p.trapBits, p.twBits, p.chunkPop, p.superPop, p.ecc =
 		b.trapBits, b.twBits, b.chunkPop, b.superPop, b.ecc
 	return p
@@ -189,13 +204,27 @@ func (p *Phys) Release() {
 	if p.trapBits == nil {
 		return
 	}
-	putPhysBuffers(&physBuffers{
-		trapBits: p.trapBits, twBits: p.twBits,
-		chunkPop: p.chunkPop, superPop: p.superPop, ecc: p.ecc,
-	}, p.trapRef, p.refChunk, p.refSuper)
+	if p.img != nil {
+		// The dense arrays still alias the immutable checkpoint image and
+		// must never enter the pools; only the trap refcounts (always
+		// privately owned) are recycled.
+		putTrapRefs(p.trapRef, p.refChunk, p.refSuper)
+		p.img = nil
+	} else {
+		putPhysBuffers(&physBuffers{
+			trapBits: p.trapBits, twBits: p.twBits,
+			chunkPop: p.chunkPop, superPop: p.superPop, ecc: p.ecc,
+		}, p.trapRef, p.refChunk, p.refSuper)
+	}
 	p.trapBits, p.twBits, p.chunkPop, p.superPop, p.ecc = nil, nil, nil, nil, nil
 	p.trapRef, p.refChunk, p.refSuper = nil, nil, nil
 }
+
+// PoolCounts reports the pooled-buffer requests made on behalf of this
+// Phys (boot arrays, gang trap refcounts, copy-on-write materialization)
+// and how many were served by reuse. Per-Phys attribution stays exact at
+// any parallelism, unlike the process-global PoolStats sum.
+func (p *Phys) PoolCounts() (gets, reuses uint64) { return p.poolGets, p.poolReuses }
 
 // PageSize returns the machine page size in bytes.
 func (p *Phys) PageSize() int { return p.pageSize }
@@ -424,7 +453,12 @@ func (p *Phys) Stats() (set, cleared uint64) { return p.trapsSet, p.trapsCleared
 //twvet:transfer
 func (p *Phys) EnableTrapRefs() {
 	if p.trapRef == nil {
-		p.trapRef, p.refChunk, p.refSuper = getTrapRefs(p.bytes / WordBytes)
+		var reused bool
+		p.trapRef, p.refChunk, p.refSuper, reused = getTrapRefs(p.bytes / WordBytes)
+		p.poolGets++
+		if reused {
+			p.poolReuses++
+		}
 	}
 }
 
@@ -496,6 +530,7 @@ func (c *Controller) AddTrapRef(pa PAddr) bool {
 	if p.trapRef == nil {
 		panic("mem: AddTrapRef without EnableTrapRefs")
 	}
+	p.ensureOwned()
 	w := p.wordIndex(pa)
 	if p.trapRef[w] == 0 {
 		if p.ecc[w] != 0 {
@@ -531,6 +566,7 @@ func (c *Controller) ReleaseTrapRef(pa PAddr) {
 	if p.trapRef[w] == 0 {
 		return
 	}
+	p.ensureOwned()
 	p.trapRef[w]--
 	if p.trapRef[w] != 0 {
 		return
@@ -611,6 +647,7 @@ func (p *Phys) InjectError(pa PAddr, bit uint) {
 	if bit > 38 {
 		panic(fmt.Sprintf("mem: ECC bit position %d out of range (0-38)", bit))
 	}
+	p.ensureOwned()
 	w := p.wordIndex(pa)
 	if bit == twCheckBit {
 		p.twBits[w>>6] ^= 1 << (w & 63)
@@ -629,6 +666,7 @@ func (p *Phys) InjectError(pa PAddr, bit uint) {
 // CorrectWord restores correct ECC to the word at pa, as the kernel's
 // memory-error handler does after correcting a true single-bit error.
 func (p *Phys) CorrectWord(pa PAddr) {
+	p.ensureOwned()
 	w := p.wordIndex(pa)
 	hadTrap := p.twSet(w)
 	p.twBits[w>>6] &^= 1 << (w & 63)
@@ -674,6 +712,7 @@ func (c *Controller) FlipTapewormBit(pa PAddr, size int) {
 		size = WordBytes
 	}
 	p := c.phys
+	p.ensureOwned()
 	first, last := p.wordRange(pa, size)
 	forChunks(first, last, func(ch uint32, m uint64) {
 		if len(p.ecc) == 0 || p.chunkPop[ch] == 0 {
@@ -709,6 +748,7 @@ func (c *Controller) SetTrap(pa PAddr, size int) {
 		size = WordBytes
 	}
 	p := c.phys
+	p.ensureOwned()
 	first, last := p.wordRange(pa, size)
 	forChunks(first, last, func(ch uint32, m uint64) {
 		if len(p.ecc) == 0 || p.chunkPop[ch] == 0 {
@@ -741,6 +781,14 @@ func (c *Controller) ClearTrap(pa PAddr, size int) {
 		size = WordBytes
 	}
 	p := c.phys
+	if p.img != nil && !p.Trapped(pa, size) {
+		// Still sharing a checkpoint image and the range is clean: nothing
+		// to clear, so skip copy-on-write materialization entirely. This
+		// keeps trap-free DMA and page teardown on a fork from copying the
+		// tables.
+		return
+	}
+	p.ensureOwned()
 	first, last := p.wordRange(pa, size)
 	forChunks(first, last, func(ch uint32, m uint64) {
 		if p.chunkPop[ch] == 0 {

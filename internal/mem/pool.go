@@ -51,8 +51,36 @@ func SetPoolEnabled(on bool) { poolEnabled.Store(on) }
 func PoolEnabled() bool { return poolEnabled.Load() }
 
 // PoolStats reports how many backing-array requests were made and how many
-// were served by reuse instead of a fresh allocation.
+// were served by reuse instead of a fresh allocation. The counters are
+// process-global: with overlapping runs they sum everyone's traffic, so
+// per-run measurement must go through per-owner counts (Phys.PoolCounts,
+// kernel frame-table counts) accumulated into a PoolTally instead.
 func PoolStats() (gets, reuses uint64) { return poolGets.Load(), poolReuses.Load() }
+
+// PoolTally accumulates pool get/reuse counts attributed to one measured
+// scope — a run, a bench suite — from the per-owner counters of the
+// machines that ran in it. Unlike the global PoolStats sum, a tally only
+// ever sees traffic its own runs generated, so attribution stays exact at
+// any -parallel. Add is safe for concurrent use.
+type PoolTally struct {
+	gets   atomic.Uint64
+	reuses atomic.Uint64
+}
+
+// Add charges gets/reuses to the tally.
+func (t *PoolTally) Add(gets, reuses uint64) {
+	t.gets.Add(gets)
+	t.reuses.Add(reuses)
+}
+
+// Counts returns the accumulated get/reuse counts.
+func (t *PoolTally) Counts() (gets, reuses uint64) { return t.gets.Load(), t.reuses.Load() }
+
+// Reset zeroes the tally for the next measurement window.
+func (t *PoolTally) Reset() {
+	t.gets.Store(0)
+	t.reuses.Store(0)
+}
 
 // ResetPoolStats zeroes the get/reuse counters; the bench driver calls it
 // between phases to report per-phase reuse.
@@ -102,21 +130,23 @@ func resetPhysBuffers(b *physBuffers) {
 }
 
 // getPhysBuffers hands a pooled (or fresh) buffer set to the caller, which
-// owns it until putPhysBuffers.
+// owns it until putPhysBuffers. The second result reports whether the set
+// was served by reuse, so callers can attribute the hit to their own
+// per-owner counters.
 //
 //twvet:transfer
-func getPhysBuffers(chunks int) *physBuffers {
+func getPhysBuffers(chunks int) (*physBuffers, bool) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
-		return newPhysBuffers(chunks)
+		return newPhysBuffers(chunks), false
 	}
 	p, _ := physPools.LoadOrStore(chunks, &sync.Pool{})
 	if b, ok := p.(*sync.Pool).Get().(*physBuffers); ok {
 		poolReuses.Add(1)
 		resetPhysBuffers(b)
-		return b
+		return b, true
 	}
-	return newPhysBuffers(chunks)
+	return newPhysBuffers(chunks), false
 }
 
 // putPhysBuffers takes ownership of the arrays back into the pools. The
@@ -130,10 +160,20 @@ func putPhysBuffers(b *physBuffers, trapRef, refChunk, refSuper []uint8) {
 	}
 	p, _ := physPools.LoadOrStore(len(b.trapBits), &sync.Pool{})
 	p.(*sync.Pool).Put(b)
-	if trapRef != nil {
-		rp, _ := trapRefPool.LoadOrStore(len(trapRef), &sync.Pool{})
-		rp.(*sync.Pool).Put(&trapRefBuffers{ref: trapRef, refChunk: refChunk, refSuper: refSuper})
+	putTrapRefs(trapRef, refChunk, refSuper)
+}
+
+// putTrapRefs recycles a trap refcount array set on its own, for forks
+// whose dense arrays still belong to a checkpoint image and must not be
+// pooled.
+//
+//twvet:transfer
+func putTrapRefs(ref, refChunk, refSuper []uint8) {
+	if ref == nil || !poolEnabled.Load() {
+		return
 	}
+	rp, _ := trapRefPool.LoadOrStore(len(ref), &sync.Pool{})
+	rp.(*sync.Pool).Put(&trapRefBuffers{ref: ref, refChunk: refChunk, refSuper: refSuper})
 }
 
 // frameTables is the kernel frame allocator's backing pair: the free list
@@ -149,20 +189,21 @@ var frameTablePool sync.Map // total frame count -> *sync.Pool of *frameTables
 // totalFrames frames: an empty free list with capacity totalFrames and a
 // zeroed refcount array of length totalFrames. Recycled arrays are reset
 // here so a reused boot is indistinguishable from a fresh one. The caller
-// owns the arrays until PutFrameTables.
+// owns the arrays until PutFrameTables. reused reports a pool hit for
+// per-owner attribution.
 //
 //twvet:transfer
-func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16) {
+func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16, reused bool) {
 	poolGets.Add(1)
 	if poolEnabled.Load() {
 		p, _ := frameTablePool.LoadOrStore(totalFrames, &sync.Pool{})
 		if b, ok := p.(*sync.Pool).Get().(*frameTables); ok {
 			poolReuses.Add(1)
 			clear(b.refcount)
-			return b.free[:0], b.refcount
+			return b.free[:0], b.refcount, true
 		}
 	}
-	return make([]uint32, 0, totalFrames), make([]uint16, totalFrames)
+	return make([]uint32, 0, totalFrames), make([]uint16, totalFrames), false
 }
 
 // PutFrameTables recycles a frame allocator's backing arrays.
@@ -190,15 +231,17 @@ func newTrapRefs(words int) ([]uint8, []uint8, []uint8) {
 // nonzero counts.
 //
 //twvet:transfer
-func getTrapRefs(words int) ([]uint8, []uint8, []uint8) {
+func getTrapRefs(words int) (ref, refChunk, refSuper []uint8, reused bool) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
-		return newTrapRefs(words)
+		ref, refChunk, refSuper = newTrapRefs(words)
+		return ref, refChunk, refSuper, false
 	}
 	p, _ := trapRefPool.LoadOrStore(words, &sync.Pool{})
 	b, ok := p.(*sync.Pool).Get().(*trapRefBuffers)
 	if !ok {
-		return newTrapRefs(words)
+		ref, refChunk, refSuper = newTrapRefs(words)
+		return ref, refChunk, refSuper, false
 	}
 	poolReuses.Add(1)
 	for s, sp := range b.refSuper {
@@ -224,7 +267,7 @@ func getTrapRefs(words int) ([]uint8, []uint8, []uint8) {
 		}
 		b.refSuper[s] = 0
 	}
-	return b.ref, b.refChunk, b.refSuper
+	return b.ref, b.refChunk, b.refSuper, true
 }
 
 // PrewarmPools primes the backing-array pools for n concurrent boots of a

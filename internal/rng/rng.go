@@ -90,6 +90,27 @@ func (r *Source) Split(label string) *Source {
 	return &c
 }
 
+// State is the complete serializable state of a Source: the four xoshiro
+// words. Checkpointing captures walker and kernel streams as States and
+// restores them with FromState, so a forked kernel draws exactly the
+// numbers a fresh boot would.
+type State [4]uint64
+
+// State snapshots the Source's current position in its stream.
+func (r *Source) State() State { return r.s }
+
+// FromState reconstructs a Source at the exact stream position captured by
+// State. An all-zero state (never produced by a live Source) is rejected
+// the same way Reseed guards it.
+func FromState(st State) *Source {
+	var r Source
+	r.s = st
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
 // Uint32 returns the next 32 random bits.
 func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 

@@ -104,6 +104,55 @@ func MustNew(r *rng.Source, region Region, params Params, helpers []Region) *Wal
 // Region returns the walker's home region.
 func (w *Walker) Region() Region { return w.region }
 
+// State is a Walker's complete mutable state: its private random stream
+// and its position (home pc, or the helper it is currently executing).
+// The immutable parts — region, params, helpers — are a pure function of
+// the kernel/workload configuration and are reconstructed, not captured.
+type State struct {
+	RNG       rng.State
+	PC        uint32
+	InHelper  bool
+	Helper    Region
+	HelperPC  uint32
+	HelperRem int
+}
+
+// State snapshots the walker for checkpointing. A walker built over the
+// same (region, params, helpers) and restored with SetState emits exactly
+// the stream this walker would have continued with.
+func (w *Walker) State() State {
+	return State{
+		RNG:       w.r.State(),
+		PC:        w.pc,
+		InHelper:  w.inHelper,
+		Helper:    w.helper,
+		HelperPC:  w.helperPC,
+		HelperRem: w.helperRem,
+	}
+}
+
+// SetState restores a snapshot taken by State, including the random
+// stream position.
+func (w *Walker) SetState(s State) {
+	w.r = rng.FromState(s.RNG)
+	w.pc = s.PC
+	w.inHelper = s.InHelper
+	w.helper = s.Helper
+	w.helperPC = s.HelperPC
+	w.helperRem = s.HelperRem
+}
+
+// CloneWithState returns an independent walker sharing the receiver's
+// immutable shape (region, params, helper list) with its mutable stream
+// and position set to st. Checkpoint forks clone template walkers instead
+// of re-running construction and validation; the clone never aliases
+// mutable state (SetState replaces the random source wholesale).
+func (w *Walker) CloneWithState(st State) *Walker {
+	c := *w
+	c.SetState(st)
+	return &c
+}
+
 // JumpTo repositions the walker at a byte offset within its region
 // (procedure entry). Offsets are clamped and word-aligned.
 func (w *Walker) JumpTo(offset uint32) {

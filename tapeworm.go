@@ -6,6 +6,7 @@ import (
 	"tapeworm/internal/cache"
 	"tapeworm/internal/cache2000"
 	"tapeworm/internal/core"
+	"tapeworm/internal/experiment"
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mach"
 	"tapeworm/internal/mem"
@@ -35,6 +36,9 @@ type (
 	TLBConfig = cache.TLBConfig
 	// Sampling selects the simulated subset of cache sets.
 	Sampling = core.Sampling
+	// Window bounds the measurement interval (warm-up/measure, in
+	// retired instructions). Composes with Sampling; zero measures all.
+	Window = core.Window
 	// WorkloadSpec parameterizes a synthetic workload.
 	WorkloadSpec = workload.Spec
 	// Program generates a task's execution events.
@@ -146,6 +150,14 @@ type SystemConfig struct {
 	// Telemetry, if non-nil, records this system's trap events and
 	// end-of-run counters (see TelemetryCollector / internal/telemetry).
 	Telemetry *TelemetryRun
+	// Checkpoint forks the system from a process-wide cached post-boot
+	// image instead of booting fresh. Forked systems are byte-identical
+	// to booted ones; the first request per (seed, pageSeed, frames)
+	// identity captures the image.
+	Checkpoint bool
+	// CheckpointDir, when set (requires Checkpoint), persists captured
+	// boot images to disk and reloads matching ones across processes.
+	CheckpointDir string
 }
 
 // Telemetry re-exports: a collector aggregates runs into a metrics
@@ -183,6 +195,20 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		kcfg.PageSeed = cfg.PageSeed
 	}
 	kcfg.Telemetry = cfg.Telemetry
+	if cfg.CheckpointDir != "" && !cfg.Checkpoint {
+		return nil, fmt.Errorf("tapeworm: CheckpointDir %q requires Checkpoint", cfg.CheckpointDir)
+	}
+	if cfg.Checkpoint {
+		cp, err := experiment.CachedCheckpoint(kcfg, cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kernel.Fork(cp, kcfg)
+		if err != nil {
+			return nil, err
+		}
+		return &System{k: k}, nil
+	}
 	k, err := kernel.Boot(kcfg)
 	if err != nil {
 		return nil, err
