@@ -1,7 +1,7 @@
 GO ?= go
 TWVET = /tmp/twvet-bin
 
-.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-compiled verify-gang verify-gang-demux verify-checkpoint bench bench-json clean
+.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-compiled verify-gang verify-gang-demux verify-checkpoint verify-resultcache bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -24,16 +24,18 @@ vet: twvet
 	$(GO) vet ./...
 
 ## verify: the tier-1 gate (see ROADMAP.md): build, stock vet, the twvet
-## invariant suite, the full test run, and the checkpoint byte-identity
-## gate.
-verify: build vet test verify-checkpoint
+## invariant suite, the full test run, and the checkpoint and
+## result-cache byte-identity gates.
+verify: build vet test verify-checkpoint verify-resultcache
 
 ## verify-race: tier-1 plus the race detector. The run scheduler fans
 ## independent simulations across goroutines; this target is the
 ## concurrency gate for any change touching internal/sched or the
-## experiment harness.
+## experiment harness. The experiment package's byte-identity matrices
+## run long under -race, so the default 10m per-package timeout is
+## raised rather than trimming coverage.
 verify-race: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 ## verify-telemetry: render Figure 2 with and without telemetry and diff
 ## the tables — the zero-observable-effect gate for the telemetry layer.
@@ -165,17 +167,40 @@ verify-checkpoint:
 		diff /tmp/vk-ref.flt /tmp/$$f.flt || exit 1; done
 	@echo "verify-checkpoint: tables byte-identical, boot vs checkpoint fork"
 
+## verify-resultcache: run the twsweep design-space grid with the result
+## cache off, on (cold then warm in one process), solo, serial and
+## parallel, plus a persisted -result-cache-dir store written and then
+## reloaded by a fresh process — and diff every table: the byte-identity
+## gate for content-addressed result reuse.
+verify-resultcache:
+	$(GO) build -o /tmp/twsweep-vr ./cmd/twsweep
+	rm -rf /tmp/vr-store && mkdir -p /tmp/vr-store
+	/tmp/twsweep-vr -scale 4000 -q -parallel 1 -result-cache=false \
+		> /tmp/vr-off-p1.txt
+	/tmp/twsweep-vr -scale 4000 -q -parallel 1 > /tmp/vr-on-p1.txt
+	/tmp/twsweep-vr -scale 4000 -q -parallel 8 > /tmp/vr-on-p8.txt
+	/tmp/twsweep-vr -scale 4000 -q -parallel 8 -gang=false \
+		> /tmp/vr-on-p8ng.txt
+	/tmp/twsweep-vr -scale 4000 -q -parallel 8 \
+		-result-cache-dir /tmp/vr-store > /tmp/vr-dir1.txt
+	/tmp/twsweep-vr -scale 4000 -q -parallel 8 \
+		-result-cache-dir /tmp/vr-store > /tmp/vr-dir2.txt
+	ls /tmp/vr-store/result-*.rc > /dev/null
+	for f in vr-on-p1 vr-on-p8 vr-on-p8ng vr-dir1 vr-dir2; do \
+		diff /tmp/vr-off-p1.txt /tmp/$$f.txt || exit 1; done
+	@echo "verify-resultcache: tables byte-identical, result cache on/off, memory and disk"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 ## bench-json: record the fast-vs-baseline perf trajectory for Figure 2 at
 ## the bench_test.go conditions, the ganged accuracy-sweep suite
 ## (figure3/table8/table9 ganged vs solo, with allocation counts), the
-## gang member-count scaling curve, the per-workload hot loop, and the
-## boot-amortization section (boot vs checkpoint fork), writing
-## BENCH_<label>.json (label defaults to "pr7"; override with
-## BENCH_LABEL=...).
-BENCH_LABEL ?= pr7
+## gang member-count scaling curve, the per-workload hot loop, the
+## boot-amortization section (boot vs checkpoint fork), and the
+## result-cache section (cold vs warm sweep), writing BENCH_<label>.json
+## (label defaults to "pr8"; override with BENCH_LABEL=...).
+BENCH_LABEL ?= pr8
 bench-json:
 	$(GO) build -o /tmp/twbench-bj ./cmd/twbench
 	/tmp/twbench-bj -bench-json $(BENCH_LABEL) -run figure2 \

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -27,7 +28,11 @@ import (
 // timing, forks-per-image counts) and switches pool statistics from
 // process-global deltas to per-run tallies, which stay exact at any
 // -parallel.
-const benchVersion = 4
+// Version 5 adds the result_cache section (cold vs. warm sweep through
+// the content-addressed result cache) and switches the hot-loop and
+// boot-amortization sweep timings to best-of-3 with a GC between runs,
+// so single-shot scheduling noise can no longer invert a comparison.
+const benchVersion = 5
 
 // benchReport is the machine-readable perf trajectory emitted by
 // -bench-json: wall-clock per experiment with the fast path on and off,
@@ -47,13 +52,33 @@ type benchReport struct {
 	HotLoop     []benchHotLoop    `json:"hot_loop"`
 
 	BootAmortization benchBootAmortization `json:"boot_amortization"`
+	ResultCache      benchResultCache      `json:"result_cache"`
+}
+
+// benchResultCache measures what the content-addressed result cache buys
+// a repeated sweep: the same design-space grid runs cold (every point
+// simulated, results completed into the cache) and then warm (every
+// point served from the cache). Outputs are byte-identical either way
+// (the `make verify-resultcache` gate), so the warm speedup is pure
+// avoided re-simulation.
+type benchResultCache struct {
+	Workload    string  `json:"workload"`
+	Configs     int     `json:"configs"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Joins       uint64  `json:"joins"`
 }
 
 // benchBootAmortization measures what checkpointed boot images buy: the
 // microbenchmark times a fresh kernel boot against a fork from a captured
 // checkpoint (the BenchmarkBootVsFork numbers), and the sweep comparison
-// reruns an accuracy sweep with -checkpoint to count how many forks each
-// captured image served. Outputs are byte-identical either way (the
+// reruns an accuracy sweep with -checkpoint at a setup-dominated
+// configuration (near-zero simulated work, ganging off) so the ratio
+// measures per-run setup — fresh boots versus forks — rather than
+// simulation time. Outputs are byte-identical either way (the
 // `make verify-checkpoint` gate), so both speedups are pure setup cost.
 type benchBootAmortization struct {
 	Frames          int     `json:"frames"`
@@ -220,6 +245,12 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 	}
 	rep.BootAmortization = amort
 
+	rc, err := benchResultCacheRun(opts)
+	if err != nil {
+		return err
+	}
+	rep.ResultCache = rc
+
 	for _, wl := range workload.Names() {
 		hot, err := benchHot(wl, opts.Seed)
 		if err != nil {
@@ -310,11 +341,32 @@ func benchGangSuiteRun(opts experiment.Options) (benchGangSuite, error) {
 	return suite, nil
 }
 
+// bestOf reruns a timed body n times with a GC before each attempt and
+// keeps the fastest: at these sub-second durations a single shot is
+// noisy enough for scheduling jitter or a collection pause to invert a
+// comparison (a compiled run timing slower than the interpreter it
+// beats by construction).
+func bestOf(n int, f func() (float64, error)) (float64, error) {
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		runtime.GC()
+		s, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if s < best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
 // benchHot times one uninstrumented run of the named workload end to end
 // in three configurations: fast (batched fast path, compiled replay),
 // interp (fast path, interpreted program), and baseline (per-reference
 // path). All three are identical simulations (the verify-fastpath and
-// verify-compiled invariants), so instructions are counted once.
+// verify-compiled invariants), so instructions are counted once. Each
+// configuration reports its best of three runs.
 func benchHot(wl string, seed uint64) (benchHotLoop, error) {
 	const scale = 2000
 	run := func(noFast, noCompile bool) (uint64, float64, error) {
@@ -344,15 +396,23 @@ func benchHot(wl string, seed uint64) (benchHotLoop, error) {
 		}
 		return sys.Monitor().Instructions, time.Since(start).Seconds(), nil
 	}
-	instr, fast, err := run(false, false)
+	timed := func(noFast, noCompile bool) (instr uint64, seconds float64, err error) {
+		seconds, err = bestOf(3, func() (float64, error) {
+			in, s, err := run(noFast, noCompile)
+			instr = in // deterministic: identical on every attempt
+			return s, err
+		})
+		return instr, seconds, err
+	}
+	instr, fast, err := timed(false, false)
 	if err != nil {
 		return benchHotLoop{}, err
 	}
-	interpInstr, interp, err := run(false, true)
+	interpInstr, interp, err := timed(false, true)
 	if err != nil {
 		return benchHotLoop{}, err
 	}
-	baseInstr, base, err := run(true, true)
+	baseInstr, base, err := timed(true, true)
 	if err != nil {
 		return benchHotLoop{}, err
 	}
@@ -419,10 +479,24 @@ func benchBootAmortizationRun(opts experiment.Options) (benchBootAmortization, e
 	if err != nil {
 		return out, err
 	}
+	// The sweep comparison isolates setup cost. At evaluation scale the
+	// sweep is simulation-dominated — a few ganged executions spend
+	// hundreds of milliseconds simulating against tens of microseconds
+	// of boot, so the fresh/forked ratio degenerates to 1.0 and the
+	// measurement is pure timing noise (which is exactly how the PR 7
+	// ensureOwned copy-on-write regression hid inside it: the forked
+	// path's per-write tax and the boot saving were both invisible).
+	// Downscaling the simulated work to ~nothing and disabling ganging
+	// makes every run pay its own kernel setup, so the ratio measures
+	// what the section is named for: fresh boots against forks, plus any
+	// residual copy-on-write tax the forked runs carry.
 	timeSweep := func(checkpoint bool) (float64, error) {
 		o := opts
 		o.Progress = nil
 		o.Telemetry = nil
+		o.Scale = 1e6 // ~zero simulated instructions: setup is the run
+		o.Frames = out.Frames
+		o.NoGang = true // every run boots (or forks) for itself
 		o.Checkpoint = checkpoint
 		start := time.Now()
 		if _, err := fn(o); err != nil {
@@ -430,21 +504,78 @@ func benchBootAmortizationRun(opts experiment.Options) (benchBootAmortization, e
 		}
 		return time.Since(start).Seconds(), nil
 	}
-	if out.FreshSeconds, err = timeSweep(false); err != nil {
-		return out, err
-	}
+	// Image/fork counts come from the first forked run only: the later
+	// attempts fork from the images this run captured.
 	img0, fk0 := experiment.CheckpointStats()
+	runtime.GC()
 	if out.ForkedSeconds, err = timeSweep(true); err != nil {
 		return out, err
 	}
 	img1, fk1 := experiment.CheckpointStats()
-	out.SweepSpeedup = out.FreshSeconds / out.ForkedSeconds
 	out.Images, out.Forks = img1-img0, fk1-fk0
+	// Fresh and forked attempts alternate so machine drift lands on both
+	// sides equally; each side keeps its minimum.
+	out.FreshSeconds = math.Inf(1)
+	for i := 0; i < 4; i++ {
+		f, err := bestOf(1, func() (float64, error) { return timeSweep(false) })
+		if err != nil {
+			return out, err
+		}
+		out.FreshSeconds = math.Min(out.FreshSeconds, f)
+		k, err := bestOf(1, func() (float64, error) { return timeSweep(true) })
+		if err != nil {
+			return out, err
+		}
+		out.ForkedSeconds = math.Min(out.ForkedSeconds, k)
+	}
+	out.SweepSpeedup = out.FreshSeconds / out.ForkedSeconds
 	if out.Images > 0 {
 		out.ForksPerImage = float64(out.Forks) / float64(out.Images)
 	}
 	fmt.Fprintf(os.Stderr, "  bench boot-amortization  boot %.1fµs  fork %.1fµs  speedup %.2fx  (%s: %d forks / %d images)\n",
 		out.BootMicros, out.ForkMicros, out.ForkSpeedup, sweepID, out.Forks, out.Images)
+	return out, nil
+}
+
+// benchResultCacheRun runs the twsweep design-space grid twice through
+// the content-addressed result cache: cold (every point simulated and
+// completed into the store) and warm (every point served back without
+// simulating). The tables must render identically; the warm wall clock
+// is table assembly plus store lookups, so the speedup is the cost of
+// the avoided simulations.
+func benchResultCacheRun(opts experiment.Options) (benchResultCache, error) {
+	sc := experiment.SweepConfig{
+		Workload: "eqntott",
+		Sizes:    []int{1 << 10, 4 << 10, 16 << 10},
+		Assocs:   []int{1, 2, 4},
+		Lines:    []int{16, 32},
+	}
+	out := benchResultCache{Workload: sc.Workload, Configs: sc.Points()}
+	o := opts
+	o.Progress = nil
+	o.Telemetry = nil
+	o.ResultCache = true
+	experiment.ResetResultCache()
+	start := time.Now()
+	cold, err := experiment.Sweep(o, sc)
+	if err != nil {
+		return out, err
+	}
+	out.ColdSeconds = time.Since(start).Seconds()
+	start = time.Now()
+	warm, err := experiment.Sweep(o, sc)
+	if err != nil {
+		return out, err
+	}
+	out.WarmSeconds = time.Since(start).Seconds()
+	if cold.Render() != warm.Render() {
+		return out, fmt.Errorf("bench: warm result-cache sweep diverged from cold")
+	}
+	st := experiment.ResultCacheStats()
+	out.WarmSpeedup = out.ColdSeconds / out.WarmSeconds
+	out.Hits, out.Misses, out.Joins = st.Hits, st.Misses, st.Joins
+	fmt.Fprintf(os.Stderr, "  bench result-cache %-9s cold %6.2fs  warm %6.4fs  speedup %.0fx  (%d hits / %d misses)\n",
+		sc.Workload, out.ColdSeconds, out.WarmSeconds, out.WarmSpeedup, out.Hits, out.Misses)
 	return out, nil
 }
 

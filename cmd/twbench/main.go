@@ -15,6 +15,8 @@
 //	twbench -gang=false             # run every configuration as its own execution
 //	twbench -gang-demux linear      # per-member linear gang trap demux
 //	twbench -checkpoint             # fork runs from cached post-boot images
+//	twbench -result-cache           # serve repeated identical runs from the result cache
+//	twbench -result-cache-dir /tmp/rc   # persist results across invocations
 //	twbench -bench-json pr4         # time fast vs. baseline and ganged vs. solo, write BENCH_pr4.json
 //
 // Each experiment's independent machine runs execute on a worker pool
@@ -55,6 +57,9 @@ func main() {
 		checkpoint    = flag.Bool("checkpoint", false, "fork runs from cached post-boot images instead of booting fresh (results are byte-identical either way)")
 		checkpointDir = flag.String("checkpoint-dir", "", "persist boot images to this directory and reload them across invocations (requires -checkpoint)")
 
+		resultCache    = flag.Bool("result-cache", false, "serve repeated identical runs from the content-addressed result cache (results are byte-identical either way)")
+		resultCacheDir = flag.String("result-cache-dir", "", "persist results to this directory and reload them across invocations (requires -result-cache)")
+
 		fastpath   = flag.Bool("fastpath", true, "use the batched hit fast path (results are byte-identical either way)")
 		compile    = flag.Bool("compile", true, "replay pre-compiled workload programs (results are byte-identical either way)")
 		gang       = flag.Bool("gang", true, "group gang-eligible runs into shared executions (results are byte-identical either way)")
@@ -75,6 +80,7 @@ func main() {
 		Parallelism: *parallel, NoFastPath: !*fastpath, NoCompile: !*compile,
 		NoGang: !*gang, LinearGangDemux: *gangDemux == "linear",
 		Checkpoint: *checkpoint, CheckpointDir: *checkpointDir,
+		ResultCache: *resultCache, ResultCacheDir: *resultCacheDir,
 	}
 	if *gangDemux != "bitset" && *gangDemux != "linear" {
 		fail(fmt.Errorf("-gang-demux must be bitset or linear, got %q", *gangDemux))
@@ -117,6 +123,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "twbench: debug server on http://%s/debug/pprof/\n", bound)
+	}
+	if *resultCache && opts.Telemetry != nil {
+		fmt.Fprintln(os.Stderr, "twbench: note: -result-cache is bypassed while telemetry is on (cache hits simulate nothing, so they emit no events)")
 	}
 
 	ids := experiment.IDs()

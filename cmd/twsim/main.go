@@ -9,6 +9,7 @@
 //	twsim -workload ousterhout -mode tlb -tlb-entries 64
 //	twsim -workload espresso -size 1K -sample 1/8 -indexing virtual
 //	twsim -workload espresso -checkpoint -warmup 100000 -measure 500000
+//	twsim -workload sdet -result-cache -result-cache-dir /tmp/rc
 //
 // The uninstrumented baseline and the instrumented run are independent
 // simulations (each boots its own kernel), so by default they execute
@@ -18,6 +19,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +28,90 @@ import (
 	"strings"
 
 	"tapeworm"
+	"tapeworm/internal/core"
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mem"
+	"tapeworm/internal/resultcache"
 	"tapeworm/internal/sched"
 	"tapeworm/internal/telemetry"
+	"tapeworm/internal/workload"
 )
+
+// simResult is everything the report prints about one run, detached from
+// the live system so it can round-trip through the result cache.
+type simResult struct {
+	Snap    tapeworm.Snapshot
+	Seconds float64
+	Mech    string
+	Stats   tapeworm.SimStats
+	Comp    [kernel.NumComponents]uint64
+	Est     float64
+}
+
+// maxCachedResults bounds the in-process tier; twsim runs at most two
+// simulations per invocation, so the store exists for its disk tier.
+const maxCachedResults = 16
+
+func encodeSimResult(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(v.(simResult))
+	return buf.Bytes(), err
+}
+
+func decodeSimResult(b []byte) (any, error) {
+	var r simResult
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r)
+	return r, err
+}
+
+// simDigest is the content address of one twsim run: every input that
+// can steer the event stream, plus the physics version so persisted
+// results go stale when simulation semantics change.
+func simDigest(spec workload.Spec, machine string, frames int,
+	seed, pageSeed uint64, checkpoint, instrumented bool,
+	cfg tapeworm.SimConfig, simServers, simKernel bool) resultcache.Digest {
+	h := resultcache.NewHasher()
+	h.WriteString("twsim.run/v1")
+	h.WriteUint64(core.PhysicsVersion)
+	h.WriteString(machine)
+	h.WriteInt(frames)
+	spec.HashInto(h)
+	h.WriteUint64(seed)
+	h.WriteUint64(pageSeed)
+	h.WriteBool(checkpoint)
+	h.WriteBool(instrumented)
+	if instrumented {
+		cfg.HashInto(h)
+		h.WriteBool(simServers)
+		h.WriteBool(simKernel)
+	}
+	return h.Sum()
+}
+
+// cachedSim serves the run from the result cache when one is attached,
+// simulating only on a miss; with no store it degenerates to sim().
+func cachedSim(store *resultcache.Store, dir string, d resultcache.Digest,
+	sim func() (simResult, error)) (simResult, error) {
+	if store == nil {
+		return sim()
+	}
+	claim, err := store.Acquire(d, dir)
+	if err != nil {
+		return simResult{}, err
+	}
+	defer claim.Release()
+	if v, ok := claim.Cached(); ok {
+		return v.(simResult), nil
+	}
+	res, err := sim()
+	if err != nil {
+		return res, err
+	}
+	if err := claim.Complete(res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
 
 func main() {
 	var (
@@ -58,8 +140,11 @@ func main() {
 
 		checkpoint    = flag.Bool("checkpoint", false, "fork the baseline/instrumented runs from one cached post-boot image (results are byte-identical either way)")
 		checkpointDir = flag.String("checkpoint-dir", "", "persist boot images to this directory and reload them across invocations (requires -checkpoint)")
-		warmup        = flag.Uint64("warmup", 0, "retired instructions of warm-up before misses count")
-		measure       = flag.Uint64("measure", 0, "retired instructions in the measurement interval (0 = to end of run)")
+
+		resultCache    = flag.Bool("result-cache", false, "serve a previously simulated identical run from the content-addressed result cache (results are byte-identical either way)")
+		resultCacheDir = flag.String("result-cache-dir", "", "persist results to this directory and reload them across invocations (requires -result-cache)")
+		warmup         = flag.Uint64("warmup", 0, "retired instructions of warm-up before misses count")
+		measure        = flag.Uint64("measure", 0, "retired instructions in the measurement interval (0 = to end of run)")
 
 		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
 		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
@@ -76,6 +161,7 @@ func main() {
 
 	check(validateRunFlags(*parallel, *frames, *scale))
 	check(validateCheckpointFlags(*checkpoint, *checkpointDir))
+	check(validateResultCacheFlags(*resultCache, *resultCacheDir))
 	cfg, err := simConfig(*mode, *size, *line, *assoc, *indexing, *replace,
 		*sample, *tlbEntries, *handler)
 	check(err)
@@ -112,71 +198,96 @@ func main() {
 		check(fmt.Errorf("unknown machine %q", *machine))
 	}
 
+	// Jobs return plain result values — not live systems — so a cached
+	// run can print exactly what a fresh simulation would without ever
+	// booting a machine.
+	var store *resultcache.Store
+	if *resultCache {
+		if coll != nil {
+			fmt.Fprintln(os.Stderr, "twsim: note: -result-cache is bypassed while telemetry is on (cache hits simulate nothing, so they emit no events)")
+		} else {
+			store = resultcache.New(maxCachedResults, encodeSimResult, decodeSimResult)
+		}
+	}
+	spec, err := workload.ByName(*wl, *scale)
+	check(err)
+
 	// The baseline and instrumented simulations share nothing — each
 	// boots a private kernel and machine — so run them as one scheduler
 	// batch; index 0 is the baseline, index 1 the instrumented system.
-	type simOut struct {
-		sys *tapeworm.System
-		tw  *tapeworm.Simulator
-	}
-	var jobs []sched.Job[simOut]
+	var jobs []sched.Job[simResult]
 	var tels []*telemetry.Run
 	if *baseline {
 		tels = append(tels, nil)
 		i := len(tels) - 1
-		jobs = append(jobs, func() (simOut, error) {
-			tel := coll.StartRun("baseline")
-			tels[i] = tel
-			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
-				Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
-			if err != nil {
-				return simOut{}, err
-			}
-			if _, err := sys.LoadWorkload(*wl, *scale, *seed, false); err != nil {
-				return simOut{}, err
-			}
-			err = sys.Run(0)
-			sys.Kernel().ReportTelemetry()
-			return simOut{sys: sys}, err
+		d := simDigest(spec, mc.Name, *frames, *seed, *pageSeed, *checkpoint,
+			false, cfg, false, false)
+		jobs = append(jobs, func() (simResult, error) {
+			return cachedSim(store, *resultCacheDir, d, func() (simResult, error) {
+				tel := coll.StartRun("baseline")
+				tels[i] = tel
+				sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+					Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
+					Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
+				if err != nil {
+					return simResult{}, err
+				}
+				if _, err := sys.LoadWorkload(*wl, *scale, *seed, false); err != nil {
+					return simResult{}, err
+				}
+				err = sys.Run(0)
+				sys.Kernel().ReportTelemetry()
+				return simResult{Snap: sys.Monitor()}, err
+			})
 		})
 	}
 	tels = append(tels, nil)
 	instIdx := len(tels) - 1
-	jobs = append(jobs, func() (simOut, error) {
-		tel := coll.StartRun("instrumented")
-		tels[instIdx] = tel
-		sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-			Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
-			Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
-		if err != nil {
-			return simOut{}, err
-		}
-		tw, err := sys.AttachTapeworm(cfg)
-		if err != nil {
-			return simOut{}, err
-		}
-		if _, err := sys.LoadWorkload(*wl, *scale, *seed, true); err != nil {
-			return simOut{}, err
-		}
-		if *simServers {
-			for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
-				if t := sys.Kernel().Server(kind); t != nil {
-					if err := tw.Attributes(t.ID, true, false); err != nil {
-						return simOut{}, err
+	instDigest := simDigest(spec, mc.Name, *frames, *seed, *pageSeed, *checkpoint,
+		true, cfg, *simServers, *simKernel)
+	jobs = append(jobs, func() (simResult, error) {
+		return cachedSim(store, *resultCacheDir, instDigest, func() (simResult, error) {
+			tel := coll.StartRun("instrumented")
+			tels[instIdx] = tel
+			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
+				Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
+			if err != nil {
+				return simResult{}, err
+			}
+			tw, err := sys.AttachTapeworm(cfg)
+			if err != nil {
+				return simResult{}, err
+			}
+			if _, err := sys.LoadWorkload(*wl, *scale, *seed, true); err != nil {
+				return simResult{}, err
+			}
+			if *simServers {
+				for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+					if t := sys.Kernel().Server(kind); t != nil {
+						if err := tw.Attributes(t.ID, true, false); err != nil {
+							return simResult{}, err
+						}
 					}
 				}
 			}
-		}
-		if *simKernel {
-			if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
-				return simOut{}, err
+			if *simKernel {
+				if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
+					return simResult{}, err
+				}
 			}
-		}
-		err = sys.Run(0)
-		sys.Kernel().ReportTelemetry()
-		tw.ReportTelemetry()
-		return simOut{sys: sys, tw: tw}, err
+			err = sys.Run(0)
+			sys.Kernel().ReportTelemetry()
+			tw.ReportTelemetry()
+			return simResult{
+				Snap:    sys.Monitor(),
+				Seconds: sys.Seconds(),
+				Mech:    tw.MechanismName(),
+				Stats:   tw.Stats(),
+				Comp:    tw.MissesByComponent(),
+				Est:     tw.EstimatedMisses(),
+			}, err
+		})
 	})
 	outs, err := sched.Run(*parallel, jobs, nil)
 	check(err)
@@ -188,22 +299,20 @@ func main() {
 
 	var normal tapeworm.Snapshot
 	if *baseline {
-		normal = outs[0].sys.Monitor()
+		normal = outs[0].Snap
 	}
-	sys, tw := outs[len(outs)-1].sys, outs[len(outs)-1].tw
-	snap := sys.Monitor()
-	st := tw.Stats()
+	res := outs[len(outs)-1]
+	snap, st := res.Snap, res.Stats
 	fmt.Printf("workload:   %s (scale 1/%.0f) on %s\n", *wl, *scale, mc.Name)
-	fmt.Printf("mechanism:  %s\n", tw.MechanismName())
-	fmt.Printf("instrs:     %d (%.3f simulated seconds)\n", snap.Instructions, sys.Seconds())
+	fmt.Printf("mechanism:  %s\n", res.Mech)
+	fmt.Printf("instrs:     %d (%.3f simulated seconds)\n", snap.Instructions, res.Seconds)
 	fmt.Printf("misses:     %d counted", st.Misses)
-	if tw.EstimatedMisses() != float64(st.Misses) {
-		fmt.Printf(", %.0f estimated (%s sampling)", tw.EstimatedMisses(), cfg.Sampling)
+	if res.Est != float64(st.Misses) {
+		fmt.Printf(", %.0f estimated (%s sampling)", res.Est, cfg.Sampling)
 	}
 	fmt.Println()
-	comp := tw.MissesByComponent()
 	fmt.Printf("            user %d / servers %d / kernel %d\n",
-		comp[kernel.CompUser], comp[kernel.CompServer], comp[kernel.CompKernel])
+		res.Comp[kernel.CompUser], res.Comp[kernel.CompServer], res.Comp[kernel.CompKernel])
 	fmt.Printf("miss ratio: %.4f per instruction\n",
 		float64(st.Misses)/float64(snap.Instructions))
 	fmt.Printf("overhead:   %d handler cycles, %d setup cycles\n",
@@ -257,6 +366,25 @@ func validateCheckpointFlags(checkpoint bool, dir string) error {
 	}
 	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
 		return fmt.Errorf("-checkpoint-dir %q is not a directory", dir)
+	}
+	return nil
+}
+
+// validateResultCacheFlags mirrors validateCheckpointFlags for the
+// result cache: a persist directory without the feature enabled, a blank
+// path, or a path that exists but is not a directory all fail up front.
+func validateResultCacheFlags(resultCache bool, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if !resultCache {
+		return fmt.Errorf("-result-cache-dir %q requires -result-cache", dir)
+	}
+	if strings.TrimSpace(dir) == "" {
+		return fmt.Errorf("-result-cache-dir must not be blank")
+	}
+	if st, err := os.Stat(dir); err == nil && !st.IsDir() {
+		return fmt.Errorf("-result-cache-dir %q is not a directory", dir)
 	}
 	return nil
 }

@@ -36,6 +36,10 @@ var Analyzer = &analysis.Analyzer{
 var resultPkgs = []string{
 	"internal/core", "internal/experiment", "internal/stats", "internal/telemetry",
 	"internal/workload",
+	// The digest encoders must be canonical: ranging an unsorted map into
+	// a Hasher would give the same identity different digests run to run,
+	// which silently defeats every cache lookup.
+	"internal/resultcache",
 }
 
 // clockExempt are packages allowed to read the wall clock: telemetry owns

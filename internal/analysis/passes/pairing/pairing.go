@@ -82,6 +82,16 @@ var pairs = []pair{
 		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseBuffers"),
 	},
 	{
+		// A result-cache claim must be released on every path (hit, fresh
+		// simulation, and error alike); Release without a prior Complete
+		// abandons the digest so single-flight followers can take over.
+		// Complete is a value publish, not the release, so it is not in
+		// the release set.
+		name:     "result cache claim",
+		acquires: set("(*tapeworm/internal/resultcache.Store).Acquire"),
+		releases: set("(*tapeworm/internal/resultcache.Claim).Release"),
+	},
+	{
 		// A forked kernel owns pooled frame tables plus whatever its
 		// copy-on-write Phys materializes; ReleaseCheckpoint is the
 		// matching teardown (ReleaseBuffers also suffices at runtime, but

@@ -17,3 +17,10 @@ func TestPairing(t *testing.T) {
 func TestPairingRefChunkSummary(t *testing.T) {
 	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/mem")
 }
+
+// TestPairingResultCacheClaim checks the result-cache Acquire/Release
+// pair (Complete publishes a value but is not the release) against a
+// stand-in package under the real import path.
+func TestPairingResultCacheClaim(t *testing.T) {
+	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/resultcache")
+}

@@ -1,0 +1,82 @@
+// Package resultcache is a golden-test stand-in for the real
+// tapeworm/internal/resultcache: it redeclares the Acquire/Release claim
+// API under the same import path, so the pairing analyzer's
+// fully-qualified name matching sees the genuine result-cache pair
+// without the test depending on the real store's internals.
+package resultcache
+
+import "errors"
+
+// Digest mirrors the real content address.
+type Digest [32]byte
+
+// Claim mirrors the real claim handle.
+type Claim struct {
+	val any
+	hit bool
+}
+
+// Store mirrors the real store.
+type Store struct{}
+
+// Acquire mirrors the real claim acquisition.
+func (s *Store) Acquire(d Digest, dir string) (*Claim, error) {
+	if dir == "missing" {
+		return nil, errors.New("no such directory")
+	}
+	return &Claim{}, nil
+}
+
+// Cached mirrors the hit check.
+func (c *Claim) Cached() (any, bool) { return c.val, c.hit }
+
+// Complete mirrors the value publish — deliberately not a release.
+func (c *Claim) Complete(v any) error { return nil }
+
+// Release mirrors the idempotent claim release.
+func (c *Claim) Release() {}
+
+// acquireBalanced is the documented claim protocol: Release deferred on
+// every path, Complete publishing before the fresh-simulation return.
+func acquireBalanced(s *Store, d Digest) (any, error) {
+	claim, err := s.Acquire(d, "")
+	if err != nil {
+		return nil, err
+	}
+	defer claim.Release()
+	if v, ok := claim.Cached(); ok {
+		return v, nil
+	}
+	v := "simulated"
+	if err := claim.Complete(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// hitWithoutRelease forgets the Release on the cache-hit path.
+func hitWithoutRelease(s *Store, d Digest) (any, error) {
+	claim, err := s.Acquire(d, "")
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := claim.Cached(); ok {
+		return v, nil // want `result cache claim acquired but not released`
+	}
+	claim.Release()
+	return nil, nil
+}
+
+// completeIsNotRelease publishes the value but never releases the claim:
+// Complete alone must not satisfy the pair.
+func completeIsNotRelease(s *Store, d Digest) error {
+	claim, err := s.Acquire(d, "")
+	if err != nil {
+		return err
+	}
+	return claim.Complete("simulated") // want `result cache claim acquired but not released`
+}
+
+var _ = acquireBalanced
+var _ = hitWithoutRelease
+var _ = completeIsNotRelease

@@ -1,0 +1,28 @@
+package cache
+
+import "tapeworm/internal/resultcache"
+
+// HashInto writes the cache geometry's canonical identity encoding.
+// Fields are hashed in declaration order behind a version tag; any change
+// to the set or meaning of fields must bump the tag (and, if simulated
+// behaviour changes, core.PhysicsVersion).
+func (c Config) HashInto(h *resultcache.Hasher) {
+	h.WriteString("cache.Config/v1")
+	h.WriteString(c.Name)
+	h.WriteInt(c.Size)
+	h.WriteInt(c.LineSize)
+	h.WriteInt(c.Assoc)
+	h.WriteInt(int(c.Indexing))
+	h.WriteInt(int(c.Replace))
+}
+
+// HashInto writes the TLB geometry's canonical identity encoding.
+func (c TLBConfig) HashInto(h *resultcache.Hasher) {
+	h.WriteString("cache.TLBConfig/v1")
+	h.WriteString(c.Name)
+	h.WriteInt(c.Entries)
+	h.WriteInt(c.Assoc)
+	h.WriteInt(c.PageSize)
+	h.WriteInt(int(c.Replace))
+	h.WriteInt(c.Reserved)
+}

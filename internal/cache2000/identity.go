@@ -1,0 +1,24 @@
+package cache2000
+
+import "tapeworm/internal/resultcache"
+
+// HashInto writes the trace-driven simulator configuration's canonical
+// identity encoding. Kinds is a slice, hashed length-first in its given
+// order — callers construct it deterministically (nil means all kinds and
+// hashes as length 0, distinct from an explicit empty filter only through
+// the presence bit).
+func (c Config) HashInto(h *resultcache.Hasher) {
+	h.WriteString("cache2000.Config/v1")
+	c.Cache.HashInto(h)
+	h.WriteBool(c.Kinds != nil)
+	h.WriteUint64(uint64(len(c.Kinds)))
+	for _, k := range c.Kinds {
+		h.WriteInt(int(k))
+	}
+	h.WriteUint64(c.Seed)
+	h.WriteBool(c.WriteBuffer != nil)
+	if c.WriteBuffer != nil {
+		h.WriteInt(c.WriteBuffer.Depth)
+		h.WriteInt(c.WriteBuffer.DrainCycles)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "tapeworm/internal/resultcache"
+
+// PhysicsVersion is the simulation-semantics version hashed into every
+// result-cache digest. Bump it whenever event-stream semantics change —
+// anything that alters what a run computes from the same configuration:
+// trap arming/clearing rules, replacement policy behaviour, handler cost
+// tables, the kernel's boot recipe or scheduling, the workload stream
+// generators. Persisted results from older physics then simply never
+// match, which is the invalidation rule: stale entries are unreachable,
+// not migrated.
+const PhysicsVersion = 1
+
+// HashInto writes the Tapeworm configuration's canonical identity
+// encoding: every field that selects what the simulation computes, in
+// declaration order behind a version tag. Nil-able sub-configs hash a
+// presence bit first so "no L2" and "zero-valued L2" stay distinct.
+func (c Config) HashInto(h *resultcache.Hasher) {
+	h.WriteString("core.Config/v1")
+	h.WriteInt(int(c.Mode))
+	c.Cache.HashInto(h)
+	h.WriteBool(c.L2 != nil)
+	if c.L2 != nil {
+		c.L2.HashInto(h)
+	}
+	c.TLB.HashInto(h)
+	h.WriteInt(c.Sampling.Num)
+	h.WriteInt(c.Sampling.Den)
+	h.WriteInt(c.Sampling.Offset)
+	h.WriteInt(int(c.Handler))
+	h.WriteUint64(c.Window.WarmupInstr)
+	h.WriteUint64(c.Window.MeasureInstr)
+	h.WriteUint64(c.Seed)
+	h.WriteBool(c.AllowWriteClears)
+}

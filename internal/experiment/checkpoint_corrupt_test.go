@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tapeworm/internal/kernel"
+)
+
+// Persisted-checkpoint corruption through the Options path (the twbench
+// flag path): a damaged or foreign .ckpt file must surface the kernel's
+// typed errors from a real experiment run, never silently boot fresh or
+// fork from the wrong image. Each subtest runs at its own seed so the
+// process-wide checkpoint cache never carries state between them; the
+// in-memory tier is dropped before each reload so the files are
+// actually read.
+
+func TestCheckpointDirCorruption(t *testing.T) {
+	sc := SweepConfig{Workload: "espresso", Sizes: []int{4 << 10}, Assocs: []int{1}, Lines: []int{16}}
+	newOpts := func(seed uint64, dir string) Options {
+		o := parallelOptions(1)
+		o.Trials = 1
+		o.Seed = seed
+		o.Checkpoint = true
+		o.CheckpointDir = dir
+		return o
+	}
+	sweep := func(o Options) error {
+		_, err := Sweep(o, sc)
+		return err
+	}
+	dropMemoryTier := func() {
+		ckMu.Lock()
+		ckCache = map[ckKey]*ckEntry{}
+		ckMu.Unlock()
+	}
+	// seedFile runs one checkpointed sweep and returns the single .ckpt
+	// file it persisted (every run in the sweep shares one boot identity).
+	seedFile := func(t *testing.T, o Options) string {
+		t.Helper()
+		if err := sweep(o); err != nil {
+			t.Fatal(err)
+		}
+		files, err := filepath.Glob(filepath.Join(o.CheckpointDir, "boot-*.ckpt"))
+		if err != nil || len(files) != 1 {
+			t.Fatalf("persisted %d checkpoint files (err %v), want 1", len(files), err)
+		}
+		return files[0]
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := t.TempDir()
+		o := newOpts(4101, dir)
+		path := seedFile(t, o)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dropMemoryTier()
+		if err := sweep(o); !errors.Is(err, kernel.ErrCheckpointCorrupt) {
+			t.Fatalf("truncated checkpoint: Sweep err = %v, want ErrCheckpointCorrupt", err)
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		dir := t.TempDir()
+		o := newOpts(4102, dir)
+		path := seedFile(t, o)
+		if err := os.WriteFile(path, []byte("definitely not a checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dropMemoryTier()
+		if err := sweep(o); !errors.Is(err, kernel.ErrCheckpointCorrupt) {
+			t.Fatalf("garbage checkpoint: Sweep err = %v, want ErrCheckpointCorrupt", err)
+		}
+		// Removing the bad file leaves a plain capture-and-save: recovery.
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		dropMemoryTier()
+		if err := sweep(o); err != nil {
+			t.Fatalf("after removing bad file: Sweep err = %v", err)
+		}
+	})
+
+	t.Run("wrong-identity", func(t *testing.T) {
+		foreign := seedFile(t, newOpts(4103, t.TempDir()))
+		data, err := os.ReadFile(foreign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := newOpts(4104, t.TempDir())
+		path := seedFile(t, o)
+		// A checkpoint captured at another seed, renamed over this
+		// identity's slot, decodes fine but describes a different boot.
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dropMemoryTier()
+		if err := sweep(o); !errors.Is(err, kernel.ErrCheckpointMismatch) {
+			t.Fatalf("foreign checkpoint: Sweep err = %v, want ErrCheckpointMismatch", err)
+		}
+	})
+}

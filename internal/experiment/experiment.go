@@ -84,6 +84,21 @@ type Options struct {
 	// processes as well as runs. Files that do not match the requested
 	// identity are rejected with a wrapped kernel.ErrCheckpointMismatch.
 	CheckpointDir string
+	// ResultCache serves runs whose full execution identity has been
+	// seen before from the process-wide content-addressed result store
+	// instead of re-simulating them. Results are byte-identical either
+	// way (the `make verify-resultcache` gate): a cached result IS the
+	// deterministic output of the identical run that produced it. Gang
+	// groups simulate only their missing members. Ignored (cache
+	// bypassed) when Telemetry is set — cache hits simulate nothing and
+	// so emit no trap events.
+	ResultCache bool
+	// ResultCacheDir, when set (requires ResultCache), persists results
+	// as content-addressed gob files in that directory and loads matching
+	// ones, so a repeated sweep costs no simulation at all across
+	// processes. Files that fail validation are rejected with a typed
+	// resultcache.ErrMismatch/ErrCorrupt.
+	ResultCacheDir string
 	// PoolTally, if non-nil, accumulates pooled-buffer get/reuse counts
 	// attributed to this option set's runs (from each kernel's own
 	// counters). Unlike the process-global mem.PoolStats, the attribution
@@ -117,6 +132,17 @@ func (o Options) Validate() error {
 		}
 		if st, err := os.Stat(o.CheckpointDir); err == nil && !st.IsDir() {
 			return fmt.Errorf("experiment: CheckpointDir %q is not a directory", o.CheckpointDir)
+		}
+	}
+	if o.ResultCacheDir != "" {
+		if !o.ResultCache {
+			return fmt.Errorf("experiment: ResultCacheDir %q requires ResultCache", o.ResultCacheDir)
+		}
+		if strings.TrimSpace(o.ResultCacheDir) == "" {
+			return fmt.Errorf("experiment: ResultCacheDir must not be blank")
+		}
+		if st, err := os.Stat(o.ResultCacheDir); err == nil && !st.IsDir() {
+			return fmt.Errorf("experiment: ResultCacheDir %q is not a directory", o.ResultCacheDir)
 		}
 	}
 	return nil

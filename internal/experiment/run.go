@@ -32,8 +32,8 @@ type runConfig struct {
 	noCompile   bool         // force the interpreted workload program
 	linearDemux bool         // force the per-member linear gang trap demux
 
-	checkpoint    bool          // fork the kernel from a cached boot checkpoint
-	checkpointDir string        // persist/load checkpoints here (requires checkpoint)
+	checkpoint    bool           // fork the kernel from a cached boot checkpoint
+	checkpointDir string         // persist/load checkpoints here (requires checkpoint)
 	tally         *mem.PoolTally // non-nil: accumulate this run's pool counts
 
 	// gang opts this run into the ganged execution path: it runs as a
@@ -408,6 +408,11 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 				rcs[mi].tally = o.PoolTally
 				rcs[mi].tel = o.Telemetry.StartRun(fmt.Sprintf("run%d", i))
 				tels[i] = rcs[mi].tel
+			}
+			// A cache hit simulates nothing, so it can emit no trap
+			// events; with telemetry on, every run stays fresh.
+			if o.ResultCache && o.Telemetry == nil {
+				return runGroupCached(o, rcs)
 			}
 			if !rcs[0].gang {
 				r, err := run(rcs[0])

@@ -38,6 +38,12 @@ import (
 // configuration (different seed, frame count, server set, ...).
 var ErrCheckpointMismatch = errors.New("kernel: checkpoint does not match configuration")
 
+// ErrCheckpointCorrupt is wrapped by ReadCheckpoint when a checkpoint
+// file cannot be decoded at all — truncation, garbage, a torn write. It
+// is distinct from ErrCheckpointMismatch, which covers files that decode
+// but describe a different identity.
+var ErrCheckpointCorrupt = errors.New("kernel: checkpoint file corrupt")
+
 // taskRecord serializes one entry of the boot-time task tree.
 type taskRecord struct {
 	Name     string
@@ -527,7 +533,7 @@ func (cp *Checkpoint) Encode(f io.Writer) error {
 func ReadCheckpoint(f io.Reader) (*Checkpoint, error) {
 	var w checkpointWire
 	if err := gob.NewDecoder(f).Decode(&w); err != nil {
-		return nil, fmt.Errorf("kernel: decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", ErrCheckpointCorrupt, err)
 	}
 	if w.Version != checkpointWireVersion {
 		return nil, fmt.Errorf("%w: checkpoint file version %d, want %d",

@@ -102,17 +102,27 @@ func NewPhysFromImage(img *Image) *Phys {
 func (p *Phys) Shared() bool { return p.img != nil }
 
 // ensureOwned materializes private pooled copies of the dense arrays on
-// the first mutation of an image-backed Phys. Only chunks the image's
-// occupancy summary marks dirty are copied — a clean boot image costs one
-// pooled acquire and nothing else. Every mutating entry point calls this
-// before touching trapBits/twBits/ecc; for a non-forked Phys it is a
-// single nil check.
-//
-//twvet:transfer
+// the first mutation of an image-backed Phys. Every mutating entry point
+// calls this before touching trapBits/twBits/ecc, which puts it on the
+// trap-set/clear hot path of every forked run: the guard must stay small
+// enough to inline (a function containing the copy loops is not
+// inlinable, which used to cost forked sweeps ~3% in call overhead —
+// the BENCH sweep_speedup < 1.0 regression). The cold copy lives in
+// materializeImage.
 func (p *Phys) ensureOwned() {
 	if p.img == nil {
 		return
 	}
+	p.materializeImage()
+}
+
+// materializeImage copies the dense arrays out of the backing image into
+// private pooled buffers. Only chunks the image's occupancy summary marks
+// dirty are copied — a clean boot image costs one pooled acquire and
+// nothing else.
+//
+//twvet:transfer
+func (p *Phys) materializeImage() {
 	img := p.img
 	p.img = nil
 	words := p.bytes / WordBytes

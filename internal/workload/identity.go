@@ -1,0 +1,37 @@
+package workload
+
+import "tapeworm/internal/resultcache"
+
+// HashInto writes the spec's canonical identity encoding for the result
+// cache: every field, in declaration order behind a version tag. The
+// Description rides along even though it shapes no references — a spec
+// edit of any kind should read as a new identity rather than silently
+// serving results computed from the old definition.
+func (s Spec) HashInto(h *resultcache.Hasher) {
+	h.WriteString("workload.Spec/v1")
+	h.WriteString(s.Name)
+	h.WriteString(s.Description)
+	h.WriteFloat64(s.PaperInstructions)
+	h.WriteFloat64(s.Scale)
+	h.WriteFloat64(s.FracKernel)
+	h.WriteFloat64(s.FracBSD)
+	h.WriteFloat64(s.FracX)
+	h.WriteFloat64(s.FracUser)
+	h.WriteUint64(uint64(s.TextBytes))
+	h.WriteInt(s.Procs)
+	h.WriteFloat64(s.ZipfSkew)
+	h.WriteInt(s.VisitLen)
+	h.WriteUint64(s.PhaseLen)
+	h.WriteUint64(uint64(s.DataBytes))
+	h.WriteUint64(uint64(s.DataHotBytes))
+	h.WriteFloat64(s.DataRefsPerInstr)
+	h.WriteFloat64(s.StoreFrac)
+	h.WriteFloat64(s.StreamFrac)
+	h.WriteInt(int(s.KernelSvc))
+	h.WriteInt(int(s.BSDSvc))
+	h.WriteInt(int(s.XSvc))
+	h.WriteInt(s.Tasks)
+	h.WriteBool(s.ChildShareText)
+	h.WriteInt(s.ForkDepth)
+	h.WriteFloat64(s.RootWorkFrac)
+}
