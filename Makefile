@@ -1,7 +1,7 @@
 GO ?= go
 TWVET = /tmp/twvet-bin
 
-.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-compiled verify-gang verify-gang-demux verify-checkpoint verify-resultcache bench bench-json clean
+.PHONY: build test twvet vet verify verify-race verify-telemetry verify-fastpath verify-compiled verify-gang verify-gang-demux verify-checkpoint verify-resultcache verify-intervals bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -190,6 +190,39 @@ verify-resultcache:
 		diff /tmp/vr-off-p1.txt /tmp/$$f.txt || exit 1; done
 	@echo "verify-resultcache: tables byte-identical, result cache on/off, memory and disk"
 
+## verify-intervals: the two-sided gate for representative-interval
+## sampling. Off side: with -phase-intervals 0 the phase machinery must
+## be invisible — the twsweep design-space table is diffed byte-for-byte
+## against a run that never mentions the phase flags, at -parallel 1/8 ×
+## gang on/off. On side: sampling is an approximation, so it is
+## error-bound-gated rather than diffed — `twbench -verify-intervals`
+## reruns the pinned sweep both ways and fails unless the speedup is
+## ≥ 5× with every extrapolated miss ratio within 0.02 of exact (the
+## same bounds CI applies to the bench JSON's interval_sampling
+## section). A deterministic twsweep spot check rides along: two
+## identical sampled runs must render identical tables.
+verify-intervals:
+	$(GO) build -o /tmp/twbench-vi ./cmd/twbench
+	$(GO) build -o /tmp/twsweep-vi ./cmd/twsweep
+	/tmp/twsweep-vi -scale 4000 -q -parallel 1 > /tmp/vi-base.txt
+	/tmp/twsweep-vi -scale 4000 -q -parallel 1 -phase-intervals 0 \
+		> /tmp/vi-off-p1.txt
+	/tmp/twsweep-vi -scale 4000 -q -parallel 8 -phase-intervals 0 \
+		> /tmp/vi-off-p8.txt
+	/tmp/twsweep-vi -scale 4000 -q -parallel 1 -phase-intervals 0 \
+		-gang=false > /tmp/vi-off-p1ng.txt
+	/tmp/twsweep-vi -scale 4000 -q -parallel 8 -phase-intervals 0 \
+		-gang=false > /tmp/vi-off-p8ng.txt
+	for f in vi-off-p1 vi-off-p8 vi-off-p1ng vi-off-p8ng; do \
+		diff /tmp/vi-base.txt /tmp/$$f.txt || exit 1; done
+	/tmp/twsweep-vi -scale 1000 -q -parallel 1 -result-cache=false \
+		-phase-intervals 64 -phase-k 3 -phase-warmup 2000 > /tmp/vi-on-a.txt
+	/tmp/twsweep-vi -scale 1000 -q -parallel 8 -result-cache=false \
+		-phase-intervals 64 -phase-k 3 -phase-warmup 2000 > /tmp/vi-on-b.txt
+	diff /tmp/vi-on-a.txt /tmp/vi-on-b.txt
+	/tmp/twbench-vi -verify-intervals -q
+	@echo "verify-intervals: off-path byte-identical, sampled path deterministic and within gates"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
@@ -197,10 +230,12 @@ bench:
 ## the bench_test.go conditions, the ganged accuracy-sweep suite
 ## (figure3/table8/table9 ganged vs solo, with allocation counts), the
 ## gang member-count scaling curve, the per-workload hot loop, the
-## boot-amortization section (boot vs checkpoint fork), and the
-## result-cache section (cold vs warm sweep), writing BENCH_<label>.json
-## (label defaults to "pr8"; override with BENCH_LABEL=...).
-BENCH_LABEL ?= pr8
+## boot-amortization section (boot vs checkpoint fork), the result-cache
+## section (cold vs warm sweep), and the interval-sampling section
+## (exhaustive vs representative-interval replay with the worst
+## extrapolation error), writing BENCH_<label>.json (label defaults to
+## "pr9"; override with BENCH_LABEL=...).
+BENCH_LABEL ?= pr9
 bench-json:
 	$(GO) build -o /tmp/twbench-bj ./cmd/twbench
 	/tmp/twbench-bj -bench-json $(BENCH_LABEL) -run figure2 \

@@ -32,7 +32,10 @@ import (
 // the content-addressed result cache) and switches the hot-loop and
 // boot-amortization sweep timings to best-of-3 with a GC between runs,
 // so single-shot scheduling noise can no longer invert a comparison.
-const benchVersion = 5
+// Version 6 adds the interval_sampling section: the same multi-trial
+// gang sweep run exhaustively and through representative-interval
+// replay, with the worst extrapolation error alongside the speedup.
+const benchVersion = 6
 
 // benchReport is the machine-readable perf trajectory emitted by
 // -bench-json: wall-clock per experiment with the fast path on and off,
@@ -51,8 +54,9 @@ type benchReport struct {
 	GangScaling benchGangScaling  `json:"gang_scaling"`
 	HotLoop     []benchHotLoop    `json:"hot_loop"`
 
-	BootAmortization benchBootAmortization `json:"boot_amortization"`
-	ResultCache      benchResultCache      `json:"result_cache"`
+	BootAmortization benchBootAmortization       `json:"boot_amortization"`
+	ResultCache      benchResultCache            `json:"result_cache"`
+	IntervalSampling experiment.IntervalSampling `json:"interval_sampling"`
 }
 
 // benchResultCache measures what the content-addressed result cache buys
@@ -250,6 +254,12 @@ func writeBenchJSON(label string, ids []string, opts experiment.Options) error {
 		return err
 	}
 	rep.ResultCache = rc
+
+	iv, err := benchIntervalSamplingRun(opts)
+	if err != nil {
+		return err
+	}
+	rep.IntervalSampling = iv
 
 	for _, wl := range workload.Names() {
 		hot, err := benchHot(wl, opts.Seed)
@@ -506,12 +516,12 @@ func benchBootAmortizationRun(opts experiment.Options) (benchBootAmortization, e
 	}
 	// Image/fork counts come from the first forked run only: the later
 	// attempts fork from the images this run captured.
-	img0, fk0 := experiment.CheckpointStats()
+	img0, fk0, _ := experiment.CheckpointStats()
 	runtime.GC()
 	if out.ForkedSeconds, err = timeSweep(true); err != nil {
 		return out, err
 	}
-	img1, fk1 := experiment.CheckpointStats()
+	img1, fk1, _ := experiment.CheckpointStats()
 	out.Images, out.Forks = img1-img0, fk1-fk0
 	// Fresh and forked attempts alternate so machine drift lands on both
 	// sides equally; each side keeps its minimum.
@@ -576,6 +586,74 @@ func benchResultCacheRun(opts experiment.Options) (benchResultCache, error) {
 	out.Hits, out.Misses, out.Joins = st.Hits, st.Misses, st.Joins
 	fmt.Fprintf(os.Stderr, "  bench result-cache %-9s cold %6.2fs  warm %6.4fs  speedup %.0fx  (%d hits / %d misses)\n",
 		sc.Workload, out.ColdSeconds, out.WarmSeconds, out.WarmSpeedup, out.Hits, out.Misses)
+	return out, nil
+}
+
+// The interval-sampling acceptance gates: representative-interval replay
+// must finish the pinned sweep at least 5× faster than exhaustive replay
+// while every extrapolated miss ratio stays within two percentage points
+// of exact. CI enforces the same bounds on the bench JSON's
+// interval_sampling section; `twbench -verify-intervals` (the
+// `make verify-intervals` accuracy leg) enforces them locally.
+const (
+	intervalGateSpeedup = 5.0
+	intervalGateError   = 0.02
+)
+
+// verifyIntervalGates runs the interval-sampling measurement alone and
+// errors unless both gates hold.
+func verifyIntervalGates(opts experiment.Options) error {
+	iv, err := benchIntervalSamplingRun(opts)
+	if err != nil {
+		return err
+	}
+	if iv.Speedup < intervalGateSpeedup {
+		return fmt.Errorf("verify-intervals: speedup %.2fx below the %.0fx gate", iv.Speedup, intervalGateSpeedup)
+	}
+	if iv.MaxMissRatioError > intervalGateError {
+		return fmt.Errorf("verify-intervals: max miss-ratio error %.4f above the %.2f gate", iv.MaxMissRatioError, intervalGateError)
+	}
+	fmt.Printf("verify-intervals: %s speedup %.2fx (gate %.0fx), max miss-ratio error %.4f (gate %.2f)\n",
+		iv.Workload, iv.Speedup, intervalGateSpeedup, iv.MaxMissRatioError, intervalGateError)
+	return nil
+}
+
+// benchIntervalSamplingRun measures what representative-interval replay
+// buys a multi-trial cache sweep: the same 35-member gang grid runs
+// exhaustively and through phase-detected interval replay, and the
+// section records both wall clocks plus the worst extrapolation error.
+// The geometry is pinned rather than inherited from the command line so
+// `twbench -bench-json <label>` gates one stable measurement:
+//
+//   - scale 125 / 3 trials makes the sweep long enough that the sampled
+//     side's fixed costs (phase analysis, per-trial profiling pass,
+//     per-representative forks) amortize the way a real sweep amortizes
+//     them, while the one-time analysis is shared across trials via the
+//     plan cache;
+//   - 128 intervals / k=2 / 3000-instruction warm-up is the evaluation
+//     operating point: enough intervals that each representative's
+//     weight is well resolved, and enough warm-up that the fork's cold
+//     simulated cache converges before the measured window opens (the
+//     sweep's small capacity-dominated caches are chosen for exactly
+//     that convergence — see MeasureIntervalSampling).
+//
+// The CI gate requires speedup ≥ 5 and max_miss_ratio_error ≤ 0.02.
+func benchIntervalSamplingRun(opts experiment.Options) (experiment.IntervalSampling, error) {
+	const wl = "mpeg_play"
+	o := opts
+	o.Progress = nil
+	o.Telemetry = nil
+	o.Scale = 125
+	o.Trials = 3
+	o.PhaseIntervals = 128
+	o.PhaseK = 2
+	o.PhaseWarmup = 3000
+	out, err := experiment.MeasureIntervalSampling(o, wl)
+	if err != nil {
+		return out, err
+	}
+	fmt.Fprintf(os.Stderr, "  bench interval-sampling %-9s exhaustive %6.2fs  sampled %6.2fs  speedup %.2fx  (max miss-ratio err %.4f)\n",
+		out.Workload, out.ExhaustiveSeconds, out.SampledSeconds, out.Speedup, out.MaxMissRatioError)
 	return out, nil
 }
 

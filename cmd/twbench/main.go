@@ -64,7 +64,12 @@ func main() {
 		compile    = flag.Bool("compile", true, "replay pre-compiled workload programs (results are byte-identical either way)")
 		gang       = flag.Bool("gang", true, "group gang-eligible runs into shared executions (results are byte-identical either way)")
 		gangDemux  = flag.String("gang-demux", "bitset", "gang trap demux strategy: bitset or linear (results are byte-identical either way)")
-		benchLabel = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark and the ganged accuracy-sweep suite, and write BENCH_<label>.json")
+		benchLabel      = flag.String("bench-json", "", "time each experiment with the fast path on and off plus a hot-loop microbenchmark and the ganged accuracy-sweep suite, and write BENCH_<label>.json")
+		verifyIntervals = flag.Bool("verify-intervals", false, "run the interval-sampling measurement alone and exit non-zero unless it meets the CI gates (speedup >= 5, miss-ratio error <= 0.02)")
+
+		phaseIntervals = flag.Int("phase-intervals", 0, "slice each workload into this many intervals and simulate one representative per phase (0 = exhaustive; results are extrapolated and error-bound-gated, not exact)")
+		phaseK         = flag.Int("phase-k", 0, "number of behavioral phases (k-means clusters); requires -phase-intervals")
+		phaseWarmup    = flag.Int("phase-warmup", 0, "instructions of simulator warm-up replayed ahead of each representative window; requires -phase-intervals")
 	)
 	flag.Parse()
 
@@ -81,6 +86,7 @@ func main() {
 		NoGang: !*gang, LinearGangDemux: *gangDemux == "linear",
 		Checkpoint: *checkpoint, CheckpointDir: *checkpointDir,
 		ResultCache: *resultCache, ResultCacheDir: *resultCacheDir,
+		PhaseIntervals: *phaseIntervals, PhaseK: *phaseK, PhaseWarmup: *phaseWarmup,
 	}
 	if *gangDemux != "bitset" && *gangDemux != "linear" {
 		fail(fmt.Errorf("-gang-demux must be bitset or linear, got %q", *gangDemux))
@@ -92,6 +98,12 @@ func main() {
 		opts.Progress = func(line string) { fmt.Fprintf(os.Stderr, "  %s\n", line) }
 	}
 
+	if *verifyIntervals {
+		if err := verifyIntervalGates(opts); err != nil {
+			fail(err)
+		}
+		return
+	}
 	if *benchLabel != "" {
 		ids := experiment.IDs()
 		if *runIDs != "" {
@@ -156,6 +168,9 @@ func main() {
 		table, err := fn(opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", id, err))
+		}
+		if note := experiment.PhaseNote(opts); note != "" {
+			table.Notes = append(table.Notes, note)
 		}
 		fmt.Fprintln(out, table.Render())
 		fmt.Fprintf(out, "(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())

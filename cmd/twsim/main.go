@@ -29,6 +29,7 @@ import (
 
 	"tapeworm"
 	"tapeworm/internal/core"
+	"tapeworm/internal/experiment"
 	"tapeworm/internal/kernel"
 	"tapeworm/internal/mem"
 	"tapeworm/internal/resultcache"
@@ -146,6 +147,10 @@ func main() {
 		warmup         = flag.Uint64("warmup", 0, "retired instructions of warm-up before misses count")
 		measure        = flag.Uint64("measure", 0, "retired instructions in the measurement interval (0 = to end of run)")
 
+		phaseIntervals = flag.Int("phase-intervals", 0, "slice the workload into this many intervals and simulate one representative per phase (0 = exhaustive; results are extrapolated and error-bound-gated, not exact)")
+		phaseK         = flag.Int("phase-k", 0, "number of behavioral phases (k-means clusters); requires -phase-intervals")
+		phaseWarmup    = flag.Int("phase-warmup", 0, "instructions of simulator warm-up replayed ahead of each representative window; requires -phase-intervals")
+
 		metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
 		tracePath   = flag.String("trace", "", "write a JSONL trap-event trace to this file")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -162,6 +167,8 @@ func main() {
 	check(validateRunFlags(*parallel, *frames, *scale))
 	check(validateCheckpointFlags(*checkpoint, *checkpointDir))
 	check(validateResultCacheFlags(*resultCache, *resultCacheDir))
+	check(validatePhaseFlags(*phaseIntervals, *phaseK, *phaseWarmup, *machine,
+		*metricsPath != "" || *tracePath != "" || *debugAddr != "", *warmup, *measure))
 	cfg, err := simConfig(*mode, *size, *line, *assoc, *indexing, *replace,
 		*sample, *tlbEntries, *handler)
 	check(err)
@@ -241,54 +248,34 @@ func main() {
 			})
 		})
 	}
-	tels = append(tels, nil)
-	instIdx := len(tels) - 1
-	instDigest := simDigest(spec, mc.Name, *frames, *seed, *pageSeed, *checkpoint,
-		true, cfg, *simServers, *simKernel)
-	jobs = append(jobs, func() (simResult, error) {
-		return cachedSim(store, *resultCacheDir, instDigest, func() (simResult, error) {
-			tel := coll.StartRun("instrumented")
-			tels[instIdx] = tel
-			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
-				Machine: mc, Seed: *seed, PageSeed: *pageSeed, Telemetry: tel,
-				Checkpoint: *checkpoint, CheckpointDir: *checkpointDir})
+	// Interval replay lives in the experiment layer; with -phase-intervals
+	// set, the instrumented run delegates to it (RunSingle) instead of
+	// simulating exhaustively here. The baseline stays a full
+	// uninstrumented run — it is the slowdown denominator, and it costs no
+	// more than the interval path's own profiling pass.
+	var phaseOpts experiment.Options
+	if *phaseIntervals > 0 {
+		phaseOpts = experiment.Options{
+			Scale: *scale, Seed: *seed, Trials: 1, Frames: *frames,
+			Checkpoint: *checkpoint, CheckpointDir: *checkpointDir,
+			ResultCache: store != nil, ResultCacheDir: *resultCacheDir,
+			PhaseIntervals: *phaseIntervals, PhaseK: *phaseK, PhaseWarmup: *phaseWarmup,
+		}
+		check(phaseOpts.Validate())
+		tels = append(tels, nil)
+		jobs = append(jobs, func() (simResult, error) {
+			sr, err := experiment.RunSingle(phaseOpts, *wl, *pageSeed, cfg, *simServers, *simKernel)
 			if err != nil {
 				return simResult{}, err
 			}
-			tw, err := sys.AttachTapeworm(cfg)
-			if err != nil {
-				return simResult{}, err
-			}
-			if _, err := sys.LoadWorkload(*wl, *scale, *seed, true); err != nil {
-				return simResult{}, err
-			}
-			if *simServers {
-				for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
-					if t := sys.Kernel().Server(kind); t != nil {
-						if err := tw.Attributes(t.ID, true, false); err != nil {
-							return simResult{}, err
-						}
-					}
-				}
-			}
-			if *simKernel {
-				if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
-					return simResult{}, err
-				}
-			}
-			err = sys.Run(0)
-			sys.Kernel().ReportTelemetry()
-			tw.ReportTelemetry()
-			return simResult{
-				Snap:    sys.Monitor(),
-				Seconds: sys.Seconds(),
-				Mech:    tw.MechanismName(),
-				Stats:   tw.Stats(),
-				Comp:    tw.MissesByComponent(),
-				Est:     tw.EstimatedMisses(),
-			}, err
+			return simResult{Snap: sr.Snap, Seconds: sr.Seconds, Mech: sr.Mech,
+				Stats: sr.Stats, Comp: sr.Comp, Est: sr.Est}, nil
 		})
-	})
+	} else {
+		jobs = append(jobs, instrumentedJob(&tels, coll, store, spec, mc, cfg,
+			*wl, *scale, *seed, *pageSeed, *frames, *checkpoint, *checkpointDir,
+			*resultCacheDir, *simServers, *simKernel))
+	}
 	outs, err := sched.Run(*parallel, jobs, nil)
 	check(err)
 	// Commit in submission order so the metrics report and trace stream
@@ -321,6 +308,9 @@ func main() {
 		fmt.Printf("slowdown:   %.2fx over uninstrumented run\n",
 			tapeworm.Slowdown(snap, normal))
 	}
+	if note := experiment.PhaseNote(phaseOpts); note != "" {
+		fmt.Printf("note:       %s\n", note)
+	}
 
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -332,6 +322,108 @@ func main() {
 		check(coll.Err())
 		check(traceFile.Close())
 	}
+}
+
+// instrumentedJob builds the exhaustive instrumented run: a fresh
+// system, the simulator attached, the full workload executed. It
+// registers a telemetry slot in tels and fills it when the job runs.
+func instrumentedJob(tels *[]*telemetry.Run, coll *telemetry.Collector,
+	store *resultcache.Store, spec workload.Spec, mc tapeworm.MachineConfig,
+	cfg tapeworm.SimConfig, wl string, scale float64, seed, pageSeed uint64,
+	frames int, checkpoint bool, checkpointDir, resultCacheDir string,
+	simServers, simKernel bool) sched.Job[simResult] {
+	*tels = append(*tels, nil)
+	instIdx := len(*tels) - 1
+	instDigest := simDigest(spec, mc.Name, frames, seed, pageSeed, checkpoint,
+		true, cfg, simServers, simKernel)
+	return func() (simResult, error) {
+		return cachedSim(store, resultCacheDir, instDigest, func() (simResult, error) {
+			tel := coll.StartRun("instrumented")
+			(*tels)[instIdx] = tel
+			sys, err := tapeworm.NewSystem(tapeworm.SystemConfig{
+				Machine: mc, Seed: seed, PageSeed: pageSeed, Telemetry: tel,
+				Checkpoint: checkpoint, CheckpointDir: checkpointDir})
+			if err != nil {
+				return simResult{}, err
+			}
+			tw, err := sys.AttachTapeworm(cfg)
+			if err != nil {
+				return simResult{}, err
+			}
+			if _, err := sys.LoadWorkload(wl, scale, seed, true); err != nil {
+				return simResult{}, err
+			}
+			if simServers {
+				for _, kind := range []kernel.ServerKind{kernel.BSDServer, kernel.XServer} {
+					if t := sys.Kernel().Server(kind); t != nil {
+						if err := tw.Attributes(t.ID, true, false); err != nil {
+							return simResult{}, err
+						}
+					}
+				}
+			}
+			if simKernel {
+				if err := tw.Attributes(mem.KernelTask, true, false); err != nil {
+					return simResult{}, err
+				}
+			}
+			err = sys.Run(0)
+			sys.Kernel().ReportTelemetry()
+			tw.ReportTelemetry()
+			return simResult{
+				Snap:    sys.Monitor(),
+				Seconds: sys.Seconds(),
+				Mech:    tw.MechanismName(),
+				Stats:   tw.Stats(),
+				Comp:    tw.MissesByComponent(),
+				Est:     tw.EstimatedMisses(),
+			}, err
+		})
+	}
+}
+
+// validatePhaseFlags rejects -phase-* combinations up front, mirroring
+// the other flag validators: boundary errors (negative values, a zero
+// phase count, more phases than intervals) and combinations the interval
+// engine does not serve (non-DECstation machines, telemetry's per-trap
+// event stream, an explicit -warmup/-measure window, which interval
+// replay would silently override with each representative's own window).
+func validatePhaseFlags(intervals, k, warmup int, machine string,
+	telemetry bool, warmupInstr, measureInstr uint64) error {
+	if intervals < 0 {
+		return fmt.Errorf("-phase-intervals must be non-negative, got %d", intervals)
+	}
+	if k < 0 {
+		return fmt.Errorf("-phase-k must be non-negative, got %d", k)
+	}
+	if warmup < 0 {
+		return fmt.Errorf("-phase-warmup must be non-negative, got %d", warmup)
+	}
+	if intervals == 0 {
+		if k != 0 {
+			return fmt.Errorf("-phase-k %d requires -phase-intervals", k)
+		}
+		if warmup != 0 {
+			return fmt.Errorf("-phase-warmup %d requires -phase-intervals", warmup)
+		}
+		return nil
+	}
+	if k < 1 {
+		return fmt.Errorf("-phase-intervals %d requires -phase-k of at least 1", intervals)
+	}
+	if k > intervals {
+		return fmt.Errorf("-phase-k %d exceeds -phase-intervals %d", k, intervals)
+	}
+	if machine != "decstation" {
+		return fmt.Errorf("-phase-intervals supports only -machine decstation (the experiment layer's machine model), got %q", machine)
+	}
+	if telemetry {
+		return fmt.Errorf("-phase-intervals is incompatible with -metrics/-trace/-debug-addr: interval replay simulates only representative windows, so it cannot emit the full per-trap event stream")
+	}
+	if warmupInstr != 0 || measureInstr != 0 {
+		return fmt.Errorf("-phase-intervals replaces the measurement window per representative; drop -warmup/-measure (use -phase-warmup)")
+	}
+	return nil
 }
 
 // validateRunFlags rejects flag values that would otherwise panic deep

@@ -35,6 +35,49 @@ func TestParseSampleRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestValidatePhaseFlags(t *testing.T) {
+	if err := validatePhaseFlags(0, 0, 0, "decstation", false, 0, 0); err != nil {
+		t.Errorf("phase-off defaults rejected: %v", err)
+	}
+	if err := validatePhaseFlags(64, 4, 3000, "decstation", false, 0, 0); err != nil {
+		t.Errorf("valid phase flags rejected: %v", err)
+	}
+	// Phase sampling off leaves the rest of the flag space alone.
+	if err := validatePhaseFlags(0, 0, 0, "486", true, 100, 200); err != nil {
+		t.Errorf("phase-off with unrelated flags rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name                 string
+		intervals, k, warmup int
+		machine              string
+		telemetry            bool
+		warmupInstr, measure uint64
+		want                 string
+	}{
+		{"negative intervals", -1, 0, 0, "decstation", false, 0, 0, "-phase-intervals"},
+		{"negative k", 8, -2, 0, "decstation", false, 0, 0, "-phase-k"},
+		{"negative warmup", 8, 2, -5, "decstation", false, 0, 0, "-phase-warmup"},
+		{"k without intervals", 0, 2, 0, "decstation", false, 0, 0, "requires -phase-intervals"},
+		{"warmup without intervals", 0, 0, 500, "decstation", false, 0, 0, "requires -phase-intervals"},
+		{"zero k with intervals", 8, 0, 0, "decstation", false, 0, 0, "-phase-k of at least 1"},
+		{"k exceeds intervals", 4, 5, 0, "decstation", false, 0, 0, "exceeds -phase-intervals"},
+		{"wrong machine", 8, 2, 0, "486", false, 0, 0, "-machine decstation"},
+		{"telemetry on", 8, 2, 0, "decstation", true, 0, 0, "-metrics"},
+		{"explicit warmup window", 8, 2, 0, "decstation", false, 1000, 0, "-warmup"},
+		{"explicit measure window", 8, 2, 0, "decstation", false, 0, 5000, "-warmup"},
+	} {
+		err := validatePhaseFlags(tc.intervals, tc.k, tc.warmup, tc.machine,
+			tc.telemetry, tc.warmupInstr, tc.measure)
+		if err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 func TestValidateRunFlags(t *testing.T) {
 	if err := validateRunFlags(0, 8192, 400); err != nil {
 		t.Errorf("default flags rejected: %v", err)

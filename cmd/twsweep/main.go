@@ -49,6 +49,10 @@ func main() {
 		gang          = flag.Bool("gang", true, "share one execution across the grid (results are byte-identical either way)")
 		checkpoint    = flag.Bool("checkpoint", false, "fork runs from cached post-boot images (results are byte-identical either way)")
 		checkpointDir = flag.String("checkpoint-dir", "", "persist boot images to this directory (requires -checkpoint)")
+
+		phaseIntervals = flag.Int("phase-intervals", 0, "slice the workload into this many intervals and simulate one representative per phase (0 = exhaustive; results are extrapolated and error-bound-gated, not exact)")
+		phaseK         = flag.Int("phase-k", 0, "number of behavioral phases (k-means clusters); requires -phase-intervals")
+		phaseWarmup    = flag.Int("phase-warmup", 0, "instructions of simulator warm-up replayed ahead of each representative window; requires -phase-intervals")
 	)
 	flag.Parse()
 
@@ -64,6 +68,7 @@ func main() {
 		Parallelism: *parallel, NoGang: !*gang,
 		Checkpoint: *checkpoint, CheckpointDir: *checkpointDir,
 		ResultCache: *resultCache, ResultCacheDir: *resultCacheDir,
+		PhaseIntervals: *phaseIntervals, PhaseK: *phaseK, PhaseWarmup: *phaseWarmup,
 	}
 	check(opts.Validate())
 	if !*quiet {
@@ -77,6 +82,9 @@ func main() {
 	start := time.Now()
 	table, err := experiment.Sweep(opts, sc)
 	check(err)
+	if note := experiment.PhaseNote(opts); note != "" {
+		table.Notes = append(table.Notes, note)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

@@ -96,8 +96,11 @@ var pairs = []pair{
 		// copy-on-write Phys materializes; ReleaseCheckpoint is the
 		// matching teardown (ReleaseBuffers also suffices at runtime, but
 		// fork call sites should pair with the checkpoint-aware release).
+		// ForkRun is the mid-run fork: it wraps Fork and transfers the same
+		// ownership, so interval-replay call sites must release the forked
+		// kernel on every path through a replay.
 		name:     "checkpoint fork",
-		acquires: set("tapeworm/internal/kernel.Fork"),
+		acquires: set("tapeworm/internal/kernel.Fork", "tapeworm/internal/kernel.ForkRun"),
 		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseCheckpoint"),
 	},
 }

@@ -24,3 +24,11 @@ func TestPairingRefChunkSummary(t *testing.T) {
 func TestPairingResultCacheClaim(t *testing.T) {
 	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/resultcache")
 }
+
+// TestPairingCheckpointFork checks the checkpoint fork lifecycle —
+// Fork/ForkRun acquire, ReleaseCheckpoint releases, //twvet:transfer
+// moves ownership — against a stand-in kernel under the real import
+// path.
+func TestPairingCheckpointFork(t *testing.T) {
+	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/kernel")
+}

@@ -25,18 +25,49 @@ import (
 	"sync/atomic"
 
 	"tapeworm/internal/kernel"
+	"tapeworm/internal/resultcache"
+	"tapeworm/internal/workload"
 )
 
-// maxCachedCheckpoints bounds the checkpoint cache. Each entry holds one
-// boot image (frames × trap tables, ~hundreds of KB at bench scales);
-// sweeps revisit the same few (seed, pageSeed, frames) identities many
-// times per trial.
+// maxCachedCheckpoints bounds the boot-checkpoint entries of the cache.
+// Each entry holds one boot image (frames × trap tables, ~hundreds of KB
+// at bench scales); sweeps revisit the same few (seed, pageSeed, frames)
+// identities many times per trial.
 const maxCachedCheckpoints = 4
 
+// maxCachedIntervalCheckpoints bounds the per-interval entries
+// (interval >= 0) separately from the boot entries: one interval-replay
+// sweep parks one mid-run image per representative, and evicting boot
+// entries to make room for them (or vice versa) would defeat both
+// caches.
+const maxCachedIntervalCheckpoints = 16
+
+// ckKey identifies one cached checkpoint. Boot checkpoints use the zero
+// spec and interval -1; mid-run interval checkpoints carry the workload
+// identity and the interval index they freeze the stream at.
 type ckKey struct {
 	seed     uint64
 	pageSeed uint64
 	frames   int
+	spec     workload.Spec
+	interval int
+}
+
+func bootKey(kcfg kernel.Config) ckKey {
+	return ckKey{seed: kcfg.Seed, pageSeed: kcfg.PageSeed,
+		frames: kcfg.Machine.Frames, interval: -1}
+}
+
+// ckGeom is the phase geometry an interval checkpoint was captured
+// under. It is deliberately NOT part of ckKey: a sweep that changes its
+// phase parameters mid-process re-uses the same (identity, interval)
+// keys, so entries captured under the old geometry are stale — they
+// freeze the stream at different positions — and are evicted (counted by
+// CheckpointStats) rather than silently replayed.
+type ckGeom struct {
+	intervals int
+	k         int
+	warmup    int
 }
 
 type ckEntry struct {
@@ -44,6 +75,7 @@ type ckEntry struct {
 	cp   *kernel.Checkpoint
 	err  error
 	gen  uint64 // LRU clock, updated under ckMu
+	geom ckGeom // interval entries only
 }
 
 var (
@@ -51,16 +83,97 @@ var (
 	ckCache = map[ckKey]*ckEntry{}
 	ckGen   uint64
 
-	ckImages atomic.Uint64 // boot images captured (or loaded), incl. evicted
-	ckForks  atomic.Uint64 // kernels forked from cached images
+	ckImages    atomic.Uint64 // boot images captured (or loaded), incl. evicted
+	ckForks     atomic.Uint64 // kernels forked from cached images
+	ckEvictions atomic.Uint64 // interval entries evicted as geometry-stale
 )
 
 // CheckpointStats reports process-wide checkpoint cache activity: images
-// is the number of boot checkpoints captured or loaded from disk, forks
-// the number of kernels served from them. forks/images is the boot
-// amortization factor (bench JSON's boot_amortization section).
-func CheckpointStats() (images, forks uint64) {
-	return ckImages.Load(), ckForks.Load()
+// is the number of checkpoints captured or loaded from disk, forks the
+// number of kernels served from them, and evictions the number of
+// interval entries dropped because the sweep's phase geometry changed
+// mid-process. forks/images is the boot amortization factor (bench
+// JSON's boot_amortization section).
+func CheckpointStats() (images, forks, evictions uint64) {
+	return ckImages.Load(), ckForks.Load(), ckEvictions.Load()
+}
+
+// countCheckpointClass tallies cache entries of one class under ckMu.
+func countCheckpointClass(interval bool) int {
+	n := 0
+	//twvet:allow maporder — counting is order-insensitive
+	for k := range ckCache {
+		if (k.interval >= 0) == interval {
+			n++
+		}
+	}
+	return n
+}
+
+// evictCheckpointLRU drops the least-recently-used entry of keep's class
+// (never keep itself) under ckMu. Generation numbers are unique, so the
+// minimum is the same victim at any iteration order.
+func evictCheckpointLRU(keep *ckEntry, interval bool) {
+	var victimKey ckKey
+	var victim *ckEntry
+	//twvet:allow maporder — unique-minimum selection is order-insensitive
+	for k, v := range ckCache {
+		if (k.interval >= 0) != interval || v == keep {
+			continue
+		}
+		if victim == nil || v.gen < victim.gen {
+			victimKey, victim = k, v
+		}
+	}
+	if victim != nil {
+		delete(ckCache, victimKey)
+	}
+}
+
+// lookupIntervalCheckpoint serves a mid-run checkpoint for (key, geom)
+// from the process-wide cache. A cached entry whose geometry disagrees
+// is stale (see ckGeom) and is evicted on sight.
+func lookupIntervalCheckpoint(key ckKey, geom ckGeom) (*kernel.Checkpoint, bool) {
+	ckMu.Lock()
+	defer ckMu.Unlock()
+	e := ckCache[key]
+	if e == nil {
+		return nil, false
+	}
+	if e.geom != geom {
+		delete(ckCache, key)
+		ckEvictions.Add(1)
+		return nil, false
+	}
+	ckGen++
+	e.gen = ckGen
+	ckForks.Add(1)
+	return e.cp, true
+}
+
+// storeIntervalCheckpoint publishes a freshly captured mid-run checkpoint
+// and sweeps the interval class: entries under any other geometry are
+// unreachable by this sweep's keys and are evicted now rather than aging
+// out one lookup at a time.
+func storeIntervalCheckpoint(key ckKey, geom ckGeom, cp *kernel.Checkpoint) {
+	ckMu.Lock()
+	defer ckMu.Unlock()
+	//twvet:allow maporder — deleting every mismatch is order-insensitive
+	for k, v := range ckCache {
+		if k.interval >= 0 && v.geom != geom {
+			delete(ckCache, k)
+			ckEvictions.Add(1)
+		}
+	}
+	e := &ckEntry{cp: cp, geom: geom}
+	e.once.Do(func() {}) // entry is born complete
+	ckCache[key] = e
+	ckGen++
+	e.gen = ckGen
+	ckImages.Add(1)
+	for countCheckpointClass(true) > maxCachedIntervalCheckpoints {
+		evictCheckpointLRU(e, true)
+	}
 }
 
 // CachedCheckpoint is the exported entry to the process-wide checkpoint
@@ -75,25 +188,15 @@ func CachedCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error
 // immutable result; distinct identities capture in parallel. dir, when
 // non-empty, is consulted before capturing and written after.
 func cachedCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error) {
-	key := ckKey{seed: kcfg.Seed, pageSeed: kcfg.PageSeed, frames: kcfg.Machine.Frames}
+	key := bootKey(kcfg)
 	ckMu.Lock()
 	e := ckCache[key]
 	if e == nil {
 		e = &ckEntry{}
 		ckCache[key] = e
-		if len(ckCache) > maxCachedCheckpoints {
-			var victimKey ckKey
-			var victim *ckEntry
-			// Generation numbers are unique, so the minimum is the same
-			// victim at any iteration order; eviction only costs a
-			// re-capture (checkpoints are pure values).
-			//twvet:allow maporder — unique-minimum selection is order-insensitive
-			for k, v := range ckCache {
-				if v != e && (victim == nil || v.gen < victim.gen) {
-					victimKey, victim = k, v
-				}
-			}
-			delete(ckCache, victimKey)
+		// Eviction only costs a re-capture (checkpoints are pure values).
+		for countCheckpointClass(false) > maxCachedCheckpoints {
+			evictCheckpointLRU(e, false)
 		}
 	}
 	ckGen++
@@ -142,6 +245,43 @@ func buildCheckpoint(kcfg kernel.Config, dir string) (*kernel.Checkpoint, error)
 		if err := saveCheckpoint(path, cp); err != nil {
 			return nil, err
 		}
+	}
+	return cp, nil
+}
+
+// intervalCheckpointPath names the persisted mid-run checkpoint of one
+// representative interval. The workload identity rides in as a spec
+// digest; the phase geometry is deliberately absent (mirroring ckGeom's
+// absence from ckKey), so a checkpoint directory reused under different
+// -phase-* settings surfaces files that freeze the stream at the wrong
+// position — loadIntervalCheckpoint validates the position and rejects
+// them as stale instead of trusting the name.
+func intervalCheckpointPath(dir string, kcfg kernel.Config, spec workload.Spec, interval int) string {
+	h := resultcache.NewHasher()
+	spec.HashInto(h)
+	d := h.Sum()
+	return filepath.Join(dir, fmt.Sprintf("iv-s%x-p%x-f%d-w%x-i%d.ckpt",
+		kcfg.Seed, kcfg.PageSeed, kcfg.Machine.Frames, d[:6], interval))
+}
+
+// loadIntervalCheckpoint reads a persisted mid-run checkpoint and
+// validates it against the requesting identity AND the capture position
+// the current phase plan expects. A file captured under a different
+// phase geometry has the right boot identity but the wrong stream
+// position; it is rejected with a wrapped kernel.ErrCheckpointMismatch
+// rather than silently replayed.
+func loadIntervalCheckpoint(path string, kcfg kernel.Config, wantUser uint64) (*kernel.Checkpoint, error) {
+	cp, err := loadCheckpoint(path, kcfg)
+	if err != nil {
+		return nil, err
+	}
+	if !cp.HasRunState() {
+		return nil, fmt.Errorf("experiment: checkpoint file %s: %w: no mid-run state",
+			path, kernel.ErrCheckpointMismatch)
+	}
+	if got := cp.UserInstructions(); got != wantUser {
+		return nil, fmt.Errorf("experiment: checkpoint file %s: %w: stale interval checkpoint (frozen at %d user instructions, plan expects %d; was the directory written under different -phase-* settings?)",
+			path, kernel.ErrCheckpointMismatch, got, wantUser)
 	}
 	return cp, nil
 }

@@ -111,14 +111,14 @@ func TestCheckpointDirRejectsForeignFile(t *testing.T) {
 // TestCheckpointStatsAmortization: many runs sharing one identity must be
 // served by few images.
 func TestCheckpointStatsAmortization(t *testing.T) {
-	img0, fk0 := CheckpointStats()
+	img0, fk0, _ := CheckpointStats()
 	o := parallelOptions(1)
 	o.Seed = 2026
 	o.Checkpoint = true
 	if _, err := Table6(o); err != nil { // table6 runs every workload at one (seed, pageSeed, frames)
 		t.Fatal(err)
 	}
-	img1, fk1 := CheckpointStats()
+	img1, fk1, _ := CheckpointStats()
 	forks, images := fk1-fk0, img1-img0
 	if forks == 0 || images == 0 {
 		t.Fatalf("no cache traffic recorded: %d forks, %d images", forks, images)

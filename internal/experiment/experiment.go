@@ -104,6 +104,26 @@ type Options struct {
 	// counters). Unlike the process-global mem.PoolStats, the attribution
 	// stays exact when other suites run concurrently.
 	PoolTally *mem.PoolTally
+	// PhaseIntervals, when positive, enables representative-interval
+	// replay for gang-eligible runs: the compiled stream is sliced into
+	// this many fixed-length intervals, clustered into PhaseK phases, and
+	// only one representative interval per phase is simulated (forked
+	// from a mid-run checkpoint); full-run tables are synthesized by
+	// weighted extrapolation. Results are then error-bound-gated, not
+	// byte-identical (the `make verify-intervals` gate: ≤2% miss-ratio
+	// error, ≥5× faster at paper scale). Runs that cannot take the path —
+	// non-gang experiments, tracing, telemetry, NoCompile, streams
+	// beyond the compile budget — fall back to exhaustive replay. Zero
+	// disables the mode and tables stay byte-identical.
+	PhaseIntervals int
+	// PhaseK is the number of phases (k-means clusters) when
+	// PhaseIntervals is set; it must satisfy 1 ≤ PhaseK ≤ PhaseIntervals.
+	PhaseK int
+	// PhaseWarmup is the number of user instructions replayed before
+	// each representative's measure window to warm simulator state after
+	// a checkpoint fork. Zero is valid (cold windows); it must not be
+	// negative, and requires PhaseIntervals.
+	PhaseWarmup int
 }
 
 // Validate rejects option values that would otherwise panic deep inside
@@ -144,6 +164,25 @@ func (o Options) Validate() error {
 		if st, err := os.Stat(o.ResultCacheDir); err == nil && !st.IsDir() {
 			return fmt.Errorf("experiment: ResultCacheDir %q is not a directory", o.ResultCacheDir)
 		}
+	}
+	if o.PhaseIntervals < 0 {
+		return fmt.Errorf("experiment: PhaseIntervals must be non-negative, got %d", o.PhaseIntervals)
+	}
+	if o.PhaseK < 0 {
+		return fmt.Errorf("experiment: PhaseK must be non-negative, got %d", o.PhaseK)
+	}
+	if o.PhaseWarmup < 0 {
+		return fmt.Errorf("experiment: PhaseWarmup must be non-negative, got %d", o.PhaseWarmup)
+	}
+	if o.PhaseIntervals > 0 {
+		if o.PhaseK < 1 {
+			return fmt.Errorf("experiment: PhaseIntervals %d requires PhaseK of at least 1", o.PhaseIntervals)
+		}
+		if o.PhaseK > o.PhaseIntervals {
+			return fmt.Errorf("experiment: PhaseK %d exceeds PhaseIntervals %d", o.PhaseK, o.PhaseIntervals)
+		}
+	} else if o.PhaseK != 0 || o.PhaseWarmup != 0 {
+		return fmt.Errorf("experiment: PhaseK/PhaseWarmup require PhaseIntervals")
 	}
 	return nil
 }

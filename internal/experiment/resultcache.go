@@ -52,7 +52,7 @@ func ResetResultCache() { resultStore.Reset() }
 // simulations instead of trusting the equivalence it is trying to prove.
 func resultDigest(o Options, rc runConfig) resultcache.Digest {
 	h := resultcache.NewHasher()
-	h.WriteString("experiment.run/v1")
+	h.WriteString("experiment.run/v3")
 	h.WriteUint64(core.PhysicsVersion)
 	rc.spec.HashInto(h)
 	h.WriteUint64(rc.seed)
@@ -71,6 +71,11 @@ func resultDigest(o Options, rc runConfig) resultcache.Digest {
 	h.WriteBool(rc.checkpoint)
 	h.WriteBool(rc.gang)
 	h.WriteBool(o.NoGang)
+	// Interval replay produces extrapolated (not byte-identical) results,
+	// so the phase geometry is part of the execution identity.
+	h.WriteInt(o.PhaseIntervals)
+	h.WriteInt(o.PhaseK)
+	h.WriteInt(o.PhaseWarmup)
 	h.WriteBool(rc.tw != nil)
 	if rc.tw != nil {
 		rc.tw.HashInto(h)
@@ -162,7 +167,7 @@ func runGroupCached(o Options, rcs []runConfig) ([]runResult, error) {
 			r, err = run(sub[0])
 			rs = []runResult{r}
 		} else {
-			rs, err = runGang(sub)
+			rs, err = execGang(o, sub)
 		}
 		if err != nil {
 			return nil, err
@@ -196,6 +201,7 @@ type resultWire struct {
 	TwStats  core.Stats
 	TwByComp [kernel.NumComponents]uint64
 	TwEst    float64
+	Mech     string
 
 	C2kHits, C2kMisses uint64
 	PixieRefs          uint64
@@ -208,7 +214,7 @@ func encodeResult(v any) ([]byte, error) {
 		Snap: r.snap, Seconds: r.seconds, Comp: r.comp,
 		BSDInstr: r.bsdInstr, XInstr: r.xInstr, Tasks: r.tasks,
 		Counters: r.counters, TwStats: r.twStats, TwByComp: r.twByComp,
-		TwEst: r.twEst, C2kHits: r.c2kHits, C2kMisses: r.c2kMisses,
+		TwEst: r.twEst, Mech: r.mech, C2kHits: r.c2kHits, C2kMisses: r.c2kMisses,
 		PixieRefs: r.pixieRefs,
 	})
 	return buf.Bytes(), err
@@ -223,7 +229,7 @@ func decodeResult(b []byte) (any, error) {
 		snap: w.Snap, seconds: w.Seconds, comp: w.Comp,
 		bsdInstr: w.BSDInstr, xInstr: w.XInstr, tasks: w.Tasks,
 		counters: w.Counters, twStats: w.TwStats, twByComp: w.TwByComp,
-		twEst: w.TwEst, c2kHits: w.C2kHits, c2kMisses: w.C2kMisses,
+		twEst: w.TwEst, mech: w.Mech, c2kHits: w.C2kHits, c2kMisses: w.C2kMisses,
 		pixieRefs: w.PixieRefs,
 	}, nil
 }

@@ -61,6 +61,7 @@ type runResult struct {
 	twStats  core.Stats
 	twByComp [kernel.NumComponents]uint64
 	twEst    float64 // sampling-scaled miss estimate
+	mech     string  // trap mechanism name (instrumented runs only)
 
 	c2kHits, c2kMisses uint64
 	pixieRefs          uint64
@@ -158,6 +159,7 @@ func run(rc runConfig) (runResult, error) {
 		res.twStats = tw.Stats()
 		res.twByComp = tw.MissesByComponent()
 		res.twEst = tw.EstimatedMisses()
+		res.mech = tw.MechanismName()
 	}
 	if c2k != nil {
 		res.c2kHits, res.c2kMisses = c2k.Hits(), c2k.Misses()
@@ -301,6 +303,7 @@ func runGang(rcs []runConfig) ([]runResult, error) {
 		res.twStats = tw.Stats()
 		res.twByComp = tw.MissesByComponent()
 		res.twEst = tw.EstimatedMisses()
+		res.mech = tw.MechanismName()
 		if tel := rcs[i].tel; tel != nil {
 			tw.ReportTelemetry()
 			tel.SetTiming(res.snap.Cycles, res.snap.OverheadCycles, res.snap.Instructions)
@@ -418,7 +421,7 @@ func runAll(o Options, jobs []runJob) ([]runResult, error) {
 				r, err := run(rcs[0])
 				return []runResult{r}, err
 			}
-			return runGang(rcs)
+			return execGang(o, rcs)
 		}
 	}
 

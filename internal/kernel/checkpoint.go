@@ -15,9 +15,10 @@ package kernel
 // spawned): the checkpoint identity is then a pure function of
 // (seed, pageSeed, machine geometry, server set), which is what lets the
 // experiment layer share one image across every trial and gang member
-// with that identity. Mid-run interval selection is deliberately not a
-// checkpoint concern — that is core.Window's job, composing with
-// set-sampling on top of a forked boot.
+// with that identity. CaptureAt (midrun.go) extends the same image with
+// a run state — scheduler, clock, page tables, compiled-program cursors —
+// so interval replay can fork a kernel back to an interval boundary;
+// within a fork, core.Window still owns warm-up/measure selection.
 
 import (
 	"encoding/gob"
@@ -93,6 +94,10 @@ type Checkpoint struct {
 
 	tasks   []taskRecord
 	servers map[ServerKind]serverState
+
+	// run is the mid-run state captured by CaptureAt (midrun.go); nil for
+	// post-boot checkpoints.
+	run *runState
 
 	// Walker-shape template, built once per checkpoint and shared by all
 	// forks (see template). Not serialized; a decoded checkpoint rebuilds
@@ -218,6 +223,13 @@ func Capture(k *Kernel, mark string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("kernel: Capture(%q) of a non-quiesced kernel (%d cycles, %d instructions, %d user tasks)",
 			mark, k.m.Cycles(), k.m.Instructions(), k.userSpawned)
 	}
+	return captureState(k, mark)
+}
+
+// captureState snapshots the boot-derived state shared by post-boot
+// (Capture) and mid-run (CaptureAt) checkpoints: identity, memory image,
+// frame allocator, rng streams, walker positions, task records, servers.
+func captureState(k *Kernel, mark string) (*Checkpoint, error) {
 	cp := &Checkpoint{
 		mark:           mark,
 		seed:           k.cfg.Seed,
@@ -468,6 +480,12 @@ type checkpointWire struct {
 
 	ServerKinds  []ServerKind
 	ServerStates []serverWire
+
+	// Run carries mid-run state for CaptureAt checkpoints; nil for
+	// post-boot images. Gob omits nil pointers, so version 1 files
+	// written before the field existed still decode (to a nil Run) and
+	// old readers skip the field they don't know.
+	Run *runState
 }
 
 type serverWire struct {
@@ -503,6 +521,7 @@ func (cp *Checkpoint) Encode(f io.Writer) error {
 		KdataRNG:       cp.kdataRNG,
 		KdataHot:       cp.kdataHot,
 		Tasks:          cp.tasks,
+		Run:            cp.run,
 	}
 	for _, label := range sortedKeys(cp.walkers) {
 		w.WalkerLabels = append(w.WalkerLabels, label)
@@ -569,6 +588,7 @@ func ReadCheckpoint(f io.Reader) (*Checkpoint, error) {
 		kdataHot:       w.KdataHot,
 		tasks:          w.Tasks,
 		servers:        make(map[ServerKind]serverState, len(w.ServerKinds)),
+		run:            w.Run,
 	}
 	for i, label := range w.WalkerLabels {
 		cp.walkers[label] = w.WalkerStates[i]

@@ -112,6 +112,15 @@ type Kernel struct {
 	exits       uint64
 	userSpawned int
 	userExited  int
+
+	// stopUser/stopMach are the RunUntilUser/RunUntilInstr targets
+	// (zero = none). Unlike Run's maxInstr limit they leave the compiled
+	// and batched fast paths engaged, trading a per-reference-exact stop
+	// for a deterministic op-boundary stop: the checks sit at compiled-op
+	// and scheduling boundaries, so the overshoot past the target is a
+	// pure function of the (deterministic) stream, never of timing.
+	stopUser uint64
+	stopMach uint64
 }
 
 // residentQueue is a FIFO of (task, vpn) page-ins used to choose page-out
@@ -383,6 +392,9 @@ func (k *Kernel) Run(maxInstr uint64) error {
 		if maxInstr > 0 && k.m.Instructions() >= maxInstr {
 			return nil
 		}
+		if k.stopUser|k.stopMach != 0 && k.stopReached() {
+			return nil
+		}
 		t := k.pick()
 		var ev Event
 		if bp, ok := t.prog.(BatchProgram); ok && maxInstr == 0 &&
@@ -439,6 +451,46 @@ func (k *Kernel) Run(maxInstr uint64) error {
 	return nil
 }
 
+// stopReached reports whether a RunUntilUser/RunUntilInstr target has
+// been met.
+func (k *Kernel) stopReached() bool {
+	return (k.stopUser > 0 && k.compInstr[CompUser] >= k.stopUser) ||
+		(k.stopMach > 0 && k.m.Instructions() >= k.stopMach)
+}
+
+// RunUntilUser executes until at least target user-component instructions
+// have retired (or all workload tasks exit). The stop lands on a
+// compiled-op or scheduling boundary — a deterministic point of the
+// stream, at most CompiledRunCap user instructions past the target — and,
+// unlike Run's maxInstr limit, the compiled and batched fast paths stay
+// engaged, so fast-forwarding to a checkpoint boundary runs at full
+// replay speed.
+func (k *Kernel) RunUntilUser(target uint64) error {
+	if k.compInstr[CompUser] >= target {
+		return nil
+	}
+	k.stopUser = target
+	err := k.Run(0)
+	k.stopUser = 0
+	return err
+}
+
+// RunUntilInstr is RunUntilUser over total retired machine instructions
+// (user + server + kernel), the clock core.Window measures against.
+func (k *Kernel) RunUntilInstr(target uint64) error {
+	if k.m.Instructions() >= target {
+		return nil
+	}
+	k.stopMach = target
+	err := k.Run(0)
+	k.stopMach = 0
+	return err
+}
+
+// UserInstructions returns the retired user-component instruction count —
+// the axis interval boundaries are defined on.
+func (k *Kernel) UserInstructions() uint64 { return k.compInstr[CompUser] }
+
 // runCompiled replays t's pre-compiled ops until the next event op or a
 // posted reschedule, reporting whether it executed anything. Skipping
 // pick() between ops is exact: with no reschedule posted and the run
@@ -453,6 +505,7 @@ func (k *Kernel) runCompiled(cp CompiledProgram, t *Task) bool {
 	}
 	ops := cp.Ops()
 	start := pos
+	checkStop := k.stopUser|k.stopMach != 0
 	for pos < len(ops) {
 		op := &ops[pos]
 		if op.Kind == OpRun {
@@ -466,6 +519,9 @@ func (k *Kernel) runCompiled(cp CompiledProgram, t *Task) bool {
 		}
 		pos++
 		if k.resched {
+			break
+		}
+		if checkStop && k.stopReached() {
 			break
 		}
 	}

@@ -499,6 +499,44 @@ func (m *Machine) Seconds(cycles uint64) float64 {
 	return float64(cycles) / float64(m.cfg.ClockHz)
 }
 
+// ClockState is the machine's architectural time state: the clock, the
+// overhead split, the retired-instruction counter and the clock-interrupt
+// cadence. It is what a mid-run checkpoint must carry so that a forked
+// machine's ticks fire on the same instruction boundaries as the
+// original's. Host cache and TLB contents are deliberately absent —
+// like a context switch on real hardware, a fork resumes with cold host
+// state, and measurement warm-up absorbs the difference.
+type ClockState struct {
+	Cycles     uint64
+	Overhead   uint64
+	Instret    uint64
+	NextTick   uint64
+	ClockTicks uint64
+}
+
+// ClockState snapshots the architectural time state. The machine must be
+// quiescent: not inside a trap handler and not with interrupts masked
+// (both are true at kernel main-loop boundaries).
+func (m *Machine) ClockState() ClockState {
+	return ClockState{
+		Cycles:     m.cycles,
+		Overhead:   m.overhead,
+		Instret:    m.instret,
+		NextTick:   m.nextTick,
+		ClockTicks: m.clockTicks,
+	}
+}
+
+// SetClockState restores a snapshot taken by ClockState on a freshly
+// built machine, so a checkpoint fork resumes mid-run time exactly.
+func (m *Machine) SetClockState(cs ClockState) {
+	m.cycles = cs.Cycles
+	m.overhead = cs.Overhead
+	m.instret = cs.Instret
+	m.nextTick = cs.NextTick
+	m.clockTicks = cs.ClockTicks
+}
+
 // Charge adds base execution cycles (kernel service code, stalls).
 func (m *Machine) Charge(c uint64) { m.cycles += c }
 

@@ -1,0 +1,173 @@
+package phase
+
+import (
+	"reflect"
+	"testing"
+
+	"tapeworm/internal/workload"
+)
+
+func testSpec(t *testing.T, name string, scale float64) workload.Spec {
+	t.Helper()
+	spec, err := workload.ByName(name, scale)
+	if err != nil {
+		t.Fatalf("ByName(%s): %v", name, err)
+	}
+	return spec
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Intervals: 8, K: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Intervals: 0, K: 1},
+		{Intervals: -4, K: 1},
+		{Intervals: 8, K: 0},
+		{Intervals: 8, K: -1},
+		{Intervals: 4, K: 5},
+	}
+	for i, c := range bads {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestAnalyzePlanInvariants(t *testing.T) {
+	for _, name := range []string{"espresso", "sdet"} {
+		t.Run(name, func(t *testing.T) {
+			spec := testSpec(t, name, 2000)
+			plan, err := Analyze(spec, 1994, Config{Intervals: 16, K: 4, Seed: 99})
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if plan.TotalUser == 0 || plan.IntervalLen == 0 {
+				t.Fatalf("degenerate plan: %+v", plan)
+			}
+			n := plan.NumIntervals()
+			if n == 0 || n > 16 {
+				t.Fatalf("interval count %d out of range (asked for 16)", n)
+			}
+			// Intervals tile the stream exactly.
+			covered := uint64(0)
+			for i := 0; i < n; i++ {
+				start := uint64(i) * plan.IntervalLen
+				end := start + plan.IntervalLen
+				if end > plan.TotalUser {
+					end = plan.TotalUser
+				}
+				covered += end - start
+			}
+			if covered != plan.TotalUser {
+				t.Fatalf("intervals cover %d of %d user instructions", covered, plan.TotalUser)
+			}
+			if len(plan.Reps) == 0 || len(plan.Reps) > 4 {
+				t.Fatalf("%d representatives for K=4", len(plan.Reps))
+			}
+			// Representative mass partitions the stream: every interval's
+			// mass lands in exactly one rep.
+			var mass uint64
+			for i, rep := range plan.Reps {
+				if rep.Index < 0 || rep.Index >= n {
+					t.Fatalf("rep %d indexes interval %d of %d", i, rep.Index, n)
+				}
+				if plan.Assign[rep.Index] != rep.Cluster {
+					t.Fatalf("rep %d (interval %d) not assigned to its own cluster %d",
+						i, rep.Index, rep.Cluster)
+				}
+				if i > 0 && plan.Reps[i-1].Index >= rep.Index {
+					t.Fatalf("reps not in ascending interval order: %v", plan.Reps)
+				}
+				if rep.End <= rep.Start {
+					t.Fatalf("rep %d has empty interval [%d, %d)", i, rep.Start, rep.End)
+				}
+				mass += rep.Mass
+			}
+			if mass != plan.TotalUser {
+				t.Fatalf("rep masses sum to %d, want the full stream %d", mass, plan.TotalUser)
+			}
+			var weight float64
+			for _, rep := range plan.Reps {
+				weight += plan.Weight(rep)
+			}
+			if weight < 0.999 || weight > 1.001 {
+				t.Fatalf("weights sum to %v", weight)
+			}
+		})
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	spec := testSpec(t, "mpeg_play", 2000)
+	cfg := Config{Intervals: 12, K: 3, Seed: 7}
+	a, err := Analyze(spec, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(spec, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs, different plans:\n  %+v\n  %+v", a, b)
+	}
+	// A different k-means seed may pick different representatives but
+	// must still partition the same stream.
+	c, err := Analyze(spec, 42, Config{Intervals: 12, K: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalUser != a.TotalUser || c.IntervalLen != a.IntervalLen {
+		t.Fatalf("seed changed the interval geometry: %+v vs %+v", a, c)
+	}
+}
+
+func TestAnalyzeClampsKToIntervals(t *testing.T) {
+	// At a huge scale divisor the stream is tiny; asking for more
+	// intervals than instructions must degrade gracefully, clamping the
+	// cluster count to the intervals that exist.
+	spec := testSpec(t, "espresso", 200000)
+	plan, err := Analyze(spec, 1, Config{Intervals: 64, K: 64, Seed: 1})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(plan.Reps) > plan.NumIntervals() {
+		t.Fatalf("%d reps for %d intervals", len(plan.Reps), plan.NumIntervals())
+	}
+	var mass uint64
+	for _, rep := range plan.Reps {
+		mass += rep.Mass
+	}
+	if mass != plan.TotalUser {
+		t.Fatalf("clamped plan loses mass: %d of %d", mass, plan.TotalUser)
+	}
+}
+
+func TestAnalyzeSingleInterval(t *testing.T) {
+	spec := testSpec(t, "espresso", 2000)
+	plan, err := Analyze(spec, 1, Config{Intervals: 1, K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumIntervals() != 1 || len(plan.Reps) != 1 {
+		t.Fatalf("single-interval plan: %+v", plan)
+	}
+	rep := plan.Reps[0]
+	if rep.Start != 0 || rep.End != plan.TotalUser || rep.Mass != plan.TotalUser {
+		t.Fatalf("the one rep must span the whole stream: %+v", rep)
+	}
+	if w := plan.Weight(rep); w != 1 {
+		t.Fatalf("weight = %v", w)
+	}
+}
+
+func TestAnalyzeRejectsBadConfig(t *testing.T) {
+	spec := testSpec(t, "espresso", 2000)
+	if _, err := Analyze(spec, 1, Config{Intervals: 4, K: 8, Seed: 1}); err == nil {
+		t.Fatal("K > Intervals accepted")
+	}
+	if _, err := Analyze(spec, 1, Config{Intervals: 0, K: 1, Seed: 1}); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+}

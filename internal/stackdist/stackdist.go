@@ -60,6 +60,17 @@ type Simulator struct {
 	compulsory uint64   // first-ever references (infinite distance)
 	refs       uint64
 
+	// Window accumulators mirror the run-total counters but reset on
+	// ResetWindow. The LRU stacks themselves are never reset: a reuse
+	// distance is a property of the whole stream, so a window observes
+	// distances that reach back across its start (exactly what an interval
+	// slicer wants — the cache state at an interval boundary is inherited,
+	// not cold).
+	winHist       []uint64
+	winDeep       uint64
+	winCompulsory uint64
+	winRefs       uint64
+
 	// seen records every line ever touched, so that reuse of a line
 	// evicted from a bounded stack is classified as "deeper than the
 	// bound" rather than compulsory. Nil when the stacks are unbounded.
@@ -99,6 +110,7 @@ func MustNew(cfg Config) *Simulator {
 // Process records one reference.
 func (s *Simulator) Process(e trace.Entry) {
 	s.refs++
+	s.winRefs++
 	line := uint32(e.VA) >> s.shift
 	set := int(line & s.mask)
 	stack := s.stacks[set]
@@ -109,14 +121,14 @@ func (s *Simulator) Process(e trace.Entry) {
 			// Move to front.
 			copy(stack[1:d+1], stack[:d])
 			stack[0] = line
-			if d < len(s.hist) {
-				s.hist[d]++
-			} else {
-				for len(s.hist) <= d {
-					s.hist = append(s.hist, 0)
-				}
-				s.hist[d]++
+			for len(s.hist) <= d {
+				s.hist = append(s.hist, 0)
 			}
+			s.hist[d]++
+			for len(s.winHist) <= d {
+				s.winHist = append(s.winHist, 0)
+			}
+			s.winHist[d]++
 			return
 		}
 	}
@@ -126,15 +138,18 @@ func (s *Simulator) Process(e trace.Entry) {
 	if s.seen != nil {
 		if _, reuse := s.seen[line]; reuse {
 			s.deep++
+			s.winDeep++
 		} else {
 			s.seen[line] = struct{}{}
 			s.compulsory++
+			s.winCompulsory++
 		}
 		if len(stack) >= s.cfg.MaxTrackedDepth {
 			stack = stack[:len(stack)-1] // drop the deepest entry
 		}
 	} else {
 		s.compulsory++
+		s.winCompulsory++
 	}
 	s.stacks[set] = append([]uint32{line}, stack...)
 }
@@ -212,4 +227,65 @@ type CurvePoint struct {
 	CapacityBytes int
 	Ways          int
 	Misses        uint64
+}
+
+// --- Windowed accumulation ---
+
+// WindowStats is a frozen snapshot of the references processed since the
+// last ResetWindow (or since construction). Distances are measured
+// against the full-stream LRU stacks: a reference that reuses a line last
+// touched before the window still hits at its true depth, so a window's
+// histogram reflects the cache state the window *inherits* — the right
+// semantics for slicing one stream into intervals.
+type WindowStats struct {
+	Refs       uint64
+	Compulsory uint64 // first touches of the whole stream, not the window
+	Deeper     uint64
+	Histogram  []uint64
+
+	maxTracked int
+}
+
+// Window snapshots the current window's counters without resetting them.
+func (s *Simulator) Window() WindowStats {
+	hist := make([]uint64, len(s.winHist))
+	copy(hist, s.winHist)
+	return WindowStats{
+		Refs:       s.winRefs,
+		Compulsory: s.winCompulsory,
+		Deeper:     s.winDeep,
+		Histogram:  hist,
+		maxTracked: s.cfg.MaxTrackedDepth,
+	}
+}
+
+// ResetWindow starts a new window: counters zero, LRU stacks untouched.
+func (s *Simulator) ResetWindow() {
+	for i := range s.winHist {
+		s.winHist[i] = 0
+	}
+	s.winDeep, s.winCompulsory, s.winRefs = 0, 0, 0
+}
+
+// MissesAt is Simulator.MissesAt restricted to the window's references.
+func (w WindowStats) MissesAt(ways int) uint64 {
+	if ways <= 0 {
+		return w.Refs
+	}
+	if w.maxTracked > 0 && ways > w.maxTracked {
+		panic(fmt.Sprintf("stackdist: %d ways exceeds tracked depth %d", ways, w.maxTracked))
+	}
+	misses := w.Compulsory + w.Deeper
+	for d := ways; d < len(w.Histogram); d++ {
+		misses += w.Histogram[d]
+	}
+	return misses
+}
+
+// MissRatioAt returns MissesAt(ways) over the window's references.
+func (w WindowStats) MissRatioAt(ways int) float64 {
+	if w.Refs == 0 {
+		return 0
+	}
+	return float64(w.MissesAt(ways)) / float64(w.Refs)
 }

@@ -47,6 +47,7 @@ type image struct {
 // gets its own Compiled over the shared immutable image.
 type Compiled struct {
 	img    *image
+	path   []int32 // fork-op args from the root image to img (never mutated)
 	pos    int
 	runOff int // instructions consumed of the run op at pos (Next-driven)
 }
@@ -59,6 +60,21 @@ func (c *Compiled) OpPos() (int, bool) { return c.pos, c.runOff == 0 }
 
 // SeekOp implements kernel.CompiledProgram.
 func (c *Compiled) SeekOp(pos int) { c.pos, c.runOff = pos, 0 }
+
+// Cursor implements kernel.CursorProgram: it names this replay's position
+// in the fork tree (the chain of fork-op args that produced its image,
+// plus the op index) so an identical replay can be rebuilt later from the
+// same (spec, seed) with NewPlannedAt. Mid-run-op positions are not
+// resumable and report ok == false; the kernel only captures at op
+// boundaries, where OpPos's aligned flag is true.
+func (c *Compiled) Cursor() (kernel.ProgramCursor, bool) {
+	if c.runOff != 0 {
+		return kernel.ProgramCursor{}, false
+	}
+	path := make([]int32, len(c.path))
+	copy(path, c.path)
+	return kernel.ProgramCursor{Path: path, Pos: c.pos}, true
+}
 
 // Next implements kernel.Program.
 func (c *Compiled) Next() kernel.Event {
@@ -100,9 +116,12 @@ func (c *Compiled) NextRun(max int) (mem.VAddr, int, kernel.Event) {
 		return 0, 0, kernel.Event{Kind: kernel.EvSyscall, Service: kernel.ServiceID(op.Arg)}
 	case kernel.OpFork:
 		c.pos++
+		childPath := make([]int32, len(c.path)+1)
+		copy(childPath, c.path)
+		childPath[len(c.path)] = op.Arg
 		return 0, 0, kernel.Event{
 			Kind:      kernel.EvFork,
-			Child:     &Compiled{img: c.img.children[op.Arg]},
+			Child:     &Compiled{img: c.img.children[op.Arg], path: childPath},
 			ShareText: op.N != 0,
 		}
 	default: // OpExit is sticky, like the interpreter's exited state.
@@ -258,4 +277,64 @@ func NewPlanned(spec Spec, seed uint64) (kernel.Program, error) {
 		return nil, err
 	}
 	return &Compiled{img: img}, nil
+}
+
+// NewPlannedAt rebuilds a compiled replay of (spec, seed) positioned at a
+// cursor previously reported by Compiled.Cursor — the resume half of the
+// kernel's mid-run checkpoint protocol. Cursors exist only for compiled
+// replays, so a stream too large to compile is an error here, not an
+// interpreter fallback: the interpreter cannot seek.
+func NewPlannedAt(spec Spec, seed uint64, cur kernel.ProgramCursor) (kernel.Program, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	img, err := cachedImage(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	node := img
+	for i, arg := range cur.Path {
+		if arg < 0 || int(arg) >= len(node.children) {
+			return nil, fmt.Errorf("workload: cursor path %v invalid at step %d for %s/seed %#x",
+				cur.Path, i, spec.Name, seed)
+		}
+		node = node.children[arg]
+	}
+	if cur.Pos < 0 || cur.Pos > len(node.ops) {
+		return nil, fmt.Errorf("workload: cursor op %d out of range [0,%d] for %s/seed %#x",
+			cur.Pos, len(node.ops), spec.Name, seed)
+	}
+	path := make([]int32, len(cur.Path))
+	copy(path, cur.Path)
+	return &Compiled{img: node, path: path, pos: cur.Pos}, nil
+}
+
+// OpTree is a read-only view over one compiled task stream and the
+// streams of the children it forks, for offline analyses (phase
+// detection) that want the pre-planned ops without replaying them.
+type OpTree struct {
+	img *image
+}
+
+// Ops returns the node's op stream. The slice is shared and immutable.
+func (t OpTree) Ops() []kernel.CompiledOp { return t.img.ops }
+
+// NumChildren returns how many child streams this node forks.
+func (t OpTree) NumChildren() int { return len(t.img.children) }
+
+// Child returns the stream forked by the fork op whose Arg is i.
+func (t OpTree) Child(i int) OpTree { return OpTree{img: t.img.children[i]} }
+
+// PlannedOps exposes the cached compiled fork tree of (spec, seed).
+// Returns ErrStreamTooLarge (wrapped by nothing) when the stream exceeds
+// the compile budget, exactly as NewPlanned's fallback condition.
+func PlannedOps(spec Spec, seed uint64) (OpTree, error) {
+	if err := spec.Validate(); err != nil {
+		return OpTree{}, err
+	}
+	img, err := cachedImage(spec, seed)
+	if err != nil {
+		return OpTree{}, err
+	}
+	return OpTree{img: img}, nil
 }
