@@ -13,10 +13,18 @@ test:
 ## over every package through the real `go vet -vettool` protocol. The
 ## passes mechanize the simulation invariants: deterministic iteration in
 ## result packages, nil-guarded telemetry on hot paths, balanced
-## trap/breakpoint/pool pairing, and Options.Validate at experiment
-## boundaries. See DESIGN.md §9 for the invariant catalog.
+## trap/breakpoint/pool pairing, digest completeness, lock discipline,
+## and Options.Validate at experiment boundaries. See DESIGN.md §9 and
+## §14 for the invariant catalog and the modular-facts model.
+##
+## Two invocations on purpose — the cached-vetx smoke: the first run
+## computes and caches a .vetx fact file per internal package; the
+## second analyzes the remaining roots (the facade, cmd/, examples/)
+## against those cached fact files, so a vetx encode/decode regression
+## fails on a warm cache too, not just a cold one.
 twvet:
 	$(GO) build -o $(TWVET) ./cmd/twvet
+	$(GO) vet -vettool=$(TWVET) ./internal/...
 	$(GO) vet -vettool=$(TWVET) ./...
 
 ## vet: stock go vet plus the twvet suite.

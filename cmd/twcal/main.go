@@ -29,8 +29,6 @@ func main() {
 }
 
 // boot hands the booted kernel (and its pooled buffers) to the caller.
-//
-//twvet:transfer
 func boot(seed uint64) *kernel.Kernel {
 	return kernel.MustBoot(kernel.DefaultConfig(mach.DECstation5000_200(8192), seed))
 }
@@ -64,6 +62,7 @@ func fractions(scale float64) {
 			100*float64(comp[kernel.CompUser])/total,
 			100*spec.FracKernel, 100*spec.FracBSD, 100*spec.FracX, 100*spec.FracUser,
 			k.Stats().UserSpawned)
+		k.ReleaseBuffers()
 	}
 }
 
@@ -91,5 +90,6 @@ func missCurve(name string, scale float64) {
 		user := float64(comp[kernel.CompUser])
 		fmt.Printf("  %4dK: misses %8d  ratio %.4f\n",
 			sizeKB, tw.Misses(), float64(tw.Misses())/user)
+		k.ReleaseBuffers()
 	}
 }

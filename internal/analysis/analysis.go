@@ -33,12 +33,14 @@ import (
 )
 
 // Analyzer describes one static-analysis pass: a name used in diagnostics
-// and directive matching, one line of documentation, and the function
-// applied to each package.
+// and directive matching, one line of documentation, the fact types it
+// serializes across package boundaries, and the function applied to each
+// package.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	FactTypes []Fact
+	Run       func(*Pass) error
 }
 
 // Pass is the interface between one analyzer and one type-checked
@@ -56,6 +58,33 @@ type Pass struct {
 	PkgPath string
 
 	report func(Diagnostic)
+	shared *passShared
+}
+
+// passShared is the per-package state every analyzer copy of a Pass sees:
+// the directive index (shared so stale-directive detection observes every
+// pass's suppressions), the facts exported so far, and the dependency
+// fact store.
+type passShared struct {
+	dirs     map[*ast.File]*Directives
+	exported factSet
+	store    *FactStore
+}
+
+func newPassShared(store *FactStore) *passShared {
+	return &passShared{dirs: map[*ast.File]*Directives{}, exported: factSet{}, store: store}
+}
+
+// FileDirectives returns the parsed //twvet: directives of f, cached per
+// package so every analyzer (and the stale-directive scan) shares one
+// index and its usage marks.
+func (p *Pass) FileDirectives(f *ast.File) *Directives {
+	if d, ok := p.shared.dirs[f]; ok {
+		return d
+	}
+	d := NewDirectives(p, f)
+	p.shared.dirs[f] = d
+	return d
 }
 
 // Diagnostic is one finding, positioned in the pass's FileSet.
@@ -123,9 +152,20 @@ func newTypesInfo() *types.Info {
 	}
 }
 
+// runOptions configures one runAnalyzers invocation.
+type runOptions struct {
+	store *FactStore // dependency facts in, this package's facts out
+	stale bool       // report //twvet: directives that suppressed nothing
+}
+
 // runAnalyzers applies each analyzer to one type-checked package and
-// returns the diagnostics sorted by position.
-func runAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+// returns the diagnostics sorted by position. When opts.stale is set
+// (full-suite runs only: a single-analyzer golden test cannot observe
+// other passes' suppressions), every allow/transfer/nohash directive that
+// suppressed no finding is itself reported. Exported facts are published
+// to opts.store under the package path.
+func runAnalyzers(pass Pass, analyzers []*Analyzer, opts runOptions) ([]Diagnostic, error) {
+	pass.shared = newPassShared(opts.store)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		p := pass // copy; each analyzer gets its own Analyzer/report binding
@@ -134,6 +174,12 @@ func runAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if err := a.Run(&p); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", pass.PkgPath, a.Name, err)
 		}
+	}
+	if opts.stale {
+		diags = append(diags, staleDirectives(&pass)...)
+	}
+	if opts.store != nil {
+		opts.store.set(pass.CanonicalPath(), pass.shared.exported)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -146,9 +192,35 @@ func runAnalyzers(pass Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
 		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
+}
+
+// staleDirectives reports every suppression directive no pass consulted at
+// a would-be finding this run, so dead annotations cannot accumulate.
+// Only non-test files are scanned: passes skip test files, so their
+// directives are never queried.
+func staleDirectives(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, dir := range pass.FileDirectives(f).stale() {
+			d := Diagnostic{
+				Analyzer: "staledirective",
+				Pos:      pass.Fset.Position(dir.pos),
+				Message: fmt.Sprintf("//twvet:%s directive suppressed nothing this run: delete it",
+					dir.verbArg()),
+			}
+			diags = append(diags, d)
+		}
+	}
+	return diags
 }
 
 // CalleeFunc resolves the function or method named by a call expression,

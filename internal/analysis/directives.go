@@ -2,20 +2,40 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
 // directive is one parsed //twvet: comment: a verb ("allow", "transfer",
-// "scope") and its argument (the check name; empty for transfer).
+// "scope", "nohash", "digest") and its argument (the check name, the
+// digested type, or the first word of a nohash reason; empty for a bare
+// transfer). Suppression verbs track whether any pass consulted them at a
+// would-be finding, so stale annotations can be reported.
 type directive struct {
 	verb string
 	arg  string
+	pos  token.Pos
+	used bool
 }
 
+// verbArg renders the directive for diagnostics ("allow maporder").
+func (d *directive) verbArg() string {
+	if d.arg == "" {
+		return d.verb
+	}
+	return d.verb + " " + d.arg
+}
+
+// staleVerbs are the suppression verbs subject to stale-directive
+// detection. scope (testdata opt-in) and digest (a hashcheck input, always
+// consumed when the pass runs) are declarations, not suppressions.
+var staleVerbs = map[string]bool{"allow": true, "transfer": true, "nohash": true}
+
 // Directives indexes the //twvet: comments of one file by line, plus the
-// file-level scope set. Build one per file with NewDirectives.
+// file-level scope set. Build one per file with Pass.FileDirectives so
+// usage marks are shared across passes.
 type Directives struct {
-	byLine map[int][]directive
+	byLine map[int][]*directive
 	scopes map[string]bool
 	pass   *Pass
 	file   *ast.File
@@ -23,7 +43,7 @@ type Directives struct {
 
 // NewDirectives parses every //twvet: comment in f.
 func NewDirectives(pass *Pass, f *ast.File) *Directives {
-	d := &Directives{byLine: map[int][]directive{}, scopes: map[string]bool{}, pass: pass, file: f}
+	d := &Directives{byLine: map[int][]*directive{}, scopes: map[string]bool{}, pass: pass, file: f}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//twvet:")
@@ -36,7 +56,7 @@ func NewDirectives(pass *Pass, f *ast.File) *Directives {
 			if len(fields) == 0 {
 				continue
 			}
-			dir := directive{verb: fields[0]}
+			dir := &directive{verb: fields[0], pos: c.Pos()}
 			if len(fields) > 1 {
 				dir.arg = fields[1]
 			}
@@ -55,47 +75,155 @@ func NewDirectives(pass *Pass, f *ast.File) *Directives {
 // in for the real in-scope packages).
 func (d *Directives) Scoped(check string) bool { return d.scopes[check] }
 
-// hasAt reports a directive with the given verb and arg on the exact line.
-func (d *Directives) hasAt(line int, verb, arg string) bool {
+// find returns the directive with the given verb and arg on the exact
+// line, or nil. An empty arg matches any argument.
+func (d *Directives) find(line int, verb, arg string) *directive {
 	for _, dir := range d.byLine[line] {
 		if dir.verb == verb && (arg == "" || dir.arg == arg) {
+			return dir
+		}
+	}
+	return nil
+}
+
+// hasAt reports a directive with the given verb and arg on the exact
+// line; when mark is set a match is recorded as used. Passes must only
+// mark at a would-be finding, so stale detection stays accurate.
+func (d *Directives) hasAt(line int, verb, arg string, mark bool) bool {
+	dir := d.find(line, verb, arg)
+	if dir == nil {
+		return false
+	}
+	if mark {
+		dir.used = true
+	}
+	return true
+}
+
+// AllowedAt reports whether the statement at pos is excused from the
+// named check by an //twvet:allow directive on its own line or on the
+// line immediately above it. Callers must consult it only where a finding
+// would otherwise be reported; a match is marked used.
+func (d *Directives) AllowedAt(pos ast.Node, check string) bool {
+	line := d.pass.Fset.Position(pos.Pos()).Line
+	return d.hasAt(line, "allow", check, true) || d.hasAt(line-1, "allow", check, true)
+}
+
+// funcLines returns the lines a function-level directive may occupy: the
+// doc-comment lines, the declaration line, and the line above it. Lines
+// are deduplicated — the last doc line usually IS the line above the
+// declaration, and callers consuming directive args must see each once.
+func (d *Directives) funcLines(fn *ast.FuncDecl) []int {
+	seen := map[int]bool{}
+	var lines []int
+	add := func(line int) {
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			add(d.pass.Fset.Position(c.Pos()).Line)
+		}
+	}
+	declLine := d.pass.Fset.Position(fn.Pos()).Line
+	add(declLine)
+	add(declLine - 1)
+	return lines
+}
+
+// FuncDirective reports whether the function declaration carries the
+// given directive, either in its doc comment or on the line above the
+// declaration. A pure query: no usage mark (use MarkFunc at a would-be
+// finding).
+func (d *Directives) FuncDirective(fn *ast.FuncDecl, verb, arg string) bool {
+	for _, line := range d.funcLines(fn) {
+		if d.hasAt(line, verb, arg, false) {
 			return true
 		}
 	}
 	return false
 }
 
-// AllowedAt reports whether the statement at pos is excused from the
-// named check by an //twvet:allow directive on its own line or on the
-// line immediately above it.
-func (d *Directives) AllowedAt(pos ast.Node, check string) bool {
-	line := d.pass.Fset.Position(pos.Pos()).Line
-	return d.hasAt(line, "allow", check) || d.hasAt(line-1, "allow", check)
-}
-
-// FuncDirective reports whether the function declaration carries the
-// given directive, either in its doc comment or on the line above the
-// declaration.
-func (d *Directives) FuncDirective(fn *ast.FuncDecl, verb, arg string) bool {
-	if fn.Doc != nil {
-		for _, c := range fn.Doc.List {
-			text, ok := strings.CutPrefix(c.Text, "//twvet:")
-			if !ok {
-				continue
-			}
-			fields := strings.Fields(text)
-			if len(fields) > 0 && fields[0] == verb &&
-				(arg == "" || (len(fields) > 1 && fields[1] == arg)) {
-				return true
+// FuncDirectiveArgs returns the arguments of every directive with the
+// given verb on fn, marking each used (the caller is consuming them as
+// input, e.g. //twvet:digest type names).
+func (d *Directives) FuncDirectiveArgs(fn *ast.FuncDecl, verb string) []string {
+	var args []string
+	for _, line := range d.funcLines(fn) {
+		for _, dir := range d.byLine[line] {
+			if dir.verb == verb {
+				dir.used = true
+				args = append(args, dir.arg)
 			}
 		}
 	}
-	line := d.pass.Fset.Position(fn.Pos()).Line
-	return d.hasAt(line, verb, arg) || d.hasAt(line-1, verb, arg)
+	return args
+}
+
+// MarkFunc records the function's directive as having suppressed a
+// finding.
+func (d *Directives) MarkFunc(fn *ast.FuncDecl, verb, arg string) {
+	for _, line := range d.funcLines(fn) {
+		if d.hasAt(line, verb, arg, true) {
+			return
+		}
+	}
 }
 
 // FuncAllowed reports whether the enclosing function excuses the check
-// for its whole body.
+// for its whole body; a match is marked used, so callers must consult it
+// only where a finding would otherwise be reported.
 func (d *Directives) FuncAllowed(fn *ast.FuncDecl, check string) bool {
-	return fn != nil && d.FuncDirective(fn, "allow", check)
+	if fn == nil {
+		return false
+	}
+	for _, line := range d.funcLines(fn) {
+		if d.hasAt(line, "allow", check, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// NohashAt reports whether the node (a struct field) carries a
+// //twvet:nohash directive on its line or the line above, and whether the
+// directive has a non-empty reason. A match is marked used.
+func (d *Directives) NohashAt(node ast.Node) (found, hasReason bool) {
+	line := d.pass.Fset.Position(node.Pos()).Line
+	dir := d.find(line, "nohash", "")
+	if dir == nil {
+		dir = d.find(line-1, "nohash", "")
+	}
+	if dir == nil {
+		return false, false
+	}
+	dir.used = true
+	return true, dir.arg != ""
+}
+
+// stale returns every suppression directive never marked used this run.
+func (d *Directives) stale() []*directive {
+	var out []*directive
+	lines := make([]int, 0, len(d.byLine))
+	for line := range d.byLine {
+		lines = append(lines, line)
+	}
+	// byLine is a map; order the scan for deterministic output.
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] < lines[i] {
+				lines[i], lines[j] = lines[j], lines[i]
+			}
+		}
+	}
+	for _, line := range lines {
+		for _, dir := range d.byLine[line] {
+			if staleVerbs[dir.verb] && !dir.used {
+				out = append(out, dir)
+			}
+		}
+	}
+	return out
 }

@@ -23,6 +23,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -34,7 +35,7 @@ type listedPackage struct {
 // cache, so this works without any network or pre-installed archives.
 func listPackages(dir string, patterns []string) (map[string]*listedPackage, []*listedPackage, error) {
 	args := []string{"list", "-export", "-deps",
-		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard", "--"}
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,DepOnly,Standard", "--"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -83,28 +84,37 @@ type LoadedPackage struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Root marks packages named by the load patterns; the rest of the
+	// returned slice is module-local dependencies loaded so analyzers can
+	// compute their facts (diagnostics are reported for roots only).
+	Root bool
 }
 
 // Load type-checks the packages matched by patterns (e.g. "./...") from
 // source, resolving their imports through export data produced by
-// `go list -export`. Test files are not loaded; under `go vet -vettool`
-// the build system hands the analyzers test-augmented packages itself.
+// `go list -export`. The result includes every non-standard-library
+// dependency in the closure, in import topological order (dependencies
+// before dependents) so analyzer facts are available when importers are
+// analyzed. Test files are not loaded; under `go vet -vettool` the build
+// system hands the analyzers test-augmented packages itself.
 func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
-	byPath, roots, err := listPackages(dir, patterns)
+	byPath, _, err := listPackages(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	ordered := topoOrder(byPath)
 	var out []*LoadedPackage
-	for _, root := range roots {
-		if len(root.GoFiles) == 0 {
+	for _, p := range ordered {
+		if p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
 		fset := token.NewFileSet()
 		var files []*ast.File
-		for _, name := range root.GoFiles {
+		for _, name := range p.GoFiles {
 			path := name
 			if !filepath.IsAbs(path) {
-				path = filepath.Join(root.Dir, name)
+				path = filepath.Join(p.Dir, name)
 			}
 			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
@@ -122,27 +132,64 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 			}),
 			Sizes: types.SizesFor("gc", build.Default.GOARCH),
 		}
-		pkg, err := conf.Check(root.ImportPath, fset, files, info)
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %v", root.ImportPath, err)
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 		}
 		out = append(out, &LoadedPackage{
-			PkgPath:   root.ImportPath,
+			PkgPath:   p.ImportPath,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Root:      !p.DepOnly,
 		})
 	}
 	return out, nil
+}
+
+// topoOrder sorts the listed packages dependencies-first, breaking ties by
+// import path so the order (and therefore diagnostic output) is
+// deterministic. Standard-library deps are kept in the order (they are
+// skipped by the caller) but never recursed into.
+func topoOrder(byPath map[string]*listedPackage) []*listedPackage {
+	paths := make([]string, 0, len(byPath))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	seen := map[string]bool{}
+	var out []*listedPackage
+	var visit func(path string)
+	visit = func(path string) {
+		p := byPath[path]
+		if p == nil || seen[path] {
+			return
+		}
+		seen[path] = true
+		if !p.Standard {
+			imps := append([]string(nil), p.Imports...)
+			sort.Strings(imps)
+			for _, imp := range imps {
+				visit(imp)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
 }
 
 // LoadFiles type-checks one ad-hoc package from the given source files.
 // The analysistest harness uses this for testdata packages, which are
 // invisible to `go list`; their imports are still resolved through
 // export data produced by `go list -export` run in dir (so testdata may
-// import real module packages and the standard library).
-func LoadFiles(dir, pkgPath string, filenames []string) (*LoadedPackage, error) {
+// import real module packages and the standard library). deps maps import
+// paths to already-loaded source packages (other testdata packages), which
+// take precedence over export data.
+func LoadFiles(dir, pkgPath string, filenames []string, deps map[string]*LoadedPackage) (*LoadedPackage, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	imports := map[string]bool{}
@@ -153,7 +200,7 @@ func LoadFiles(dir, pkgPath string, filenames []string) (*LoadedPackage, error) 
 		}
 		files = append(files, f)
 		for _, imp := range f.Imports {
-			if p, err := ImportPathOf(imp); err == nil && p != "unsafe" {
+			if p, err := ImportPathOf(imp); err == nil && p != "unsafe" && deps[p] == nil {
 				imports[p] = true
 			}
 		}
@@ -172,12 +219,18 @@ func LoadFiles(dir, pkgPath string, filenames []string) (*LoadedPackage, error) 
 		}
 	}
 	info := newTypesInfo()
+	compiled := exportImporter(fset, func(path string) string {
+		if p := byPath[path]; p != nil {
+			return p.Export
+		}
+		return ""
+	})
 	conf := types.Config{
-		Importer: exportImporter(fset, func(path string) string {
-			if p := byPath[path]; p != nil {
-				return p.Export
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if lp := deps[path]; lp != nil {
+				return lp.Pkg, nil
 			}
-			return ""
+			return compiled.Import(path)
 		}),
 		Sizes: types.SizesFor("gc", build.Default.GOARCH),
 	}
@@ -191,27 +244,56 @@ func LoadFiles(dir, pkgPath string, filenames []string) (*LoadedPackage, error) 
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Root:      true,
 	}, nil
 }
 
-// Analyze applies the analyzers to one loaded package.
+// Analyze applies the analyzers to one loaded package with no
+// cross-package facts (single-package golden tests).
 func Analyze(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return AnalyzeWithStore(lp, analyzers, NewFactStore())
+}
+
+// AnalyzeWithStore applies the analyzers to one loaded package, importing
+// dependency facts from store and publishing the package's exported facts
+// back into it.
+func AnalyzeWithStore(lp *LoadedPackage, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	RegisterFactTypes(analyzers)
 	return runAnalyzers(Pass{
 		Fset:      lp.Fset,
 		Files:     lp.Files,
 		Pkg:       lp.Pkg,
 		TypesInfo: lp.TypesInfo,
 		PkgPath:   lp.PkgPath,
-	}, analyzers)
+	}, analyzers, runOptions{store: store})
+}
+
+// AnalyzeSuite is AnalyzeWithStore with stale-directive detection enabled,
+// matching what a full twvet run reports for a root package. Only
+// meaningful when analyzers is the complete suite — a directive consumed
+// by an absent analyzer would read as stale.
+func AnalyzeSuite(lp *LoadedPackage, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	RegisterFactTypes(analyzers)
+	return runAnalyzers(Pass{
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Pkg:       lp.Pkg,
+		TypesInfo: lp.TypesInfo,
+		PkgPath:   lp.PkgPath,
+	}, analyzers, runOptions{store: store, stale: true})
 }
 
 // Run loads the packages matched by patterns and applies every analyzer,
-// returning all diagnostics in package order.
+// returning diagnostics for the root packages in dependency order.
+// Module-local dependencies outside the patterns are analyzed too — their
+// diagnostics are discarded but their facts feed the roots.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	RegisterFactTypes(analyzers)
 	pkgs, err := Load(dir, patterns...)
 	if err != nil {
 		return nil, err
 	}
+	store := NewFactStore()
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		diags, err := runAnalyzers(Pass{
@@ -220,11 +302,13 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
 			PkgPath:   pkg.PkgPath,
-		}, analyzers)
+		}, analyzers, runOptions{store: store, stale: pkg.Root})
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, diags...)
+		if pkg.Root {
+			all = append(all, diags...)
+		}
 	}
 	return all, nil
 }

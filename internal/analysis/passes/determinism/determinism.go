@@ -69,7 +69,7 @@ func run(pass *analysis.Pass) error {
 		if pass.IsTestFile(file) {
 			continue
 		}
-		dirs := analysis.NewDirectives(pass, file)
+		dirs := pass.FileDirectives(file)
 		mapScope := pkgInResultScope || dirs.Scoped("determinism")
 		clockScope := (pkgClockScope || dirs.Scoped("determinism")) && !dirs.Scoped("walltime-exempt")
 
@@ -153,10 +153,13 @@ func checkMapRange(pass *analysis.Pass, dirs *analysis.Directives, stack []ast.N
 	if rs.Key == nil && rs.Value == nil {
 		return
 	}
-	if dirs.AllowedAt(rs, "maporder") || dirs.FuncAllowed(analysis.EnclosingFunc(stack), "maporder") {
+	// Recognize the idiom before consulting directives: an //twvet:allow
+	// maporder on a collect-then-sort loop suppresses nothing and should
+	// be reported stale rather than marked used.
+	if isCollectThenSort(pass, stack, rs) {
 		return
 	}
-	if isCollectThenSort(pass, stack, rs) {
+	if dirs.AllowedAt(rs, "maporder") || dirs.FuncAllowed(analysis.EnclosingFunc(stack), "maporder") {
 		return
 	}
 	pass.Reportf(rs.Pos(),

@@ -31,7 +31,7 @@ func run(pass *analysis.Pass) error {
 		if pass.IsTestFile(file) {
 			continue
 		}
-		dirs := analysis.NewDirectives(pass, file)
+		dirs := pass.FileDirectives(file)
 		if !inScope && !dirs.Scoped("gate") {
 			continue
 		}
@@ -40,10 +40,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fn.Body == nil || !fn.Name.IsExported() || fn.Recv != nil {
 				continue
 			}
-			if dirs.FuncAllowed(fn, "gate") {
-				continue
-			}
-			checkDriver(pass, fn)
+			checkDriver(pass, dirs, fn)
 		}
 	}
 	return nil
@@ -51,14 +48,14 @@ func run(pass *analysis.Pass) error {
 
 // checkDriver verifies that each validatable parameter of an exported
 // function is validated before first use.
-func checkDriver(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkDriver(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl) {
 	for _, field := range fn.Type.Params.List {
 		for _, name := range field.Names {
 			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
 			if !ok || !hasValidateMethod(pass, obj.Type()) {
 				continue
 			}
-			checkParam(pass, fn, name.Name, obj)
+			checkParam(pass, dirs, fn, name.Name, obj)
 		}
 	}
 }
@@ -80,20 +77,28 @@ func hasValidateMethod(pass *analysis.Pass, t types.Type) bool {
 }
 
 // checkParam requires the first statement referencing the parameter to
-// contain a handled param.Validate() call.
-func checkParam(pass *analysis.Pass, fn *ast.FuncDecl, name string, obj *types.Var) {
+// contain a handled param.Validate() call. The allow directive is
+// consulted only once a violation is found, so an allow on a compliant
+// driver reads as stale.
+func checkParam(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl, name string, obj *types.Var) {
 	first := firstUseStmt(pass, fn.Body, obj)
 	if first == nil {
 		return // parameter unused; nothing to gate
 	}
 	call := validateCallOn(pass, first, obj)
 	if call == nil {
+		if dirs.FuncAllowed(fn, "gate") {
+			return
+		}
 		pass.Reportf(first.Pos(),
 			"exported driver %s uses %s before calling %s.Validate: validate options at the boundary (PR 2 panic class) or annotate //twvet:allow gate",
 			fn.Name.Name, name, name)
 		return
 	}
 	if discardsError(first, call) {
+		if dirs.FuncAllowed(fn, "gate") {
+			return
+		}
 		pass.Reportf(call.Pos(),
 			"exported driver %s ignores the error from %s.Validate: reject invalid options instead of letting them panic later",
 			fn.Name.Name, name)

@@ -1,0 +1,12 @@
+package hashcheck_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/hashcheck"
+)
+
+func TestHashcheck(t *testing.T) {
+	analysistest.Run(t, hashcheck.Analyzer, "hash")
+}

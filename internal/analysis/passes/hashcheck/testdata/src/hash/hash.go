@@ -1,0 +1,91 @@
+// Package hash exercises the hashcheck pass against the real
+// resultcache.Hasher: HashInto completeness, the //twvet:nohash escape
+// (reason required), digest-annotated encoder functions, and the
+// unkeyed-composite-literal exemption.
+package hash
+
+import "tapeworm/internal/resultcache"
+
+// spec is a complete identity: every field folded in.
+type spec struct {
+	Name  string
+	Size  int
+	Assoc int
+}
+
+// HashInto covers every field of spec.
+func (s spec) HashInto(h *resultcache.Hasher) {
+	h.WriteString("hash.spec/v1")
+	h.WriteString(s.Name)
+	h.WriteInt(s.Size)
+	h.WriteInt(s.Assoc)
+}
+
+// leaky forgets one field in its digest.
+type leaky struct {
+	Name string
+	Size int
+	Skew int // want `field leaky.Skew is not folded into the HashInto digest of leaky`
+}
+
+// HashInto misses Skew.
+func (l leaky) HashInto(h *resultcache.Hasher) {
+	h.WriteString("hash.leaky/v1")
+	h.WriteString(l.Name)
+	h.WriteInt(l.Size)
+}
+
+// excused deliberately skips a field, with a reason on record.
+type excused struct {
+	Name string
+	//twvet:nohash scratch — per-run buffer, not part of the identity
+	scratch []byte
+	//twvet:nohash
+	hint int // want `//twvet:nohash on excused.hint needs a reason`
+}
+
+// HashInto covers only Name; scratch and hint are annotated out.
+func (e excused) HashInto(h *resultcache.Hasher) {
+	h.WriteString("hash.excused/v1")
+	h.WriteString(e.Name)
+}
+
+// key is digested by a standalone function rather than a method.
+type key struct {
+	Seed     uint64
+	Interval int
+	Label    string // want `field key.Label is not folded into the digest function digestKey`
+}
+
+// digestKey folds a key into a hasher but forgets Label.
+//
+//twvet:digest key
+func digestKey(h *resultcache.Hasher, k key) {
+	h.WriteUint64(k.Seed)
+	h.WriteInt(k.Interval)
+}
+
+// wire is constructed by an unkeyed composite literal, which the
+// compiler forces to name every field — complete by construction.
+type wire struct {
+	A uint64
+	B uint64
+}
+
+// encodeWire builds the full wire image.
+//
+//twvet:digest wire
+func encodeWire(k key) wire {
+	return wire{k.Seed, uint64(k.Interval)}
+}
+
+// badDigest names a type that does not exist.
+//
+//twvet:digest nosuchtype
+func badDigest(h *resultcache.Hasher) { // want `//twvet:digest nosuchtype on badDigest: no such type in this package`
+	h.WriteString("x")
+}
+
+var _ = digestKey
+var _ = encodeWire
+var _ = badDigest

@@ -2,49 +2,79 @@
 // (Table 1: tw_set_trap has tw_clear_trap, every arm has a disarm) on the
 // Go reproduction's resource pairs: mem trap reference counts, mach
 // instruction-breakpoint arm/clear, the sync.Pool-backed buffer recycling
-// in mem/pool.go, and the kernel's pooled boot buffers released by
-// Kernel.ReleaseBuffers.
+// in mem/pool.go, the kernel's pooled boot buffers released by
+// Kernel.ReleaseBuffers, result-cache claims, and checkpoint forks.
 //
-// The analysis is intra-procedural and structural: within one function,
-// every path — fallthrough, early return, both arms of a conditional,
-// each loop iteration — must acquire and release each resource the same
-// number of times, with deferred releases credited at every exit.
-// Functions that intentionally move ownership across a function boundary
-// (an arm kept until a later trap, a pool handing a buffer to its caller)
-// declare so with //twvet:transfer, which is the machine-checked version
-// of "this imbalance is the design".
+// The path-balance core (internal/analysis/passes/pathbal) is structural:
+// within one function, every path — fallthrough, early return, both arms
+// of a conditional, each loop iteration — must acquire and release each
+// resource the same number of times, with deferred releases credited at
+// every exit.
 //
-// Functions containing goto are skipped (none exist in this repo).
+// On top of it, this pass is inter-procedural through modular facts: a
+// function whose every exit hands the caller the same surplus of a true
+// ownership resource (a pooled buffer, a booted kernel, a forked
+// checkpoint, a cache claim) exports a TransfersOwnership fact, and a
+// function that consumes such a resource through its parameters or
+// receiver exports ReleasesResource. Callers — in this package or, via
+// serialized fact files, in importing packages — then account for those
+// calls without any annotation. The //twvet:transfer escape hatch remains
+// for shapes the engine cannot prove (closure-carried releases, loop
+// acquires into collections, counter-style pairs); an annotation on a
+// function the engine can prove is reported so it gets deleted.
+//
+// Functions that are themselves pairing primitives (they implement an
+// acquire or release in the table) are exempt: their bodies are the
+// transfer mechanism, not clients of it.
 package pairing
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
+	"sort"
 
 	"tapeworm/internal/analysis"
+	"tapeworm/internal/analysis/passes/pathbal"
 )
 
 // Analyzer is the paired set/clear balance pass.
 var Analyzer = &analysis.Analyzer{
-	Name: "pairing",
-	Doc:  "paired acquire/release primitives must balance on every path through a function (//twvet:transfer to move ownership)",
-	Run:  run,
+	Name:      "pairing",
+	Doc:       "paired acquire/release primitives must balance on every path through a function, with ownership transfers proven by inter-procedural facts (//twvet:transfer for shapes the engine cannot prove)",
+	FactTypes: []analysis.Fact{(*TransfersOwnership)(nil), (*ReleasesResource)(nil)},
+	Run:       run,
 }
 
-// pair describes one refcounted resource: the fully qualified acquire
-// and release functions (types.Func.FullName form).
-type pair struct {
-	name     string
-	acquires map[string]bool
-	releases map[string]bool
+// TransfersOwnership is the fact exported for a function whose every
+// normal exit hands the caller a consistent surplus of transferable
+// resources (per-pair deltas, all positive): calling it acquires.
+type TransfersOwnership struct {
+	Deltas map[string]int
 }
 
-var pairs = []pair{
+// AFact marks the type as a serializable fact.
+func (*TransfersOwnership) AFact() {}
+
+// ReleasesResource is the dual fact: a function that consumes resources
+// owned by its arguments or receiver (per-pair deltas, all negative):
+// calling it releases.
+type ReleasesResource struct {
+	Deltas map[string]int
+}
+
+// AFact marks the type as a serializable fact.
+func (*ReleasesResource) AFact() {}
+
+// pairs is the resource table. Transferable marks true ownership pairs —
+// a value the caller holds and must later release — which are the only
+// ones fact inference applies to: counter-like pairs (trap refcounts,
+// breakpoint arms, the anonymous sync.Pool protocol) would propagate
+// every intentional imbalance up the call graph.
+var pairs = []pathbal.Pair{
 	{
-		name:     "mem trap refcount",
-		acquires: set("(*tapeworm/internal/mem.Controller).AddTrapRef"),
-		releases: set("(*tapeworm/internal/mem.Controller).ReleaseTrapRef"),
+		Name:     "mem trap refcount",
+		Acquires: []string{"(*tapeworm/internal/mem.Controller).AddTrapRef"},
+		Releases: []string{"(*tapeworm/internal/mem.Controller).ReleaseTrapRef"},
 	},
 	{
 		// The hierarchical refcount summary (mem: refChunk/refSuper per
@@ -52,34 +82,37 @@ var pairs = []pair{
 		// summary must be balanced by a nonzero→0 decrement, or the
 		// summary diverges from the word-level refs it indexes and
 		// selective pool re-zeroing skips dirty chunks.
-		name:     "trap refcount chunk summary",
-		acquires: set("(*tapeworm/internal/mem.Phys).refChunkInc"),
-		releases: set("(*tapeworm/internal/mem.Phys).refChunkDec"),
+		Name:     "trap refcount chunk summary",
+		Acquires: []string{"(*tapeworm/internal/mem.Phys).refChunkInc"},
+		Releases: []string{"(*tapeworm/internal/mem.Phys).refChunkDec"},
 	},
 	{
-		name:     "mach breakpoint arm",
-		acquires: set("(*tapeworm/internal/mach.Machine).SetBreakpoint"),
-		releases: set("(*tapeworm/internal/mach.Machine).ClearBreakpoint"),
+		Name:     "mach breakpoint arm",
+		Acquires: []string{"(*tapeworm/internal/mach.Machine).SetBreakpoint"},
+		Releases: []string{"(*tapeworm/internal/mach.Machine).ClearBreakpoint"},
 	},
 	{
-		name:     "sync.Pool buffer",
-		acquires: set("(*sync.Pool).Get"),
-		releases: set("(*sync.Pool).Put"),
+		Name:     "sync.Pool buffer",
+		Acquires: []string{"(*sync.Pool).Get"},
+		Releases: []string{"(*sync.Pool).Put"},
 	},
 	{
-		name:     "pooled frame tables",
-		acquires: set("tapeworm/internal/mem.GetFrameTables"),
-		releases: set("tapeworm/internal/mem.PutFrameTables"),
+		Name:         "pooled frame tables",
+		Acquires:     []string{"tapeworm/internal/mem.GetFrameTables"},
+		Releases:     []string{"tapeworm/internal/mem.PutFrameTables"},
+		Transferable: true,
 	},
 	{
-		name:     "pooled phys buffers",
-		acquires: set("tapeworm/internal/mem.getPhysBuffers", "tapeworm/internal/mem.getTrapRefs"),
-		releases: set("tapeworm/internal/mem.putPhysBuffers", "tapeworm/internal/mem.putTrapRefs"),
+		Name:         "pooled phys buffers",
+		Acquires:     []string{"tapeworm/internal/mem.getPhysBuffers", "tapeworm/internal/mem.getTrapRefs"},
+		Releases:     []string{"tapeworm/internal/mem.putPhysBuffers", "tapeworm/internal/mem.putTrapRefs"},
+		Transferable: true,
 	},
 	{
-		name:     "kernel boot buffers",
-		acquires: set("tapeworm/internal/kernel.Boot", "tapeworm/internal/kernel.MustBoot"),
-		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseBuffers"),
+		Name:         "kernel boot buffers",
+		Acquires:     []string{"tapeworm/internal/kernel.Boot", "tapeworm/internal/kernel.MustBoot"},
+		Releases:     []string{"(*tapeworm/internal/kernel.Kernel).ReleaseBuffers"},
+		Transferable: true,
 	},
 	{
 		// A result-cache claim must be released on every path (hit, fresh
@@ -87,9 +120,10 @@ var pairs = []pair{
 		// abandons the digest so single-flight followers can take over.
 		// Complete is a value publish, not the release, so it is not in
 		// the release set.
-		name:     "result cache claim",
-		acquires: set("(*tapeworm/internal/resultcache.Store).Acquire"),
-		releases: set("(*tapeworm/internal/resultcache.Claim).Release"),
+		Name:         "result cache claim",
+		Acquires:     []string{"(*tapeworm/internal/resultcache.Store).Acquire"},
+		Releases:     []string{"(*tapeworm/internal/resultcache.Claim).Release"},
+		Transferable: true,
 	},
 	{
 		// A forked kernel owns pooled frame tables plus whatever its
@@ -99,499 +133,271 @@ var pairs = []pair{
 		// ForkRun is the mid-run fork: it wraps Fork and transfers the same
 		// ownership, so interval-replay call sites must release the forked
 		// kernel on every path through a replay.
-		name:     "checkpoint fork",
-		acquires: set("tapeworm/internal/kernel.Fork", "tapeworm/internal/kernel.ForkRun"),
-		releases: set("(*tapeworm/internal/kernel.Kernel).ReleaseCheckpoint"),
+		Name:         "checkpoint fork",
+		Acquires:     []string{"tapeworm/internal/kernel.Fork", "tapeworm/internal/kernel.ForkRun"},
+		Releases:     []string{"(*tapeworm/internal/kernel.Kernel).ReleaseCheckpoint"},
+		Transferable: true,
 	},
 }
 
-func set(names ...string) map[string]bool {
-	m := make(map[string]bool, len(names))
-	for _, n := range names {
-		m[n] = true
-	}
-	return m
-}
-
-// classify returns the per-pair delta of one resolved callee: +1 for an
-// acquire, -1 for a release, 0 otherwise.
-func classify(fn *types.Func) (idx int, delta int) {
-	full := fn.FullName()
-	for i, p := range pairs {
-		if p.acquires[full] {
-			return i, +1
-		}
-		if p.releases[full] {
-			return i, -1
-		}
-	}
-	return -1, 0
+// candidate is one function declaration under analysis.
+type candidate struct {
+	fn        *ast.FuncDecl
+	obj       *types.Func
+	dirs      *analysis.Directives
+	annotated bool
+	res       pathbal.Result
 }
 
 func run(pass *analysis.Pass) error {
+	eng := pathbal.New(pairs)
+
+	// local holds the per-function delta vectors inferred for this
+	// package; the Lookup hook folds them — and imported facts — into
+	// every call-site evaluation.
+	local := map[*types.Func][]int{}
+	eng.Lookup = func(fn *types.Func) []int {
+		if d, ok := local[fn]; ok {
+			return d
+		}
+		if fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+			return nil
+		}
+		var t TransfersOwnership
+		if pass.ImportObjectFact(fn, &t) {
+			return vectorOf(t.Deltas)
+		}
+		var r ReleasesResource
+		if pass.ImportObjectFact(fn, &r) {
+			return vectorOf(r.Deltas)
+		}
+		return nil
+	}
+
+	var cands []*candidate
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file) {
 			continue
 		}
-		dirs := analysis.NewDirectives(pass, file)
+		dirs := pass.FileDirectives(file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if dirs.FuncDirective(fn, "transfer", "") {
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj != nil && eng.Primitive(obj.FullName()) {
+				continue // the pair's own implementation
+			}
+			cands = append(cands, &candidate{
+				fn:        fn,
+				obj:       obj,
+				dirs:      dirs,
+				annotated: dirs.FuncDirective(fn, "transfer", ""),
+			})
+		}
+	}
+
+	// Fact inference fixpoint: re-evaluate every function until the
+	// inferred vectors stabilize (call chains here are shallow; the cap
+	// guards against oscillation). Annotated functions never export —
+	// the annotation asserts an ownership shape the engine must not
+	// propagate (closure releases, collection adoption).
+	for iter := 0; iter < 5; iter++ {
+		changed := false
+		for _, c := range cands {
+			c.res = eng.Check(pass, c.fn)
+			if c.annotated || c.obj == nil {
 				continue
 			}
-			checkFunc(pass, dirs, fn)
+			v := inferVector(c.res, c.obj)
+			if !vecEqual(local[c.obj], v) {
+				changed = true
+				if v == nil {
+					delete(local, c.obj)
+				} else {
+					local[c.obj] = v
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for obj, v := range local {
+		deltas := deltasOf(v)
+		if positive(v) {
+			pass.ExportObjectFact(obj, &TransfersOwnership{Deltas: deltas})
+		} else {
+			pass.ExportObjectFact(obj, &ReleasesResource{Deltas: deltas})
+		}
+	}
+
+	for _, c := range cands {
+		if c.annotated {
+			if c.res.Clean() {
+				// Balanced function: the annotation suppresses nothing.
+				// Left unmarked, the stale-directive scan reports it.
+				continue
+			}
+			c.dirs.MarkFunc(c.fn, "transfer", "")
+			if c.obj != nil && inferVector(c.res, c.obj) != nil {
+				pass.Reportf(c.fn.Pos(),
+					"ownership transfer by %s is provable inter-procedurally: delete the //twvet:transfer directive and let the facts engine carry it",
+					c.fn.Name.Name)
+			}
+			continue
+		}
+		if _, proven := local[c.obj]; proven {
+			continue // consistent transfer: exported as a fact, not a finding
+		}
+		if len(c.res.Violations) > 0 {
+			v := c.res.Violations[0] // one report per function keeps output readable
+			pass.Reportf(v.Pos, "%s", v.Message)
 		}
 	}
 	return nil
 }
 
-// bal is the per-pair acquire-minus-release count along one path.
-type bal []int
-
-func zero() bal { return make(bal, len(pairs)) }
-
-func (b bal) clone() bal {
-	c := make(bal, len(b))
-	copy(c, b)
-	return c
-}
-
-func (b bal) add(o bal) {
-	for i := range b {
-		b[i] += o[i]
-	}
-}
-
-func (b bal) equal(o bal) bool {
-	for i := range b {
-		if b[i] != o[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func (b bal) isZero() bool {
-	for _, v := range b {
-		if v != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// checker evaluates one function body.
-type checker struct {
-	pass     *analysis.Pass
-	dirs     *analysis.Directives
-	fn       *ast.FuncDecl
-	deferred bal // releases (and acquires) registered by defer statements
-	reported bool
-}
-
-// state is the abstract execution state at one program point.
-type state struct {
-	b          bal
-	terminated bool
-}
-
-func checkFunc(pass *analysis.Pass, dirs *analysis.Directives, fn *ast.FuncDecl) {
-	if hasGoto(fn.Body) {
-		return
-	}
-	c := &checker{pass: pass, dirs: dirs, fn: fn, deferred: zero()}
-	st := c.block(fn.Body.List, state{b: zero()})
-	if !st.terminated {
-		c.checkExit(st.b, fn.Body.Rbrace)
-	}
-}
-
-// checkExit verifies balance-plus-deferred is zero at a function exit.
-func (c *checker) checkExit(b bal, pos token.Pos) {
-	if c.reported {
-		return // one report per function keeps the output readable
-	}
-	net := b.clone()
-	net.add(c.deferred)
-	for i, v := range net {
-		if v != 0 {
-			verb := "acquired but not released"
-			if v < 0 {
-				verb = "released more times than acquired"
-			}
-			c.pass.Reportf(pos,
-				"%s %s on this path through %s: balance set/clear pairs or annotate the function //twvet:transfer",
-				pairs[i].name, verb, c.fn.Name.Name)
-			c.reported = true
-			return
-		}
-	}
-}
-
-// block evaluates a statement list. It recognizes the failed-acquire
-// idiom across statement boundaries: after `x, err := Acquire(...)`, the
-// branch taken when `err != nil` never acquired the resource.
-func (c *checker) block(stmts []ast.Stmt, st state) state {
-	var pend *failedAcquire
-	for _, s := range stmts {
-		if st.terminated {
-			break
-		}
-		if ifs, ok := s.(*ast.IfStmt); ok {
-			st = c.ifStmt(ifs, st, pend)
-			pend = nil
-			continue
-		}
-		pend = nil
-		if asg, ok := s.(*ast.AssignStmt); ok {
-			pend = c.acquireWithErr(asg)
-		}
-		st = c.stmt(s, st)
-	}
-	return st
-}
-
-// failedAcquire records an acquire statement that also produced an error
-// value, so the immediately following `if err != nil` check can discount
-// the acquire on its failing branch.
-type failedAcquire struct {
-	errObj types.Object
-	delta  bal
-}
-
-// acquireWithErr reports whether the assignment both performs an acquire
-// and binds an error-typed variable (the acquire's failure signal).
-func (c *checker) acquireWithErr(asg *ast.AssignStmt) *failedAcquire {
-	delta := zero()
-	c.scanCalls(asg, delta, true)
-	acquired := false
-	for i, v := range delta {
-		if v > 0 {
-			acquired = true
-		} else if v < 0 {
-			delta[i] = 0 // only discount acquires, never releases
-		}
-	}
-	if !acquired {
+// inferVector decides whether a check result describes a provable
+// ownership transfer and returns its per-pair delta vector, or nil.
+// Eligibility: no structural violations (merge conflicts, loop
+// imbalance), every nonzero exit identical (zero exits — error or
+// disabled paths — are fine: the caller's failed-acquire idiom discounts
+// them), deltas confined to transferable pairs with a uniform sign, and a
+// signature that can actually carry the ownership: a non-error result for
+// acquires, a receiver or parameter for releases.
+func inferVector(res pathbal.Result, obj *types.Func) []int {
+	if res.Skipped || len(res.Exits) == 0 {
 		return nil
 	}
-	for _, lhs := range asg.Lhs {
-		id, ok := ast.Unparen(lhs).(*ast.Ident)
-		if !ok || id.Name == "_" {
+	for _, v := range res.Violations {
+		if v.Kind != pathbal.ExitImbalance {
+			return nil
+		}
+	}
+	var vec []int
+	for _, exit := range res.Exits {
+		if allZero(exit) {
 			continue
 		}
-		obj := c.pass.TypesInfo.Defs[id]
-		if obj == nil {
-			obj = c.pass.TypesInfo.Uses[id]
+		if vec == nil {
+			vec = exit
+			continue
 		}
-		if obj != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
-			return &failedAcquire{errObj: obj, delta: delta}
+		if !vecEqual(vec, exit) {
+			return nil
 		}
 	}
-	return nil
-}
-
-// condIsErrNotNil reports whether cond is `err != nil` for the given
-// error object.
-func condIsErrNotNil(pass *analysis.Pass, cond ast.Expr, errObj types.Object) bool {
-	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || be.Op != token.NEQ {
-		return false
+	if vec == nil {
+		return nil
 	}
-	matches := func(e ast.Expr) bool {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		return ok && pass.TypesInfo.Uses[id] == errObj
+	sign := 0
+	for i, v := range vec {
+		if v == 0 {
+			continue
+		}
+		if !pairs[i].Transferable {
+			return nil
+		}
+		s := 1
+		if v < 0 {
+			s = -1
+		}
+		if sign == 0 {
+			sign = s
+		} else if sign != s {
+			return nil
+		}
 	}
-	isNil := func(e ast.Expr) bool {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		return ok && id.Name == "nil"
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
 	}
-	return (matches(be.X) && isNil(be.Y)) || (matches(be.Y) && isNil(be.X))
-}
-
-// ifStmt evaluates an if statement; pend carries a preceding
-// acquire-with-error whose failing branch should discount the acquire.
-func (c *checker) ifStmt(s *ast.IfStmt, st state, pend *failedAcquire) state {
-	if s.Init != nil {
-		st = c.stmt(s.Init, st)
-		if asg, ok := s.Init.(*ast.AssignStmt); ok {
-			if fa := c.acquireWithErr(asg); fa != nil {
-				pend = fa
+	if sign > 0 {
+		// Ownership enters the caller through a returned value; a
+		// receiver alone cannot carry an acquire (that shape — filling a
+		// structure in place — stays behind //twvet:transfer).
+		carried := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				carried = true
+				break
 			}
 		}
-	}
-	c.scanExpr(s.Cond, st.b)
-	thenB := st.b.clone()
-	if pend != nil && condIsErrNotNil(c.pass, s.Cond, pend.errObj) {
-		// Failing branch of the acquire's own error check: the resource
-		// was never acquired there.
-		for i := range thenB {
-			thenB[i] -= pend.delta[i]
+		if !carried {
+			return nil
+		}
+	} else {
+		// Ownership leaves through any held reference.
+		if sig.Recv() == nil && sig.Params().Len() == 0 {
+			return nil
 		}
 	}
-	thenSt := c.block(s.Body.List, state{b: thenB})
-	elseSt := state{b: st.b.clone()}
-	if s.Else != nil {
-		elseSt = c.stmt(s.Else, elseSt)
-	}
-	return c.merge(s, []state{thenSt, elseSt})
+	return vec
 }
 
-// stmt evaluates one statement.
-func (c *checker) stmt(s ast.Stmt, st state) state {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			c.scanExpr(e, st.b)
-		}
-		c.checkExit(st.b, s.Pos())
-		st.terminated = true
-		return st
-
-	case *ast.DeferStmt:
-		c.scanDefer(s.Call, st.b)
-		return st
-
-	case *ast.IfStmt:
-		return c.ifStmt(s, st, nil)
-
-	case *ast.BlockStmt:
-		return c.block(s.List, st)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st = c.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			c.scanExpr(s.Cond, st.b)
-		}
-		c.loopBody(s.Body, s.Post, st.b)
-		return st
-
-	case *ast.RangeStmt:
-		c.scanExpr(s.X, st.b)
-		c.loopBody(s.Body, nil, st.b)
-		return st
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return c.multiway(s, st)
-
-	case *ast.LabeledStmt:
-		return c.stmt(s.Stmt, st)
-
-	case *ast.BranchStmt:
-		// break/continue leave the enclosing loop or switch arm; the
-		// loop-neutrality check in loopBody covers the loop cases.
-		st.terminated = true
-		return st
-
-	default:
-		// Assignments, expression statements, declarations, go, send:
-		// count every call in source order; net effect is order-free.
-		c.scanNode(s, st.b)
-		if exits(c.pass, s) {
-			st.terminated = true
-		}
-		return st
-	}
-}
-
-// merge joins the branch states of a conditional: surviving branches
-// must agree on every resource balance.
-func (c *checker) merge(at ast.Node, branches []state) state {
-	var alive []state
-	for _, b := range branches {
-		if !b.terminated {
-			alive = append(alive, b)
-		}
-	}
-	if len(alive) == 0 {
-		return state{terminated: true}
-	}
-	first := alive[0]
-	for _, b := range alive[1:] {
-		if !b.b.equal(first.b) && !c.reported {
-			c.pass.Reportf(at.Pos(),
-				"paths through this branch disagree on paired acquire/release balance in %s: balance each arm or annotate the function //twvet:transfer",
-				c.fn.Name.Name)
-			c.reported = true
-			break
-		}
-	}
-	return first
-}
-
-// multiway evaluates switch/type-switch/select as parallel branches.
-func (c *checker) multiway(s ast.Stmt, st state) state {
-	var body *ast.BlockStmt
-	hasDefault := false
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st = c.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			c.scanExpr(s.Tag, st.b)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			st = c.stmt(s.Init, st)
-		}
-		c.scanNode(s.Assign, st.b)
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	branches := []state{}
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch cl := clause.(type) {
-		case *ast.CaseClause:
-			if cl.List == nil {
-				hasDefault = true
-			}
-			for _, e := range cl.List {
-				c.scanExpr(e, st.b)
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			if cl.Comm == nil {
-				hasDefault = true
-			} else {
-				c.scanNode(cl.Comm, st.b)
-			}
-			stmts = cl.Body
-		}
-		branches = append(branches, c.block(stmts, state{b: st.b.clone()}))
-	}
-	if !hasDefault {
-		// No default: the zero-delta fallthrough path exists too.
-		branches = append(branches, state{b: st.b.clone()})
-	}
-	return c.merge(s, branches)
-}
-
-// loopBody requires a loop body to be resource-neutral per iteration.
-// It evaluates from the loop-entry balance so returns inside the body are
-// checked against the true path balance (entry + iteration so far).
-func (c *checker) loopBody(body *ast.BlockStmt, post ast.Stmt, entry bal) {
-	st := c.block(body.List, state{b: entry.clone()})
-	if post != nil && !st.terminated {
-		st = c.stmt(post, st)
-	}
-	if !st.terminated && !c.reported {
-		for i := range st.b {
-			if v := st.b[i] - entry[i]; v != 0 {
-				verb := "acquires"
-				if v < 0 {
-					verb = "over-releases"
-				}
-				c.pass.Reportf(body.Pos(),
-					"loop iteration %s %s without balancing it: balance the body or annotate the function //twvet:transfer",
-					verb, pairs[i].name)
-				c.reported = true
-				return
-			}
-		}
-	}
-}
-
-// scanDefer registers a deferred call's deltas (including those inside a
-// deferred closure) to be credited at every exit reached after this
-// statement. Argument expressions evaluate immediately, so their deltas
-// land in the current balance.
-func (c *checker) scanDefer(call *ast.CallExpr, now bal) {
-	for _, arg := range call.Args {
-		c.scanExpr(arg, now)
-	}
-	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
-		c.scanCalls(lit.Body, c.deferred, false)
-		return
-	}
-	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
-		if i, d := classify(fn); i >= 0 {
-			c.deferred[i] += d
-		}
-	}
-}
-
-// scanExpr accumulates the deltas of every paired call in an expression.
-// Function literals are skipped: their bodies execute elsewhere and are
-// checked as their own scopes.
-func (c *checker) scanExpr(e ast.Expr, into bal) {
-	if e == nil {
-		return
-	}
-	c.scanCalls(e, into, true)
-}
-
-// scanNode accumulates deltas over any node.
-func (c *checker) scanNode(n ast.Node, into bal) {
-	if n == nil {
-		return
-	}
-	c.scanCalls(n, into, true)
-}
-
-// scanCalls walks n counting paired calls. When skipFuncLits is set,
-// closure bodies are not descended into.
-func (c *checker) scanCalls(n ast.Node, into bal, skipFuncLits bool) {
-	ast.Inspect(n, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok && skipFuncLits {
+func allZero(v []int) bool {
+	for _, x := range v {
+		if x != 0 {
 			return false
 		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
-			if i, d := classify(fn); i >= 0 {
-				into[i] += d
-			}
-		}
-		return true
-	})
+	}
+	return true
 }
 
-// exits reports whether the statement unconditionally leaves the
-// function: panic, os.Exit, log.Fatal*.
-func exits(pass *analysis.Pass, s ast.Stmt) bool {
-	es, ok := s.(*ast.ExprStmt)
-	if !ok {
+func vecEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) {
 		return false
 	}
-	call, ok := es.X.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-		if _, isUse := pass.TypesInfo.Uses[id].(*types.Builtin); isUse || pass.TypesInfo.Uses[id] == nil {
-			return true
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
-		full := fn.FullName()
-		switch full {
-		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+	return true
+}
+
+func positive(v []int) bool {
+	for _, x := range v {
+		if x > 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// hasGoto reports whether the body contains a goto statement.
-func hasGoto(body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if b, ok := n.(*ast.BranchStmt); ok && b.Tok.String() == "goto" {
-			found = true
-			return false
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// deltasOf converts an index vector to the name-keyed map serialized in
+// facts (stable across pair-table reorderings).
+func deltasOf(v []int) map[string]int {
+	m := map[string]int{}
+	for i, x := range v {
+		if x != 0 {
+			m[pairs[i].Name] = x
 		}
-		return !found
-	})
-	return found
+	}
+	return m
+}
+
+// vectorOf converts a fact's name-keyed deltas back to an index vector.
+func vectorOf(deltas map[string]int) []int {
+	v := make([]int, len(pairs))
+	names := make([]string, 0, len(deltas))
+	for n := range deltas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for i := range pairs {
+			if pairs[i].Name == n {
+				v[i] = deltas[n]
+			}
+		}
+	}
+	return v
 }

@@ -32,3 +32,12 @@ func TestPairingResultCacheClaim(t *testing.T) {
 func TestPairingCheckpointFork(t *testing.T) {
 	analysistest.Run(t, pairing.Analyzer, "tapeworm/internal/kernel")
 }
+
+// TestPairingCrossPackageFacts drives the inter-procedural engine across
+// a package boundary: factdep/lib wraps the kernel stand-in's fork and
+// exports TransfersOwnership/ReleasesResource facts; factdep/use leaks a
+// fork it can only see through those facts.
+func TestPairingCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, pairing.Analyzer,
+		"tapeworm/internal/kernel", "factdep/lib", "factdep/use")
+}

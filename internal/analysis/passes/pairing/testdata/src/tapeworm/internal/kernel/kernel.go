@@ -78,25 +78,48 @@ func forkRunLeakedOnError(cp *Checkpoint, cfg Config, resume ProgramResume, bad 
 	return nil
 }
 
-// forkRunNeverReleased forgets the release entirely.
-func forkRunNeverReleased(cp *Checkpoint, cfg Config, resume ProgramResume) (*Kernel, error) {
+// forkRunNeverReleased forgets the release entirely. It returns only the
+// run error — a function returning the kernel itself would be an
+// ownership-transfer shape the facts engine proves instead of flagging.
+func forkRunNeverReleased(cp *Checkpoint, cfg Config, resume ProgramResume) error {
 	fk, err := ForkRun(cp, cfg, resume)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	fk.Run(1000)
-	return fk, nil // want `checkpoint fork acquired but not released`
+	return nil // want `checkpoint fork acquired but not released`
 }
 
-// forkRunTransfer hands the forked kernel to its caller by design — the
-// real ForkRun wrapper shape — and declares so.
+// forkRunTransfer hands the forked kernel to its caller — the real
+// ForkRun wrapper shape. The annotation is now redundant: every exit
+// hands back the same surplus with a non-error carrier, so the facts
+// engine proves the transfer and asks for the directive's deletion.
 //
 //twvet:transfer — ownership moves to the caller.
-func forkRunTransfer(cp *Checkpoint, cfg Config, resume ProgramResume) (*Kernel, error) {
+func forkRunTransfer(cp *Checkpoint, cfg Config, resume ProgramResume) (*Kernel, error) { // want `ownership transfer by forkRunTransfer is provable inter-procedurally`
 	return ForkRun(cp, cfg, resume)
+}
+
+// parked holds a forked kernel released at sweep teardown, outside any
+// caller's view.
+var parked *Kernel
+
+// forkRunParked parks the forked kernel in package state: the caller
+// cannot see the acquisition and no result carries it, so the engine
+// cannot prove the transfer and the annotation is load-bearing.
+//
+//twvet:transfer
+func forkRunParked(cp *Checkpoint, cfg Config, resume ProgramResume) error {
+	fk, err := ForkRun(cp, cfg, resume)
+	if err != nil {
+		return err
+	}
+	parked = fk
+	return nil
 }
 
 var _ = forkRunBalanced
 var _ = forkRunLeakedOnError
 var _ = forkRunNeverReleased
 var _ = forkRunTransfer
+var _ = forkRunParked

@@ -54,17 +54,21 @@ func acquireBalanced(s *Store, d Digest) (any, error) {
 	return v, nil
 }
 
-// hitWithoutRelease forgets the Release on the cache-hit path.
-func hitWithoutRelease(s *Store, d Digest) (any, error) {
+// hitWithoutRelease forgets the Release on the cache-hit path. The hit
+// value is consumed in place rather than returned: a signature carrying
+// a non-error result would read as an ownership transfer to the facts
+// engine instead of a leak.
+func hitWithoutRelease(s *Store, d Digest, sink func(any)) error {
 	claim, err := s.Acquire(d, "")
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if v, ok := claim.Cached(); ok {
-		return v, nil // want `result cache claim acquired but not released`
+		sink(v)
+		return nil // want `result cache claim acquired but not released`
 	}
 	claim.Release()
-	return nil, nil
+	return nil
 }
 
 // completeIsNotRelease publishes the value but never releases the claim:

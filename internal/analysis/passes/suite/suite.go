@@ -5,6 +5,8 @@ import (
 	"tapeworm/internal/analysis"
 	"tapeworm/internal/analysis/passes/determinism"
 	"tapeworm/internal/analysis/passes/gate"
+	"tapeworm/internal/analysis/passes/hashcheck"
+	"tapeworm/internal/analysis/passes/lockcheck"
 	"tapeworm/internal/analysis/passes/pairing"
 	"tapeworm/internal/analysis/passes/telemetryguard"
 )
@@ -14,6 +16,8 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		gate.Analyzer,
+		hashcheck.Analyzer,
+		lockcheck.Analyzer,
 		pairing.Analyzer,
 		telemetryguard.Analyzer,
 	}

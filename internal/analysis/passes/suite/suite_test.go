@@ -1,0 +1,15 @@
+package suite_test
+
+import (
+	"testing"
+
+	"tapeworm/internal/analysis/analysistest"
+	"tapeworm/internal/analysis/passes/suite"
+)
+
+// TestStaleDirectives runs the full analyzer suite with stale-directive
+// detection, the way twvet runs it over root packages: suppression
+// directives that excused nothing are findings themselves.
+func TestStaleDirectives(t *testing.T) {
+	analysistest.RunSuite(t, suite.All(), "stale")
+}

@@ -43,7 +43,7 @@ func run(pass *analysis.Pass) error {
 		if pass.IsTestFile(file) {
 			continue
 		}
-		dirs := analysis.NewDirectives(pass, file)
+		dirs := pass.FileDirectives(file)
 		if !inHotPkg && !dirs.Scoped("telemetryguard") {
 			continue
 		}
@@ -74,18 +74,23 @@ func checkCall(pass *analysis.Pass, dirs *analysis.Directives, stack []ast.Node,
 	if fn == nil || !guardedMethods[fn.Name()] || !isTelemetryRunMethod(fn) {
 		return
 	}
-	if dirs.AllowedAt(call, "telemetry") || dirs.FuncAllowed(analysis.EnclosingFunc(stack), "telemetry") {
-		return
-	}
 	recv := ast.Unparen(sel.X)
 	recvStr := types.ExprString(recv)
 	if containsCall(recv) {
+		if dirs.AllowedAt(call, "telemetry") || dirs.FuncAllowed(analysis.EnclosingFunc(stack), "telemetry") {
+			return
+		}
 		pass.Reportf(call.Pos(),
 			"telemetry %s receiver %s is not a simple expression: bind it to a variable so the disabled check is one pointer test",
 			fn.Name(), recvStr)
 		return
 	}
+	// Establish guardedness before consulting directives, so an allow on
+	// an already-guarded call counts as suppressing nothing (stale).
 	if guardedByAncestor(pass, stack, call, recvStr) || guardedByEarlyReturn(pass, stack, call, recvStr) {
+		return
+	}
+	if dirs.AllowedAt(call, "telemetry") || dirs.FuncAllowed(analysis.EnclosingFunc(stack), "telemetry") {
 		return
 	}
 	pass.Reportf(call.Pos(),

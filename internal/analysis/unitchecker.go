@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -80,7 +81,8 @@ func Main(analyzers ...*Analyzer) {
 	flags := flag.NewFlagSet(progname, flag.ExitOnError)
 	flags.Var(versionFlag{}, "V", "print version and exit")
 	printFlags := flags.Bool("flags", false, "print analyzer flags in JSON")
-	jsonOut := flags.Bool("json", false, "emit JSON output")
+	jsonOut := flags.Bool("json", false, "emit JSON output (standalone: one object per finding)")
+	githubOut := flags.Bool("github", false, "emit GitHub workflow-command annotations (standalone)")
 	listOnly := flags.Bool("list", false, "list analyzers and exit")
 	flags.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...]   (standalone)\n", progname)
@@ -122,7 +124,28 @@ func Main(analyzers ...*Analyzer) {
 		log.Fatal(err)
 	}
 	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, moduleRelative(dir, d).String())
+		d = moduleRelative(dir, d)
+		switch {
+		case *jsonOut:
+			// One self-contained object per finding, newline-delimited, so
+			// CI steps can consume findings without assembling a document.
+			out, _ := json.Marshal(struct {
+				File    string `json:"file"`
+				Line    int    `json:"line"`
+				Col     int    `json:"col"`
+				Pass    string `json:"pass"`
+				Message string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			fmt.Println(string(out))
+		case *githubOut:
+			// GitHub Actions workflow command: renders as an inline
+			// annotation on the PR diff.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=twvet %s::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer,
+				strings.ReplaceAll(d.Message, "\n", "%0A"))
+		default:
+			fmt.Fprintln(os.Stderr, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
@@ -143,17 +166,20 @@ func runUnitchecker(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
 		log.Printf("%s: %v", cfgFile, err)
 		return 1
 	}
+	RegisterFactTypes(analyzers)
 
-	// The go command caches per-package "vetx" fact files and requires
-	// the tool to produce one. These analyzers export no facts, so an
-	// empty placeholder satisfies the protocol.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("twvet-no-facts\n"), 0o666); err != nil {
-			log.Print(err)
-			return 1
+	// The go command caches per-package "vetx" fact files and hands each
+	// dependency's file back via PackageVetx. Fact-free packages still
+	// need a (valid, empty) file, and VetxOnly visits — dependencies
+	// analyzed purely for their facts — must run the analyzers even
+	// though their diagnostics are discarded.
+	if len(cfg.GoFiles) == 0 {
+		if cfg.VetxOutput != "" {
+			if err := writeVetx(cfg.VetxOutput, factSet{}); err != nil {
+				log.Print(err)
+				return 1
+			}
 		}
-	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
 		return 0
 	}
 
@@ -195,18 +221,33 @@ func runUnitchecker(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
 		return 1
 	}
 
+	store, err := readVetxFiles(cfg)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
 	diags, err := runAnalyzers(Pass{
 		Fset:      fset,
 		Files:     parsed,
 		Pkg:       pkg,
 		TypesInfo: info,
 		PkgPath:   cfg.ImportPath,
-	}, analyzers)
+	}, analyzers, runOptions{store: store, stale: !cfg.VetxOnly})
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
-	if len(diags) == 0 {
+	if cfg.VetxOutput != "" {
+		exported := store.byPkg[canonicalImportPath(cfg.ImportPath)]
+		if exported == nil {
+			exported = factSet{}
+		}
+		if err := writeVetx(cfg.VetxOutput, exported); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	if jsonOut {
@@ -217,6 +258,54 @@ func runUnitchecker(cfgFile string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, d.String())
 	}
 	return 2
+}
+
+// canonicalImportPath strips a build-system test-variant decoration
+// ("pkg [pkg.test]") down to the plain import path, which is what
+// types.Package.Path() reports for objects resolved through export data.
+func canonicalImportPath(p string) string {
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// readVetxFiles decodes every dependency fact file the go command handed
+// us into a fresh store. Keys are canonicalized so fact lookup by
+// types.Package.Path() matches; when both a plain package and its
+// test-augmented variant appear, the variant (sorted later) wins — it is
+// the archive the current package actually links against.
+func readVetxFiles(cfg vetConfig) (*FactStore, error) {
+	store := NewFactStore()
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %v", p, err)
+		}
+		facts, err := decodeFacts(data)
+		if err != nil {
+			return nil, fmt.Errorf("decoding facts of %s: %v", p, err)
+		}
+		if len(facts) > 0 {
+			store.byPkg[canonicalImportPath(p)] = facts
+		}
+	}
+	return store, nil
+}
+
+// writeVetx serializes one package's exported facts to the path the go
+// command will cache and replay to dependents.
+func writeVetx(path string, facts factSet) error {
+	data, err := encodeFacts(facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 // emitJSON prints diagnostics in the nested shape the standard vet tool

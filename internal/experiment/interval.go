@@ -354,6 +354,7 @@ func repCheckpointAt(o Options, rc runConfig, kcfg kernel.Config, k *kernel.Kern
 	return cp, nil
 }
 
+//twvet:digest ckKey
 func intervalKey(rc runConfig, kcfg kernel.Config, interval int) ckKey {
 	return ckKey{seed: kcfg.Seed, pageSeed: kcfg.PageSeed,
 		frames: kcfg.Machine.Frames, spec: rc.spec, interval: interval}

@@ -50,6 +50,8 @@ func ResetResultCache() { resultStore.Reset() }
 // anyway: the cache's contract is "same digest, same bytes", and keying
 // conservatively means a flag-flipping verify run exercises fresh
 // simulations instead of trusting the equivalence it is trying to prove.
+//
+//twvet:digest runConfig
 func resultDigest(o Options, rc runConfig) resultcache.Digest {
 	h := resultcache.NewHasher()
 	h.WriteString("experiment.run/v3")
@@ -207,6 +209,8 @@ type resultWire struct {
 	PixieRefs          uint64
 }
 
+//twvet:digest runResult
+//twvet:digest resultWire
 func encodeResult(v any) ([]byte, error) {
 	r := v.(runResult)
 	var buf bytes.Buffer
@@ -220,6 +224,8 @@ func encodeResult(v any) ([]byte, error) {
 	return buf.Bytes(), err
 }
 
+//twvet:digest runResult
+//twvet:digest resultWire
 func decodeResult(b []byte) (any, error) {
 	var w resultWire
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {

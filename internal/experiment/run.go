@@ -32,9 +32,11 @@ type runConfig struct {
 	noCompile   bool         // force the interpreted workload program
 	linearDemux bool         // force the per-member linear gang trap demux
 
-	checkpoint    bool           // fork the kernel from a cached boot checkpoint
-	checkpointDir string         // persist/load checkpoints here (requires checkpoint)
-	tally         *mem.PoolTally // non-nil: accumulate this run's pool counts
+	checkpoint bool // fork the kernel from a cached boot checkpoint
+	//twvet:nohash storage-location — where checkpoints persist cannot change results
+	checkpointDir string // persist/load checkpoints here (requires checkpoint)
+	//twvet:nohash accounting — pool-tally output, never an input to the run
+	tally *mem.PoolTally // non-nil: accumulate this run's pool counts
 
 	// gang opts this run into the ganged execution path: it runs as a
 	// core.AttachGang member (ledgered traps) even when alone, so its
@@ -45,6 +47,7 @@ type runConfig struct {
 
 	trace *cache2000.Config // non-nil: annotate with Pixie feeding Cache2000
 
+	//twvet:nohash observability — telemetry records the run, it does not steer it
 	tel *telemetry.Run // non-nil: record this run's metrics and events
 }
 

@@ -410,7 +410,6 @@ func Fork(cp *Checkpoint, cfg Config) (*Kernel, error) {
 		}
 		// Clone order cannot matter: each clone depends only on its own
 		// template walker and checkpointed state.
-		//twvet:allow maporder — per-service clones are independent
 		for id, w := range ts.walkers {
 			st, ok := ss.Walkers[id]
 			if !ok {
@@ -427,8 +426,6 @@ func Fork(cp *Checkpoint, cfg Config) (*Kernel, error) {
 // tables and whatever the copy-on-write Phys materialized. It is the
 // fork-side counterpart of ReleaseBuffers (and delegates to it — the
 // Phys knows which arrays it owns and which still belong to the image).
-//
-//twvet:transfer
 func (k *Kernel) ReleaseCheckpoint() { k.ReleaseBuffers() }
 
 // PoolCounts reports the pooled-buffer requests made on behalf of this

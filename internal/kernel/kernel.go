@@ -212,8 +212,6 @@ func Boot(cfg Config) (*Kernel, error) {
 
 // MustBoot is Boot but panics on error. Like Boot, the returned kernel
 // owns pooled buffers until ReleaseBuffers.
-//
-//twvet:transfer
 func MustBoot(cfg Config) *Kernel {
 	k, err := Boot(cfg)
 	if err != nil {
@@ -255,8 +253,6 @@ func (k *Kernel) SetHooks(h MemSimHooks) { k.hooks = h }
 // ReleaseBuffers recycles this boot's pooled backing arrays — the frame
 // allocator's tables and the machine's physical-memory arrays — once all
 // results have been read out. The kernel must not be used afterwards.
-//
-//twvet:transfer
 func (k *Kernel) ReleaseBuffers() {
 	if k.fa != nil {
 		mem.PutFrameTables(k.fa.free, k.fa.refcount)

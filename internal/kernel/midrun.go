@@ -193,9 +193,6 @@ func CaptureAt(k *Kernel, mark string) (*Checkpoint, error) {
 // diverges from the capture-side kernel's continuation until the host
 // state warms back up. Callers measure through core.Window with a
 // warm-up that covers the divergence.
-//
-//twvet:transfer — the fork's pooled buffers move to the caller, who
-// must ReleaseCheckpoint the returned kernel.
 func ForkRun(cp *Checkpoint, cfg Config, resume ProgramResume) (*Kernel, error) {
 	rs := cp.run
 	if rs == nil {

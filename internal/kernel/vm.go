@@ -155,8 +155,6 @@ type frameAllocator struct {
 
 // newFrameAllocator builds the allocator over pooled backing arrays; the
 // returned allocator owns them until Kernel.ReleaseBuffers.
-//
-//twvet:transfer
 func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAllocator {
 	// Backing arrays come from the per-size pool (sweeps boot hundreds of
 	// machines with identical geometry); GetFrameTables hands them back
@@ -179,8 +177,6 @@ func newFrameAllocator(totalFrames, reservedFrames int, r *rng.Source) *frameAll
 // already shuffled, so a restored allocator hands out the exact frame
 // sequence the captured boot would have — without re-running Fisher-Yates,
 // the dominant boot-only cost.
-//
-//twvet:transfer
 func restoreFrameAllocator(totalFrames int, free []uint32, refcount []uint16) *frameAllocator {
 	fa := acquireFrameTables(totalFrames)
 	fa.free = append(fa.free, free...)
@@ -189,8 +185,6 @@ func restoreFrameAllocator(totalFrames int, free []uint32, refcount []uint16) *f
 }
 
 // acquireFrameTables pulls pooled tables and records the attribution.
-//
-//twvet:transfer
 func acquireFrameTables(totalFrames int) *frameAllocator {
 	freeBuf, refcount, reused := mem.GetFrameTables(totalFrames)
 	fa := &frameAllocator{free: freeBuf, refcount: refcount, poolGets: 1}

@@ -398,8 +398,6 @@ func New(cfg Config, os OS) (*Machine, error) {
 // caches, TLB, breakpoint tables — starts pristine, exactly as New leaves
 // them (a captured machine is quiesced: zero cycles, empty caches). The
 // image's geometry must match cfg.
-//
-//twvet:transfer
 func NewFromImage(cfg Config, os OS, img *mem.Image) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -419,8 +417,6 @@ func (m *Machine) CaptureImage() *mem.Image { return mem.CaptureImage(m.phys) }
 
 // build assembles a Machine around an already-constructed Phys; cfg and
 // os are pre-validated.
-//
-//twvet:transfer
 func build(cfg Config, os OS, phys *mem.Phys) *Machine {
 	bpPages, bpReused := getBPPages(cfg.Frames)
 	m := &Machine{

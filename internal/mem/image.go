@@ -79,8 +79,6 @@ func CaptureImage(p *Phys) *Image {
 // chunks into private pooled buffers. Reads are exactly as fast as on a
 // freshly booted Phys. Ownership of any materialized pooled arrays follows
 // the usual rules; Release hands them back.
-//
-//twvet:transfer
 func NewPhysFromImage(img *Image) *Phys {
 	return &Phys{
 		pageSize:     img.pageSize,

@@ -172,8 +172,6 @@ func CheckPhysSize(frames, pageSize int) error {
 // that need an error instead of a panic should run CheckPhysSize first.
 // Ownership of the pooled backing arrays moves into the returned Phys;
 // Release hands them back.
-//
-//twvet:transfer
 func NewPhys(frames, pageSize int) *Phys {
 	if err := CheckPhysSize(frames, pageSize); err != nil {
 		panic(err.Error())
@@ -198,8 +196,6 @@ func NewPhys(frames, pageSize int) *Phys {
 // Release returns the backing arrays to the per-geometry pool for reuse by
 // a later run with the same frame count. The Phys must not be used again;
 // callers release only at end-of-run teardown.
-//
-//twvet:transfer
 func (p *Phys) Release() {
 	if p.trapBits == nil {
 		return
@@ -523,8 +519,6 @@ func (p *Phys) noteDestroyed(w uint32) {
 // false — and takes no reference — when the word carries a true memory
 // error, mirroring SetTrap's refusal to stack corruption on real faults.
 // EnableTrapRefs must have been called.
-//
-//twvet:transfer
 func (c *Controller) AddTrapRef(pa PAddr) bool {
 	p := c.phys
 	if p.trapRef == nil {
@@ -555,8 +549,6 @@ func (c *Controller) AddTrapRef(pa PAddr) bool {
 // ReleaseTrapRef drops one reference on the word containing pa, restoring
 // correct ECC when the last reference goes away. Releasing a word whose
 // trap was already destroyed (count zero) is a no-op.
-//
-//twvet:transfer
 func (c *Controller) ReleaseTrapRef(pa PAddr) {
 	p := c.phys
 	if p.trapRef == nil {

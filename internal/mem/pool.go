@@ -133,8 +133,6 @@ func resetPhysBuffers(b *physBuffers) {
 // owns it until putPhysBuffers. The second result reports whether the set
 // was served by reuse, so callers can attribute the hit to their own
 // per-owner counters.
-//
-//twvet:transfer
 func getPhysBuffers(chunks int) (*physBuffers, bool) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
@@ -152,8 +150,6 @@ func getPhysBuffers(chunks int) (*physBuffers, bool) {
 // putPhysBuffers takes ownership of the arrays back into the pools. The
 // buffers keep their end-of-run contents and summaries; zeroing is
 // deferred to the next get, where the summaries make it selective.
-//
-//twvet:transfer
 func putPhysBuffers(b *physBuffers, trapRef, refChunk, refSuper []uint8) {
 	if !poolEnabled.Load() {
 		return
@@ -166,8 +162,6 @@ func putPhysBuffers(b *physBuffers, trapRef, refChunk, refSuper []uint8) {
 // putTrapRefs recycles a trap refcount array set on its own, for forks
 // whose dense arrays still belong to a checkpoint image and must not be
 // pooled.
-//
-//twvet:transfer
 func putTrapRefs(ref, refChunk, refSuper []uint8) {
 	if ref == nil || !poolEnabled.Load() {
 		return
@@ -191,8 +185,6 @@ var frameTablePool sync.Map // total frame count -> *sync.Pool of *frameTables
 // here so a reused boot is indistinguishable from a fresh one. The caller
 // owns the arrays until PutFrameTables. reused reports a pool hit for
 // per-owner attribution.
-//
-//twvet:transfer
 func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16, reused bool) {
 	poolGets.Add(1)
 	if poolEnabled.Load() {
@@ -207,8 +199,6 @@ func GetFrameTables(totalFrames int) (free []uint32, refcount []uint16, reused b
 }
 
 // PutFrameTables recycles a frame allocator's backing arrays.
-//
-//twvet:transfer
 func PutFrameTables(free []uint32, refcount []uint16) {
 	if !poolEnabled.Load() || free == nil || refcount == nil {
 		return
@@ -229,8 +219,6 @@ func newTrapRefs(words int) ([]uint8, []uint8, []uint8) {
 // occupancy summary to the caller; putPhysBuffers returns them. Recycled
 // arrays are zeroed selectively: the summary names the chunks holding
 // nonzero counts.
-//
-//twvet:transfer
 func getTrapRefs(words int) (ref, refChunk, refSuper []uint8, reused bool) {
 	poolGets.Add(1)
 	if !poolEnabled.Load() {
